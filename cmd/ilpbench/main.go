@@ -1,0 +1,61 @@
+// Command ilpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ilpbench [-degree N] [-benchmarks a,b,c] [-workers N] [experiment ...]
+//
+// With no experiment arguments it runs everything in paper order. Use
+// -list to see the available experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ilp/internal/experiments"
+)
+
+func main() {
+	degree := flag.Int("degree", 8, "maximum superscalar/superpipelining degree to sweep")
+	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+	workers := flag.Int("workers", 0, "concurrent simulations (default: GOMAXPROCS)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{MaxDegree: *degree, Workers: *workers}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	runner := experiments.NewRunner(cfg)
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		for _, e := range experiments.Experiments() {
+			ids = append(ids[:0:0], append(ids, e.ID)...)
+		}
+		ids = nil
+		for _, e := range experiments.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := runner.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ilpbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s: %s ====  (%.1fs)\n\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+	}
+}

@@ -1,0 +1,183 @@
+// Command ilpsim compiles one benchmark (or a TL source file) for a chosen
+// machine description, simulates it, and reports cycles, instruction mix,
+// stall breakdown, and the program's output.
+//
+// Usage:
+//
+//	ilpsim [-machine name] [-level 0..4] [-unroll N] [-careful]
+//	       [-width N] [-pipe M] [-temps N] [-print] <benchmark | file.tl>
+//
+// Machines: base, multititan, cray1, superscalar:N, superpipelined:M,
+// supersuper:N:M, underpipelined.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+)
+
+func machineByName(name string) (*machine.Config, error) {
+	parts := strings.Split(strings.ToLower(name), ":")
+	arg := func(i, def int) int {
+		if len(parts) > i {
+			if v, err := strconv.Atoi(parts[i]); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch parts[0] {
+	case "base", "":
+		return machine.Base(), nil
+	case "multititan", "titan":
+		return machine.MultiTitan(), nil
+	case "cray1", "cray-1", "cray":
+		return machine.CRAY1(), nil
+	case "superscalar", "ss":
+		return machine.IdealSuperscalar(arg(1, 4)), nil
+	case "superpipelined", "sp":
+		return machine.Superpipelined(arg(1, 4)), nil
+	case "supersuper", "ssp":
+		return machine.SuperpipelinedSuperscalar(arg(1, 2), arg(2, 2)), nil
+	case "underpipelined":
+		return machine.Underpipelined(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", name)
+}
+
+func main() {
+	machineName := flag.String("machine", "base", "machine description (base, multititan, cray1, superscalar:N, superpipelined:M, supersuper:N:M, underpipelined)")
+	level := flag.Int("level", 4, "optimization level 0..4 (Figure 4-8's axis)")
+	unroll := flag.Int("unroll", 0, "loop unroll factor (0 = benchmark default)")
+	careful := flag.Bool("careful", false, "careful unrolling (reassociation + memory disambiguation)")
+	temps := flag.Int("temps", 0, "temporary registers per file (0 = default 16)")
+	printOut := flag.Bool("print", false, "show program output values")
+	disasm := flag.Bool("S", false, "dump disassembly instead of simulating")
+	pipeline := flag.Int("pipeline", 0, "render an issue timeline for the first N dynamic instructions")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ilpsim [flags] <benchmark|file.tl>; benchmarks:", strings.Join(benchmarks.Names(), " "))
+		os.Exit(2)
+	}
+	target := flag.Arg(0)
+
+	var src string
+	isAsm := strings.HasSuffix(target, ".s")
+	unrollFactor := *unroll
+	if b, err := benchmarks.ByName(target); err == nil {
+		src = b.Source
+		if unrollFactor == 0 {
+			unrollFactor = b.DefaultUnroll
+		}
+	} else {
+		data, ferr := os.ReadFile(target)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "ilpsim: %q is neither a benchmark (%s) nor a readable file: %v\n",
+				target, strings.Join(benchmarks.Names(), " "), ferr)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	m, err := machineByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilpsim:", err)
+		os.Exit(1)
+	}
+	if *temps > 0 {
+		m.IntTemps, m.FPTemps = *temps, *temps
+	}
+
+	var prog *isa.Program
+	if isAsm {
+		// Raw assembly: assemble directly, no compiler involved.
+		prog, err = isa.Assemble(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilpsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		c, cerr := compiler.Compile(src, compiler.Options{
+			Machine: m,
+			Level:   compiler.Level(*level),
+			Unroll:  unrollFactor,
+			Careful: *careful,
+		})
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "ilpsim:", cerr)
+			os.Exit(1)
+		}
+		prog = c.Prog
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	opts := sim.Options{Machine: m}
+	type slot struct {
+		idx             int
+		text            string
+		issue, complete int64
+	}
+	var timeline []slot
+	if *pipeline > 0 {
+		opts.OnIssue = func(idx int, in *isa.Instr, issue, complete int64) {
+			if len(timeline) < *pipeline {
+				timeline = append(timeline, slot{idx, in.String(), issue, complete})
+			}
+		}
+	}
+	res, err := sim.Run(prog, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilpsim:", err)
+		os.Exit(1)
+	}
+	if *pipeline > 0 {
+		fmt.Printf("issue timeline (first %d dynamic instructions, '#' = executing, minor cycles):\n", len(timeline))
+		origin := timeline[0].issue
+		for _, s := range timeline {
+			width := int(s.complete - s.issue)
+			if width < 1 {
+				width = 1
+			}
+			fmt.Printf("  t=%4d  %s%s  @%d %s\n",
+				s.issue-origin,
+				strings.Repeat(" ", int(s.issue-origin)),
+				strings.Repeat("#", width),
+				s.idx, s.text)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("machine:       %s (issue width %d, degree %d)\n", m.Name, m.IssueWidth, m.Degree)
+	fmt.Printf("options:       level=%s unroll=%d careful=%v\n", compiler.Level(*level), unrollFactor, *careful)
+	fmt.Printf("instructions:  %d (static %d)\n", res.Instructions, len(prog.Instrs))
+	fmt.Printf("minor cycles:  %d\n", res.MinorCycles)
+	fmt.Printf("base cycles:   %.1f\n", res.BaseCycles)
+	fmt.Printf("CPI (base):    %.3f\n", res.BaseCPI())
+	fmt.Printf("stalls:        data %d, write %d, unit %d, width %d, branch %d\n",
+		res.Stalls.Data, res.Stalls.Write, res.Stalls.Unit, res.Stalls.Width, res.Stalls.Branch)
+	fmt.Printf("class mix:\n")
+	for cl, n := range res.ClassCounts {
+		if n > 0 {
+			fmt.Printf("  %-10s %9d (%5.1f%%)\n", isa.Class(cl), n, 100*float64(n)/float64(res.Instructions))
+		}
+	}
+	if *printOut {
+		fmt.Printf("output (%d values):\n", len(res.Output))
+		for _, v := range res.Output {
+			fmt.Println(" ", v)
+		}
+	}
+}

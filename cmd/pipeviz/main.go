@@ -1,0 +1,26 @@
+// Command pipeviz prints the paper's pipeline-execution diagrams
+// (Figures 2-1..2-8 and the Figure 4-2 start-up comparison).
+//
+// Usage:
+//
+//	pipeviz            # all Section 2 diagrams
+//	pipeviz startup    # Figure 4-2
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ilp/internal/pipeviz"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "startup" {
+		fmt.Println(pipeviz.Startup(3, 6).Render())
+		return
+	}
+	for _, d := range pipeviz.All() {
+		fmt.Println(d.Render())
+	}
+	fmt.Println(pipeviz.Startup(3, 6).Render())
+}

@@ -1,0 +1,93 @@
+// Command tlc is the TL compiler driver: it parses, checks, optimizes and
+// lowers a TL source file, dumping whichever intermediate representation is
+// requested — tokens, AST summary, IR, or final scheduled assembly — or
+// runs the program through the reference interpreter.
+//
+// Usage:
+//
+//	tlc [-level 0..4] [-unroll N] [-careful] [-dump ir|asm] [-run] file.tl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/lang/interp"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+	"ilp/internal/machine"
+)
+
+func main() {
+	level := flag.Int("level", 4, "optimization level 0..4")
+	unroll := flag.Int("unroll", 0, "loop unroll factor")
+	careful := flag.Bool("careful", false, "careful unrolling")
+	dump := flag.String("dump", "asm", "what to dump: ir, asm, none")
+	run := flag.Bool("run", false, "run with the reference interpreter and print output")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tlc [flags] <file.tl|benchmark>")
+		os.Exit(2)
+	}
+	target := flag.Arg(0)
+	var src string
+	if b, err := benchmarks.ByName(target); err == nil {
+		src = b.Source
+	} else {
+		data, ferr := os.ReadFile(target)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "tlc:", ferr)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	if *run {
+		p, err := parser.Parse(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlc:", err)
+			os.Exit(1)
+		}
+		info, err := sem.Analyze(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlc:", err)
+			os.Exit(1)
+		}
+		out, err := interp.Run(info)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlc:", err)
+			os.Exit(1)
+		}
+		for _, v := range out {
+			fmt.Println(v)
+		}
+		return
+	}
+
+	c, err := compiler.Compile(src, compiler.Options{
+		Machine: machine.Base(),
+		Level:   compiler.Level(*level),
+		Unroll:  *unroll,
+		Careful: *careful,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlc:", err)
+		os.Exit(1)
+	}
+	switch *dump {
+	case "ir":
+		fmt.Print(c.IR.String())
+	case "asm":
+		fmt.Print(c.Prog.Disassemble())
+	case "none":
+		fmt.Printf("%d instructions, %d functions, %d loops unrolled\n",
+			len(c.Prog.Instrs), len(c.IR.Funcs), c.UnrolledLoops)
+	default:
+		fmt.Fprintf(os.Stderr, "tlc: unknown dump kind %q\n", *dump)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,65 @@
+package ilp_test
+
+import (
+	"fmt"
+	"log"
+
+	"ilp"
+)
+
+// ExampleCompile shows the core loop: write TL, compile for a machine from
+// the paper's taxonomy, simulate, inspect output and cycles.
+func ExampleCompile() {
+	src := `
+var total: int;
+func main() {
+	var i: int;
+	for i = 1 to 100 { total = total + i; }
+	print(total);
+}
+`
+	p, err := ilp.Compile(src, ilp.BaseMachine(), ilp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := p.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Output[0])
+	// Output: 5050
+}
+
+// ExampleInterpret runs the reference interpreter, the semantic oracle the
+// whole test suite compares the simulator against.
+func ExampleInterpret() {
+	out, err := ilp.Interpret(`func main() { print(6 * 7); print(1.5 + 2.0); }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[0], out[1])
+	// Output: 42 3.5
+}
+
+// ExampleHarmonicMean aggregates speedups the way the paper's figures do.
+func ExampleHarmonicMean() {
+	fmt.Printf("%.2f\n", ilp.HarmonicMean([]float64{1, 2, 4}))
+	// Output: 1.71
+}
+
+// ExampleSuperscalar compares a wide machine against the base machine —
+// Figure 4-5's measurement for one benchmark, in miniature.
+func ExampleSuperscalar() {
+	base, err := ilp.RunBenchmark("yacc", ilp.BaseMachine(), ilp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wide, err := ilp.RunBenchmark("yacc", ilp.Superscalar(8), ilp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// yacc is the paper's least-parallel benchmark: speedup well under 2.5
+	// no matter how wide the machine.
+	fmt.Println(wide.SpeedupOver(base) < 2.5)
+	// Output: true
+}

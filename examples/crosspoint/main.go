@@ -1,0 +1,48 @@
+// Crosspoint sweeps superscalar and superpipelined machines of increasing
+// degree over one benchmark — a single-benchmark slice of Figure 4-1 that
+// shows where extra degree stops paying (the "supersymmetry" result and
+// the ~2 parallelism ceiling for non-numeric code).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ilp"
+)
+
+func main() {
+	bench := "yacc" // the paper's least-parallel benchmark
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	base, err := ilp.RunBenchmark(bench, ilp.BaseMachine(), ilp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on the base machine: %.0f cycles, %d instructions\n\n",
+		bench, base.BaseCycles, base.Instructions)
+	fmt.Println("degree  superscalar  superpipelined")
+
+	for degree := 1; degree <= 8; degree++ {
+		ss, err := ilp.RunBenchmark(bench, ilp.Superscalar(degree), ilp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err := ilp.RunBenchmark(bench, ilp.Superpipelined(degree), ilp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %11.2f  %14.2f\n", degree, ss.SpeedupOver(base), sp.SpeedupOver(base))
+	}
+
+	par, err := ilp.Parallelism(bench, 8, ilp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\navailable instruction-level parallelism of %s: %.2f\n", bench, par)
+	fmt.Println("(the paper: around 2 for most non-numeric programs — \"these machines already")
+	fmt.Println(" exploit all of the instruction-level parallelism available\")")
+}

@@ -1,0 +1,42 @@
+// Limits contrasts three answers to "how much instruction-level
+// parallelism does this program have?" for each benchmark:
+//
+//  1. what a real compiler and a real in-order superscalar machine get
+//     (the paper's measurement),
+//  2. the trace-driven limit with conditional branches respected
+//     (Riseman & Foster's "inhibition", the paper's quoted ~2), and
+//  3. the perfect-prediction oracle (their famous order-of-magnitude
+//     higher bound).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ilp"
+)
+
+func main() {
+	fmt.Println("parallelism: machine-measured vs. trace limits (§4.2's framing)")
+	fmt.Printf("\n%-10s %9s %9s %9s\n", "benchmark", "compiled", "blocked", "oracle")
+	for _, name := range ilp.Benchmarks() {
+		compiled, err := ilp.Parallelism(name, 8, ilp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lim, err := ilp.MeasureTraceLimits(name, 500_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := " "
+		if lim.Truncated {
+			note = "*"
+		}
+		fmt.Printf("%-10s %9.2f %9.2f %9.2f%s\n", name, compiled, lim.Blocked, lim.Oracle, note)
+	}
+	fmt.Println("\n(* trace truncated at 500k instructions)")
+	fmt.Println("\nThe compiled numbers sit at or below the blocked limit — a real register file,")
+	fmt.Println("in-order issue, and a compile-time scheduler can only lose parallelism from")
+	fmt.Println("there. The oracle column is why later work (including Wall's own 1991 'Limits")
+	fmt.Println("of Instruction-Level Parallelism') chased branch prediction so hard.")
+}

@@ -1,0 +1,81 @@
+// Unrolling reproduces the §4.4 loop-unrolling study on a single kernel: a
+// daxpy-plus-reduction loop unrolled 1..10 times, naively and carefully,
+// measured on a wide ideal superscalar with the 40-temporary register file
+// the paper used for this experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ilp"
+)
+
+const kernel = `
+var x[512]: real;
+var y[512]: real;
+
+func main() {
+	var i: int;
+	for i = 0 to 511 {
+		x[i] = float(i % 11) * 0.25;
+		y[i] = 1.0;
+	}
+	var s: real;
+	var pass: int;
+	s = 0.0;
+	for pass = 1 to 40 {
+		s = 0.0;
+		for i = 0 to 511 {
+			y[i] = y[i] + 2.5 * x[i];
+			s = s + x[i];
+		}
+	}
+	print(s);
+}
+`
+
+func measure(unroll int, careful bool) (float64, error) {
+	widen := func(m *ilp.Machine) *ilp.Machine {
+		m.IntTemps, m.FPTemps = 40, 40
+		m.IntHomes, m.FPHomes = 10, 10
+		return m
+	}
+	opts := ilp.Options{Unroll: unroll, Careful: careful}
+	pb, err := ilp.Compile(kernel, widen(ilp.BaseMachine()), opts)
+	if err != nil {
+		return 0, err
+	}
+	rb, err := pb.Run()
+	if err != nil {
+		return 0, err
+	}
+	pw, err := ilp.Compile(kernel, widen(ilp.Superscalar(8)), opts)
+	if err != nil {
+		return 0, err
+	}
+	rw, err := pw.Run()
+	if err != nil {
+		return 0, err
+	}
+	return rb.BaseCycles / rw.BaseCycles, nil
+}
+
+func main() {
+	fmt.Println("available parallelism of the kernel (8-wide ideal superscalar, 40 temps):")
+	fmt.Println("\nunroll   naive   careful")
+	for _, k := range []int{1, 2, 4, 10} {
+		n, err := measure(k, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := measure(k, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %6.2f  %8.2f\n", k, n, c)
+	}
+	fmt.Println("\nnaive unrolling flattens: the reduction chain and unanalyzed stores impose a")
+	fmt.Println("sequential frame. careful unrolling reassociates the reduction and lets loads")
+	fmt.Println("from later copies pass earlier stores (§4.4, Figure 4-6).")
+}

@@ -1,0 +1,3 @@
+module ilp
+
+go 1.22

@@ -1,0 +1,171 @@
+package ilp_test
+
+import (
+	"strings"
+	"testing"
+
+	"ilp"
+)
+
+const tiny = `
+var total: int;
+func main() {
+	var i: int;
+	for i = 1 to 100 { total = total + i; }
+	print(total);
+}
+`
+
+func TestCompileAndRun(t *testing.T) {
+	p, err := ilp.Compile(tiny, ilp.BaseMachine(), ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Output) != 1 || r.Output[0].String() != "5050" {
+		t.Errorf("output = %v, want [5050]", r.Output)
+	}
+	if p.StaticInstructions() == 0 {
+		t.Error("no code generated")
+	}
+	if !strings.Contains(p.Disassemble(), "main") {
+		t.Error("disassembly missing main")
+	}
+}
+
+func TestInterpretMatchesSimulation(t *testing.T) {
+	want, err := ilp.Interpret(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ilp.Compile(tiny, ilp.MultiTitan(), ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(r.Output) || !want[0].Equal(r.Output[0]) {
+		t.Errorf("interp %v vs sim %v", want, r.Output)
+	}
+}
+
+func TestPresetsDistinct(t *testing.T) {
+	ms := []*ilp.Machine{
+		ilp.BaseMachine(), ilp.Superscalar(4), ilp.Superpipelined(4),
+		ilp.SuperpipelinedSuperscalar(2, 2), ilp.MultiTitan(), ilp.CRAY1(),
+		ilp.Underpipelined(),
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if m == nil || m.Name == "" {
+			t.Fatal("preset missing name")
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate preset name %s", m.Name)
+		}
+		seen[m.Name] = true
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestRunBenchmarkAndParallelism(t *testing.T) {
+	base, err := ilp.RunBenchmark("whet", ilp.BaseMachine(), ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := ilp.RunBenchmark("whet", ilp.Superscalar(4), ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := wide.SpeedupOver(base)
+	if sp < 1.0 || sp > 4.0 {
+		t.Errorf("speedup %v out of range", sp)
+	}
+	par, err := ilp.Parallelism("whet", 4, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par < sp-0.01 || par > sp+0.01 {
+		t.Errorf("Parallelism (%v) should equal the measured speedup (%v)", par, sp)
+	}
+	if _, err := ilp.Parallelism("whet", 0, ilp.Options{}); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := ilp.RunBenchmark("nope", ilp.BaseMachine(), ilp.Options{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarksListed(t *testing.T) {
+	names := ilp.Benchmarks()
+	if len(names) != 8 {
+		t.Fatalf("suite size %d", len(names))
+	}
+	src, err := ilp.BenchmarkSource("yacc")
+	if err != nil || !strings.Contains(src, "func main") {
+		t.Errorf("yacc source missing: %v", err)
+	}
+}
+
+func TestOptionLevels(t *testing.T) {
+	// WithLevel(O0) must actually compile at O0 (more instructions than
+	// the default O4).
+	p0, err := ilp.Compile(tiny, ilp.BaseMachine(), ilp.WithLevel(ilp.O0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := ilp.Compile(tiny, ilp.BaseMachine(), ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := p0.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := p4.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Instructions >= r0.Instructions {
+		t.Errorf("O4 (%d instrs) should beat O0 (%d)", r4.Instructions, r0.Instructions)
+	}
+	if !r0.Output[0].Equal(r4.Output[0]) {
+		t.Error("levels disagree on output")
+	}
+}
+
+func TestHarmonicMeanExported(t *testing.T) {
+	if hm := ilp.HarmonicMean([]float64{2, 2}); hm != 2 {
+		t.Errorf("HarmonicMean = %v", hm)
+	}
+}
+
+func TestCustomMachineAdjustment(t *testing.T) {
+	m := ilp.Superscalar(2)
+	m.Latency[ilp.ClassLoad] = 5
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ilp.RunBenchmark("yacc", m, ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := ilp.RunBenchmark("yacc", ilp.Superscalar(2), ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.BaseCycles <= fast.BaseCycles {
+		t.Error("raising load latency should cost cycles")
+	}
+	deg := ilp.AverageDegreeOfSuperpipelining(m, slow.ClassCounts)
+	if deg <= 1.0 {
+		t.Errorf("average degree of superpipelining %v should exceed 1 with 5-cycle loads", deg)
+	}
+}

@@ -1,0 +1,86 @@
+// Package benchmarks embeds the paper's eight-benchmark suite, rewritten
+// in TL (see DESIGN.md for the substitution rationale): ccom, grr, linpack,
+// livermore, met, stanford, whet, and yacc — "All of the benchmarks are
+// written in Modula-2 except for yacc" in the original; here all eight are
+// TL.
+package benchmarks
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+)
+
+//go:embed src/*.tl
+var sources embed.FS
+
+// Benchmark describes one suite member.
+type Benchmark struct {
+	// Name is the paper's benchmark name.
+	Name string
+	// Description matches §4's listing.
+	Description string
+	// Source is the TL program text.
+	Source string
+	// DefaultUnroll is the unroll factor the paper's "official" version
+	// uses (Linpack ships with its inner loops unrolled four times;
+	// everything else is 1).
+	DefaultUnroll int
+	// Numeric marks the floating-point benchmarks (livermore, linpack,
+	// whet), which §4.4 treats separately.
+	Numeric bool
+}
+
+var all []Benchmark
+
+func load(name, file, desc string, unroll int, numeric bool) {
+	data, err := sources.ReadFile("src/" + file)
+	if err != nil {
+		panic(fmt.Sprintf("benchmarks: missing embedded source %s: %v", file, err))
+	}
+	all = append(all, Benchmark{
+		Name:          name,
+		Description:   desc,
+		Source:        string(data),
+		DefaultUnroll: unroll,
+		Numeric:       numeric,
+	})
+}
+
+func init() {
+	load("ccom", "ccom.tl", "Our own C compiler.", 1, false)
+	load("grr", "grr.tl", "A PC board router.", 1, false)
+	load("linpack", "linpack.tl", "Linpack, double precision, unrolled 4x unless noted otherwise.", 4, true)
+	load("livermore", "livermore.tl", "The first 14 Livermore Loops, double precision, not unrolled unless noted otherwise.", 1, true)
+	load("met", "met.tl", "Metronome, a board-level timing verifier.", 1, false)
+	load("stanford", "stanford.tl", "The collection of Hennessy benchmarks from Stanford (including puzzle, tower, queens, etc.).", 1, false)
+	load("whet", "whet.tl", "Whetstones.", 1, true)
+	load("yacc", "yacc.tl", "The Unix parser generator.", 1, false)
+}
+
+// All returns the suite in the paper's (alphabetical) order.
+func All() []Benchmark {
+	out := append([]Benchmark(nil), all...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName finds one benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range all {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchmarks: unknown benchmark %q", name)
+}
+
+// Names lists the suite names in order.
+func Names() []string {
+	bs := All()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
+}

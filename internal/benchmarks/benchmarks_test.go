@@ -1,0 +1,195 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"ilp/internal/compiler"
+	"ilp/internal/isa"
+	"ilp/internal/lang/interp"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+)
+
+func TestRegistry(t *testing.T) {
+	bs := All()
+	if len(bs) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(bs))
+	}
+	want := []string{"ccom", "grr", "linpack", "livermore", "met", "stanford", "whet", "yacc"}
+	for i, name := range want {
+		if bs[i].Name != name {
+			t.Errorf("benchmark %d = %s, want %s", i, bs[i].Name, name)
+		}
+		if bs[i].Source == "" || bs[i].Description == "" {
+			t.Errorf("%s: missing source or description", name)
+		}
+	}
+	if _, err := ByName("linpack"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+	lp, _ := ByName("linpack")
+	if lp.DefaultUnroll != 4 || !lp.Numeric {
+		t.Error("linpack metadata wrong")
+	}
+}
+
+// reference runs each benchmark in the interpreter once, caching results.
+var refCache = map[string][]isa.Value{}
+
+func reference(t *testing.T, b Benchmark) []isa.Value {
+	t.Helper()
+	if out, ok := refCache[b.Name]; ok {
+		return out
+	}
+	p, err := parser.Parse(b.Source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", b.Name, err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatalf("%s: sem: %v", b.Name, err)
+	}
+	out, err := interp.Run(info)
+	if err != nil {
+		t.Fatalf("%s: interp: %v", b.Name, err)
+	}
+	refCache[b.Name] = out
+	return out
+}
+
+// TestBenchmarksAgainstInterpreter is the suite's ground-truth check: every
+// benchmark, compiled at O0 and O4 and simulated, must print exactly what
+// the reference interpreter prints.
+func TestBenchmarksAgainstInterpreter(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			want := reference(t, b)
+			if len(want) == 0 {
+				t.Fatalf("%s prints nothing; checksums missing", b.Name)
+			}
+			for _, lvl := range []compiler.Level{compiler.O0, compiler.O4} {
+				c, err := compiler.Compile(b.Source, compiler.Options{Machine: machine.Base(), Level: lvl})
+				if err != nil {
+					t.Fatalf("compile %v: %v", lvl, err)
+				}
+				r, err := sim.Run(c.Prog, sim.Options{Machine: machine.Base()})
+				if err != nil {
+					t.Fatalf("sim %v: %v", lvl, err)
+				}
+				if len(r.Output) != len(want) {
+					t.Fatalf("%v: %d outputs, want %d\ngot %v\nwant %v", lvl, len(r.Output), len(want), r.Output, want)
+				}
+				for i := range want {
+					if !r.Output[i].Equal(want[i]) {
+						t.Errorf("%v: output[%d] = %v, want %v", lvl, i, r.Output[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarksUnrolled checks the unrolled configurations used by the
+// Figure 4-6 experiment on the numeric benchmarks.
+func TestBenchmarksUnrolled(t *testing.T) {
+	for _, name := range []string{"linpack", "livermore"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reference(t, b)
+		for _, careful := range []bool{false, true} {
+			c, err := compiler.Compile(b.Source, compiler.Options{
+				Machine: machine.Base(), Level: compiler.O4, Unroll: 4, Careful: careful,
+			})
+			if err != nil {
+				t.Fatalf("%s careful=%v: %v", name, careful, err)
+			}
+			if c.UnrolledLoops == 0 {
+				t.Errorf("%s: no loops unrolled", name)
+			}
+			r, err := sim.Run(c.Prog, sim.Options{Machine: machine.Base()})
+			if err != nil {
+				t.Fatalf("%s careful=%v: %v", name, careful, err)
+			}
+			if len(r.Output) != len(want) {
+				t.Fatalf("%s careful=%v: %d outputs, want %d", name, careful, len(r.Output), len(want))
+			}
+			for i := range want {
+				// Careful mode reassociates float reductions; integers
+				// must stay exact, floats within tolerance.
+				if !r.Output[i].ApproxEqual(want[i], 1e-6) {
+					t.Errorf("%s careful=%v: output[%d] = %v, want %v", name, careful, i, r.Output[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBenchmarkSizes keeps the suite simulable: each benchmark should run
+// in a sane dynamic instruction budget on the base machine.
+func TestBenchmarkSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sizes covered by the full test")
+	}
+	for _, b := range All() {
+		c, err := compiler.Compile(b.Source, compiler.Options{Machine: machine.Base(), Level: compiler.O4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(c.Prog, sim.Options{Machine: machine.Base()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s %9d instructions, %d outputs", b.Name, r.Instructions, len(r.Output))
+		if r.Instructions < 20000 {
+			t.Errorf("%s: only %d instructions; too small to be representative", b.Name, r.Instructions)
+		}
+		if r.Instructions > 60_000_000 {
+			t.Errorf("%s: %d instructions; too slow for the experiment sweep", b.Name, r.Instructions)
+		}
+	}
+}
+
+// TestSuiteInstructionMixRealistic guards the suite's character: across
+// the whole suite the dynamic mix should resemble the paper's Table 2-1
+// assumptions — load-heavy, branch-rich general code, with the numeric
+// benchmarks contributing a visible FP fraction.
+func TestSuiteInstructionMixRealistic(t *testing.T) {
+	var groups [isa.NumTableGroups]float64
+	n := 0
+	for _, b := range All() {
+		c, err := compiler.Compile(b.Source, compiler.Options{Machine: machine.Base(), Level: compiler.O4, Unroll: b.DefaultUnroll})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sim.Run(c.Prog, sim.Options{Machine: machine.Base()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := r.GroupFrequencies()
+		for g := range groups {
+			groups[g] += f[g]
+		}
+		n++
+	}
+	for g := range groups {
+		groups[g] /= float64(n)
+	}
+	check := func(g isa.TableGroup, lo, hi float64) {
+		if groups[g] < lo || groups[g] > hi {
+			t.Errorf("%v frequency %.1f%% outside [%.0f%%, %.0f%%] (paper assumes %s-like mixes)",
+				g, groups[g]*100, lo*100, hi*100, g)
+		}
+	}
+	check(isa.GroupLoad, 0.10, 0.35)   // paper assumes 20%
+	check(isa.GroupBranch, 0.08, 0.30) // paper assumes 15%
+	check(isa.GroupStore, 0.04, 0.25)  // paper assumes 15%
+	check(isa.GroupFP, 0.03, 0.25)     // paper assumes 10%
+}

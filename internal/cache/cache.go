@@ -1,0 +1,119 @@
+// Package cache implements the direct-mapped cache model used by the §5.1
+// experiments. The paper's headline simulations ignore cache misses ("the
+// effects of cache misses and systems effects such as interrupts and TLB
+// misses are ignored", §4); §5.1 argues that miss latencies dominate the
+// benefit of parallel issue on fast machines, and this model lets the
+// simulator reproduce that argument quantitatively.
+//
+// The model is deliberately simple — direct-mapped, write-around, with a
+// fixed miss penalty in minor cycles — because the paper's point concerns
+// the ratio of miss cost to instruction time, not cache organization.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name string
+	// Lines is the number of cache lines; must be a power of two.
+	Lines int
+	// LineWords is the line size in 8-byte words; must be a power of two.
+	LineWords int
+	// MissPenalty is the added latency of a miss, in minor cycles.
+	MissPenalty int
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Lines <= 0 || c.Lines&(c.Lines-1) != 0 {
+		return fmt.Errorf("cache %q: lines %d not a positive power of two", c.Name, c.Lines)
+	}
+	if c.LineWords <= 0 || c.LineWords&(c.LineWords-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a positive power of two", c.Name, c.LineWords)
+	}
+	if c.MissPenalty < 0 {
+		return fmt.Errorf("cache %q: negative miss penalty", c.Name)
+	}
+	return nil
+}
+
+// SizeWords returns the cache capacity in words.
+func (c *Config) SizeWords() int { return c.Lines * c.LineWords }
+
+// Stats accumulates access counts.
+type Stats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate returns misses per access, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a direct-mapped cache instance.
+type Cache struct {
+	cfg       Config
+	tags      []int64 // -1 = invalid
+	lineShift uint
+	indexMask int64
+	stats     Stats
+}
+
+// New builds a cache from a validated configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg, tags: make([]int64, cfg.Lines)}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	for w := cfg.LineWords; w > 1; w >>= 1 {
+		c.lineShift++
+	}
+	c.indexMask = int64(cfg.Lines - 1)
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access touches the word address and returns true on a hit. On a miss the
+// line is filled (allocate on read and on write; the write-around vs.
+// write-allocate distinction is immaterial to the paper's argument, and
+// allocation keeps the model symmetric).
+func (c *Cache) Access(addr int64) bool {
+	c.stats.Accesses++
+	line := addr >> c.lineShift
+	idx := line & c.indexMask
+	if c.tags[idx] == line {
+		return true
+	}
+	c.stats.Misses++
+	c.tags[idx] = line
+	return false
+}
+
+// Probe reports whether the address would hit, without updating state.
+func (c *Cache) Probe(addr int64) bool {
+	line := addr >> c.lineShift
+	return c.tags[line&c.indexMask] == line
+}
+
+// Stats returns the accumulated access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset invalidates the cache and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	c.stats = Stats{}
+}
+
+// MissPenalty returns the configured miss penalty in minor cycles.
+func (c *Cache) MissPenalty() int { return c.cfg.MissPenalty }

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Lines: 0, LineWords: 4},
+		{Lines: 3, LineWords: 4},
+		{Lines: 4, LineWords: 0},
+		{Lines: 4, LineWords: 6},
+		{Lines: 4, LineWords: 4, MissPenalty: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v: expected error", c)
+		}
+	}
+	good := Config{Lines: 64, LineWords: 4, MissPenalty: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if good.SizeWords() != 256 {
+		t.Errorf("SizeWords = %d", good.SizeWords())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, err := New(Config{Lines: 4, LineWords: 2, MissPenalty: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0) {
+		t.Error("repeat access should hit")
+	}
+	if !c.Access(1) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(2) {
+		t.Error("next-line cold access should miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", st.MissRate())
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	// 4 lines x 1 word: addresses 0 and 4 map to the same line.
+	c, _ := New(Config{Lines: 4, LineWords: 1, MissPenalty: 1})
+	c.Access(0)
+	c.Access(4)
+	if c.Access(0) {
+		t.Error("address 0 should have been evicted by 4")
+	}
+}
+
+func TestProbeDoesNotMutate(t *testing.T) {
+	c, _ := New(Config{Lines: 4, LineWords: 1, MissPenalty: 1})
+	if c.Probe(3) {
+		t.Error("probe of cold line should be false")
+	}
+	if st := c.Stats(); st.Accesses != 0 {
+		t.Error("probe counted as access")
+	}
+	c.Access(3)
+	if !c.Probe(3) {
+		t.Error("probe after access should hit")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, _ := New(Config{Lines: 4, LineWords: 1, MissPenalty: 1})
+	c.Access(1)
+	c.Reset()
+	if c.Probe(1) {
+		t.Error("reset should invalidate")
+	}
+	if st := c.Stats(); st.Accesses != 0 || st.Misses != 0 {
+		t.Error("reset should clear stats")
+	}
+}
+
+func TestRepeatAccessAlwaysHits(t *testing.T) {
+	// Property: immediately repeating any access is a hit.
+	c, _ := New(Config{Lines: 64, LineWords: 4, MissPenalty: 10})
+	f := func(addr uint32) bool {
+		a := int64(addr)
+		c.Access(a)
+		return c.Access(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// Property: a working set no larger than the cache, with addresses
+	// mapping to distinct lines, incurs only cold misses.
+	c, _ := New(Config{Lines: 16, LineWords: 4, MissPenalty: 10})
+	for pass := 0; pass < 3; pass++ {
+		for line := 0; line < 16; line++ {
+			hit := c.Access(int64(line * 4))
+			if pass == 0 && hit {
+				t.Fatalf("pass 0 line %d: unexpected hit", line)
+			}
+			if pass > 0 && !hit {
+				t.Fatalf("pass %d line %d: unexpected miss", pass, line)
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"ilp/internal/compiler/irgen"
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+)
+
+func lower(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := irgen.Generate(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(prog, machine.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestProgramStructure(t *testing.T) {
+	res := lower(t, `
+var g: int = 42;
+var a[8]: real;
+func main() { print(g); }
+`)
+	p := res.Prog
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Entry stub: starts at 0, calls main, halts.
+	if p.Entry != 0 {
+		t.Errorf("entry = %d", p.Entry)
+	}
+	if p.Instrs[0].Op != isa.OpJal {
+		t.Errorf("first instruction %v, want jal main", &p.Instrs[0])
+	}
+	if p.Instrs[1].Op != isa.OpHalt {
+		t.Errorf("second instruction %v, want halt", &p.Instrs[1])
+	}
+	// Data segment: initialized global then zeroed array.
+	if len(p.Data) != 1+8 {
+		t.Fatalf("data = %d words", len(p.Data))
+	}
+	if p.Data[0] != 42 {
+		t.Errorf("global initializer lost: %v", p.Data[0])
+	}
+	// Mem annotations parallel the instruction stream.
+	if len(res.Mem) != len(p.Instrs) {
+		t.Fatalf("mem annotations %d != %d instructions", len(res.Mem), len(p.Instrs))
+	}
+	// Block leaders ascend and start at 0.
+	for i := 1; i < len(res.BlockStarts); i++ {
+		if res.BlockStarts[i] <= res.BlockStarts[i-1] {
+			t.Fatal("block starts not ascending")
+		}
+	}
+}
+
+func TestMemAnnotations(t *testing.T) {
+	res := lower(t, `
+var g: int;
+var a[4]: int;
+func main() {
+	var l: int;
+	l = 3;
+	g = l;
+	a[l] = g;
+	print(a[3]);
+}
+`)
+	kinds := map[ir.MemKind]int{}
+	for i := range res.Prog.Instrs {
+		kinds[res.Mem[i].Kind]++
+	}
+	if kinds[ir.MemScalar] == 0 {
+		t.Error("no scalar annotations")
+	}
+	if kinds[ir.MemArray] == 0 {
+		t.Error("no array annotations")
+	}
+	if kinds[ir.MemOut] != 1 {
+		t.Errorf("print annotations = %d, want 1", kinds[ir.MemOut])
+	}
+	// Loads/stores carry the variable name for disassembly.
+	found := false
+	for i := range res.Prog.Instrs {
+		in := &res.Prog.Instrs[i]
+		if in.Op == isa.OpSw && in.Sym == "g" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("store to g not annotated")
+	}
+}
+
+func TestCallingConvention(t *testing.T) {
+	res := lower(t, `
+func three(a, b: int, x: real): int { return a + b + trunc(x); }
+func main() { print(three(1, 2, 0.5)); }
+`)
+	d := res.Prog.Disassemble()
+	// Int args in r2, r3; fp arg in f4 (position-indexed).
+	for _, want := range []string{"mov r2,", "mov r3,", "fmov f4,", "jal", "mov r1,"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("calling convention missing %q in:\n%s", want, d)
+		}
+	}
+	// Simulate for the actual answer.
+	r, err := sim.Run(res.Prog, sim.Options{Machine: machine.Base()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Output[0].Equal(isa.IntValue(3)) {
+		t.Errorf("three(1,2,0.5) = %v", r.Output[0])
+	}
+}
+
+func TestFrameAndRecursion(t *testing.T) {
+	res := lower(t, `
+func sum(n: int): int {
+	if n == 0 { return 0; }
+	return n + sum(n - 1);
+}
+func main() { print(sum(63)); }
+`)
+	d := res.Prog.Disassemble()
+	// Non-leaf functions save and restore ra.
+	if !strings.Contains(d, "sw ra,") || !strings.Contains(d, "lw ra,") {
+		t.Error("ra save/restore missing")
+	}
+	if !strings.Contains(d, "addi sp, sp, -") {
+		t.Error("frame allocation missing")
+	}
+	r, err := sim.Run(res.Prog, sim.Options{Machine: machine.Base()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Output[0].Equal(isa.IntValue(63 * 64 / 2)) {
+		t.Errorf("sum(63) = %v", r.Output[0])
+	}
+}
+
+func TestBranchLayoutFallthrough(t *testing.T) {
+	res := lower(t, `
+var x: int;
+func main() {
+	if x > 0 { print(1); } else { print(2); }
+	print(3);
+}
+`)
+	// No unconditional jump should immediately target the next
+	// instruction (wasted J), and every branch target must be a leader.
+	leaders := map[int]bool{}
+	for _, s := range res.BlockStarts {
+		leaders[s] = true
+	}
+	for i := range res.Prog.Instrs {
+		in := &res.Prog.Instrs[i]
+		if in.Op == isa.OpJ && in.Target == i+1 {
+			t.Errorf("useless jump at %d", i)
+		}
+		if in.Op.Info().Branch && in.Op != isa.OpJr {
+			if !leaders[in.Target] {
+				t.Errorf("branch at %d targets non-leader %d", i, in.Target)
+			}
+		}
+	}
+}
+
+func TestFloatGlobalsInitialized(t *testing.T) {
+	res := lower(t, `
+var pi: real = 3.25;
+func main() { print(pi); }
+`)
+	r, err := sim.Run(res.Prog, sim.Options{Machine: machine.Base()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Output[0].Equal(isa.FloatValue(3.25)) {
+		t.Errorf("pi = %v", r.Output[0])
+	}
+}

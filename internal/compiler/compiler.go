@@ -1,0 +1,196 @@
+// Package compiler is the driver for the TL language system, mirroring the
+// paper's §3 pipeline: parse, analyze, (optionally unroll), generate IR,
+// optimize at one of the five Figure 4-8 levels, allocate registers, emit
+// machine code, and schedule it for a particular machine description.
+package compiler
+
+import (
+	"fmt"
+
+	"ilp/internal/compiler/codegen"
+	"ilp/internal/compiler/irgen"
+	"ilp/internal/compiler/opt"
+	"ilp/internal/compiler/regalloc"
+	"ilp/internal/compiler/sched"
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+	"ilp/internal/machine"
+)
+
+// Level is the cumulative optimization level, matching the x-axis of
+// Figure 4-8: "Each time we move to the right, we add a new set of
+// optimizations. In order, these are pipeline scheduling, intra-block
+// optimizations, global optimizations, and global register allocation."
+type Level int
+
+// Optimization levels.
+const (
+	// O0: no optimization at all; no scheduling.
+	O0 Level = iota
+	// O1: pipeline instruction scheduling.
+	O1
+	// O2: O1 + intra-block optimizations (constant folding, local CSE,
+	// copy propagation, store forwarding, dead code).
+	O2
+	// O3: O2 + global optimizations (loop-invariant code motion, global
+	// dead code).
+	O3
+	// O4: O3 + global register allocation of local and global variables
+	// into home registers.
+	O4
+)
+
+// String names the level like the figure's x-axis.
+func (l Level) String() string {
+	switch l {
+	case O0:
+		return "none"
+	case O1:
+		return "scheduling"
+	case O2:
+		return "scheduling+local"
+	case O3:
+		return "scheduling+local+global"
+	case O4:
+		return "scheduling+local+global+regalloc"
+	}
+	return fmt.Sprintf("O%d", int(l))
+}
+
+// Options configures a compilation.
+type Options struct {
+	// Machine is the target description: the scheduler uses its
+	// latencies, the register allocator its temporary/home split.
+	// Defaults to machine.Base().
+	Machine *machine.Config
+	// Level is the optimization level (default O4, the paper's standard
+	// configuration for §4.1–4.3).
+	Level Level
+	// Unroll duplicates eligible innermost loop bodies by this factor
+	// (≤ 1 disables).
+	Unroll int
+	// Careful enables the careful-unrolling pipeline: reassociation of
+	// reduction chains and memory disambiguation in the scheduler
+	// (§4.4: "careful unrolling goes farther").
+	Careful bool
+	// NoSchedule forces scheduling off regardless of level (used by the
+	// scheduling ablation).
+	NoSchedule bool
+}
+
+// Compiled is a fully lowered program ready for simulation.
+type Compiled struct {
+	Prog *isa.Program
+	// Mem annotates each instruction (parallel to Prog.Instrs).
+	Mem []ir.MemRef
+	// BlockStarts lists basic-block leader indices.
+	BlockStarts []int
+	// Info is the semantic analysis result (the reference interpreter
+	// runs from it).
+	Info *sem.Info
+	// IR is the optimized intermediate form, for inspection and tests.
+	IR *ir.Program
+	// UnrolledLoops counts how many loops the unroller transformed.
+	UnrolledLoops int
+}
+
+// Compile runs the full pipeline on TL source text.
+func Compile(src string, opts Options) (*Compiled, error) {
+	cfg := opts.Machine
+	if cfg == nil {
+		cfg = machine.Base()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: %w", err)
+	}
+
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	unrolled := 0
+	if opts.Unroll > 1 {
+		unrolled = opt.UnrollLoops(prog, opts.Unroll)
+	}
+
+	irProg, err := irgen.Generate(info)
+	if err != nil {
+		return nil, err
+	}
+
+	applyOptimizations(irProg, cfg, opts)
+
+	if err := irProg.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: optimizer produced invalid IR: %w", err)
+	}
+
+	res, err := codegen.Generate(irProg, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.Level >= O1 && !opts.NoSchedule {
+		sched.Schedule(res.Prog, res.Mem, res.BlockStarts, cfg, sched.Options{Careful: opts.Careful})
+	}
+
+	return &Compiled{
+		Prog:          res.Prog,
+		Mem:           res.Mem,
+		BlockStarts:   res.BlockStarts,
+		Info:          info,
+		IR:            irProg,
+		UnrolledLoops: unrolled,
+	}, nil
+}
+
+func applyOptimizations(irProg *ir.Program, cfg *machine.Config, opts Options) {
+	local := func() {
+		for _, f := range irProg.Funcs {
+			for round := 0; round < 3; round++ {
+				changed := opt.ConstFold(f)
+				if opt.LocalCSE(f) {
+					changed = true
+				}
+				if opt.DeadCode(f) {
+					changed = true
+				}
+				if !changed {
+					break
+				}
+			}
+		}
+	}
+	if opts.Level >= O2 {
+		local()
+	}
+	if opts.Level >= O3 {
+		for _, f := range irProg.Funcs {
+			opt.LoopInvariant(f)
+		}
+		local()
+	}
+	if opts.Careful {
+		// Reassociation needs store forwarding to expose reduction
+		// chains as register chains; ensure at least one local round
+		// even below O2.
+		if opts.Level < O2 {
+			local()
+		}
+		for _, f := range irProg.Funcs {
+			opt.Reassociate(f)
+		}
+		local()
+	}
+	if opts.Level >= O4 {
+		regalloc.PromoteHomes(irProg, cfg)
+		// Clean the promotion moves: uses read home registers directly.
+		local()
+	}
+}

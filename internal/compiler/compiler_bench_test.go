@@ -1,0 +1,61 @@
+package compiler
+
+import (
+	"testing"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/machine"
+)
+
+// BenchmarkCompileSuite measures full-pipeline compile speed over the whole
+// benchmark suite at the paper's standard options.
+func BenchmarkCompileSuite(b *testing.B) {
+	suite := benchmarks.All()
+	m := machine.Base()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bm := range suite {
+			if _, err := Compile(bm.Source, Options{Machine: m, Level: O4, Unroll: bm.DefaultUnroll}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompileLevels compares the cost of each optimization level on
+// the largest benchmark.
+func BenchmarkCompileLevels(b *testing.B) {
+	bm, err := benchmarks.ByName("livermore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for lvl := O0; lvl <= O4; lvl++ {
+		lvl := lvl
+		b.Run(lvl.String(), func(b *testing.B) {
+			m := machine.Base()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(bm.Source, Options{Machine: m, Level: lvl}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileCarefulUnroll10 is the most expensive configuration the
+// experiments use.
+func BenchmarkCompileCarefulUnroll10(b *testing.B) {
+	bm, err := benchmarks.ByName("linpack")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := machine.IdealSuperscalar(8)
+	m.IntTemps, m.FPTemps = machine.WideTemps, machine.WideTemps
+	m.IntHomes, m.FPHomes = 10, 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(bm.Source, Options{Machine: m, Level: O4, Unroll: 10, Careful: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"ilp/internal/isa"
+	"ilp/internal/lang/interp"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+)
+
+// interpret runs the reference interpreter on the source.
+func interpret(t *testing.T, src string) []isa.Value {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	out, err := interp.Run(info)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return out
+}
+
+// simulate compiles with opts and runs on the machine embedded in opts.
+func simulate(t *testing.T, src string, opts Options) (*Compiled, *sim.Result) {
+	t.Helper()
+	c, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile (%+v): %v", opts, err)
+	}
+	cfg := opts.Machine
+	if cfg == nil {
+		cfg = machine.Base()
+	}
+	r, err := sim.Run(c.Prog, sim.Options{Machine: cfg})
+	if err != nil {
+		t.Fatalf("sim (%+v): %v\n%s", opts, err, c.Prog.Disassemble())
+	}
+	return c, r
+}
+
+func checkSame(t *testing.T, label string, got, want []isa.Value, approx bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		ok := got[i].Equal(want[i])
+		if approx {
+			ok = got[i].ApproxEqual(want[i], 1e-9)
+		}
+		if !ok {
+			t.Errorf("%s: output[%d] = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// differential compiles the program at every optimization level, on several
+// machine descriptions, and compares simulated output with the interpreter.
+func differential(t *testing.T, name, src string) {
+	t.Helper()
+	want := interpret(t, src)
+	machines := []*machine.Config{
+		machine.Base(),
+		machine.MultiTitan(),
+		machine.CRAY1(),
+		machine.IdealSuperscalar(4),
+		machine.Superpipelined(3),
+	}
+	for lvl := O0; lvl <= O4; lvl++ {
+		for _, m := range machines {
+			label := fmt.Sprintf("%s/%v/%s", name, lvl, m.Name)
+			_, r := simulate(t, src, Options{Machine: m.Clone(), Level: lvl})
+			checkSame(t, label, r.Output, want, false)
+		}
+	}
+	// Unrolled variants.
+	for _, k := range []int{2, 4} {
+		label := fmt.Sprintf("%s/unroll%d", name, k)
+		_, r := simulate(t, src, Options{Machine: machine.Base(), Level: O4, Unroll: k})
+		checkSame(t, label, r.Output, want, false)
+		label = fmt.Sprintf("%s/unroll%d-careful", name, k)
+		_, r = simulate(t, src, Options{Machine: machine.Base(), Level: O4, Unroll: k, Careful: true})
+		checkSame(t, label, r.Output, want, true)
+	}
+}
+
+func TestDifferentialBasics(t *testing.T) {
+	differential(t, "arith", `
+func main() {
+	var a, b: int;
+	a = 6; b = 7;
+	print(a * b + a / b - a % b);
+	print((a + b) * (a - b));
+	var x: real;
+	x = 2.0;
+	print(x * x + 1.0 / x - x);
+	print(float(a) * 1.5);
+	print(trunc(9.99));
+	print(iabs(3 - 10));
+}
+`)
+}
+
+func TestDifferentialControlFlow(t *testing.T) {
+	differential(t, "control", `
+var limit: int = 12;
+func collatz(n: int): int {
+	var steps: int;
+	steps = 0;
+	while n != 1 {
+		if n % 2 == 0 { n = n / 2; } else { n = 3 * n + 1; }
+		steps = steps + 1;
+	}
+	return steps;
+}
+func main() {
+	var i: int;
+	for i = 1 to limit { print(collatz(i)); }
+}
+`)
+}
+
+func TestDifferentialArrays(t *testing.T) {
+	differential(t, "arrays", `
+var a[32]: int;
+var m[4, 4]: real;
+func main() {
+	var i, j: int;
+	for i = 0 to 31 { a[i] = i * i - 5 * i; }
+	var s: int;
+	s = 0;
+	for i = 0 to 31 { s = s + a[i]; }
+	print(s);
+	for i = 0 to 3 {
+		for j = 0 to 3 {
+			m[i, j] = float(i) * 10.0 + float(j);
+		}
+	}
+	var tr: real;
+	tr = 0.0;
+	for i = 0 to 3 { tr = tr + m[i, i]; }
+	print(tr);
+	print(a[0] + a[31]);
+}
+`)
+}
+
+func TestDifferentialRecursionAndCalls(t *testing.T) {
+	differential(t, "recursion", `
+var depth: int;
+func ack(m, n: int): int {
+	if m == 0 { return n + 1; }
+	if n == 0 { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+func fib(n: int): int {
+	if n < 2 { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func scale(x: real, k: real): real { return x * k; }
+func main() {
+	print(ack(2, 3));
+	print(fib(12));
+	print(scale(scale(2.0, 3.0), 0.5));
+}
+`)
+}
+
+func TestDifferentialGlobalsAndHomes(t *testing.T) {
+	// Exercises global register allocation: hot globals, parameter
+	// promotion, and a recursive function whose locals must stay in
+	// memory.
+	differential(t, "globals", `
+var counter: int = 100;
+var accum: real = 0.5;
+func bump(amount: int) {
+	counter = counter + amount;
+}
+func deep(n: int): int {
+	var local: int;
+	local = n * 2;
+	if n > 0 {
+		local = local + deep(n - 1);
+	}
+	return local;
+}
+func main() {
+	var i: int;
+	for i = 1 to 10 { bump(i); }
+	print(counter);
+	accum = accum * 2.0;
+	print(accum);
+	print(deep(5));
+}
+`)
+}
+
+func TestDifferentialReductions(t *testing.T) {
+	// Reduction chains: the careful pipeline reassociates these, so the
+	// approximate comparison path matters here.
+	differential(t, "reductions", `
+var x[64]: real;
+var y[64]: real;
+func main() {
+	var i: int;
+	for i = 0 to 63 {
+		x[i] = float(i) * 0.25;
+		y[i] = float(63 - i) * 0.5;
+	}
+	var dot: real;
+	dot = 0.0;
+	for i = 0 to 63 { dot = dot + x[i] * y[i]; }
+	print(dot);
+	var prod: real;
+	prod = 1.0;
+	for i = 1 to 8 { prod = prod * (1.0 + float(i) * 0.125); }
+	print(prod);
+}
+`)
+}
+
+func TestDifferentialDaxpyStyle(t *testing.T) {
+	// The linpack inner loop shape: y[i] = y[i] + a*x[i], with stores
+	// that careful mode must disambiguate from the next copy's loads.
+	differential(t, "daxpy", `
+var x[128]: real;
+var y[128]: real;
+func main() {
+	var i: int;
+	for i = 0 to 127 {
+		x[i] = float(i % 7) + 0.5;
+		y[i] = float(i % 11) * 2.0;
+	}
+	var a: real;
+	a = 2.5;
+	for i = 0 to 127 {
+		y[i] = y[i] + a * x[i];
+	}
+	var s: real;
+	s = 0.0;
+	for i = 0 to 127 { s = s + y[i]; }
+	print(s);
+}
+`)
+}
+
+func TestDifferentialShortCircuit(t *testing.T) {
+	differential(t, "shortcircuit", `
+var zero: int;
+func boom(): bool { return 1 / zero == 0; }
+func main() {
+	var p: bool;
+	p = false && boom();
+	if !p { print(1); }
+	p = true || boom();
+	if p { print(2); }
+	var a, b: int;
+	a = 3; b = 4;
+	if a < b && b < 10 || a == 0 { print(3); }
+	p = a > b;
+	print(5);
+}
+`)
+}
+
+func TestDifferentialBreakAndWhile(t *testing.T) {
+	differential(t, "break", `
+var probe[50]: int;
+func main() {
+	var i, found: int;
+	found = -1;
+	probe[37] = 9;
+	i = 0;
+	while i < 50 {
+		if probe[i] == 9 { found = i; break; }
+		i = i + 1;
+	}
+	print(found);
+	var c: int;
+	c = 0;
+	for i = 0 to 99 {
+		if i % 3 == 0 { c = c + 1; }
+	}
+	print(c);
+}
+`)
+}
+
+func TestDifferentialMathBuiltins(t *testing.T) {
+	differential(t, "math", `
+func main() {
+	var t: real;
+	t = 0.5;
+	print(sqrt(t * 2.0));
+	print(sin(t) * sin(t) + cos(t) * cos(t));
+	print(atan(1.0) * 4.0);
+	print(exp(0.0));
+	print(log(exp(2.0)));
+	print(abs(-1.25));
+}
+`)
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		`func main() { x = 1; }`,
+		`func main() { `,
+		`var a[2]: bool; func main() {}`,
+	}
+	for _, src := range bad {
+		if _, err := Compile(src, Options{}); err == nil {
+			t.Errorf("%q: expected compile error", src)
+		}
+	}
+}
+
+func TestOptimizationReducesInstructions(t *testing.T) {
+	src := `
+var a[64]: int;
+var total: int;
+func main() {
+	var i: int;
+	for i = 0 to 63 { a[i] = i * 2; }
+	for i = 0 to 63 { total = total + a[i] + a[i]; }
+	print(total);
+}
+`
+	counts := map[Level]int64{}
+	for lvl := O0; lvl <= O4; lvl++ {
+		_, r := simulate(t, src, Options{Machine: machine.Base(), Level: lvl})
+		counts[lvl] = r.Instructions
+	}
+	if !(counts[O4] < counts[O0]) {
+		t.Errorf("O4 (%d instrs) not smaller than O0 (%d)", counts[O4], counts[O0])
+	}
+	if !(counts[O2] <= counts[O1]) {
+		t.Errorf("local opt grew the program: O2 %d > O1 %d", counts[O2], counts[O1])
+	}
+}
+
+func TestSchedulingImprovesLatencyBoundCode(t *testing.T) {
+	// Two independent chains on a long-latency machine: scheduling should
+	// interleave them.
+	src := `
+var x[32]: real;
+var y[32]: real;
+func main() {
+	var i: int;
+	for i = 0 to 31 { x[i] = float(i) + 0.25; y[i] = float(i) * 0.5; }
+	var s1, s2: real;
+	s1 = 0.0; s2 = 0.0;
+	for i = 0 to 31 {
+		s1 = s1 + x[i] * 1.5;
+		s2 = s2 + y[i] * 2.5;
+	}
+	print(s1 + s2);
+}
+`
+	m := machine.MultiTitan()
+	_, unsched := simulate(t, src, Options{Machine: m.Clone(), Level: O4, NoSchedule: true})
+	_, sched := simulate(t, src, Options{Machine: m.Clone(), Level: O4})
+	if !(float64(sched.MinorCycles) < float64(unsched.MinorCycles)) {
+		t.Errorf("scheduling did not help: %d vs %d minor cycles", sched.MinorCycles, unsched.MinorCycles)
+	}
+}
+
+func TestUnrollingHappens(t *testing.T) {
+	src := `
+var v[100]: int;
+func main() {
+	var i, s: int;
+	s = 0;
+	for i = 0 to 99 { v[i] = i; }
+	for i = 0 to 99 { s = s + v[i]; }
+	print(s);
+}
+`
+	c, err := Compile(src, Options{Machine: machine.Base(), Level: O4, Unroll: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.UnrolledLoops != 2 {
+		t.Errorf("unrolled %d loops, want 2", c.UnrolledLoops)
+	}
+	// Branch count should drop roughly 4x on the unrolled version.
+	r4, err := sim.Run(c.Prog, sim.Options{Machine: machine.Base()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := Compile(src, Options{Machine: machine.Base(), Level: O4})
+	r1, err := sim.Run(c1.Prog, sim.Options{Machine: machine.Base()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := r1.ClassCounts[isa.ClassBranch]
+	b4 := r4.ClassCounts[isa.ClassBranch]
+	if !(b4 < b1*2/3) {
+		t.Errorf("unrolling did not reduce branches: %d vs %d", b4, b1)
+	}
+}
+
+func TestCarefulUnrollingExposesParallelism(t *testing.T) {
+	// On a wide ideal machine, careful 4x unrolling of a reduction must
+	// beat naive 4x unrolling (reassociation breaks the serial chain and
+	// disambiguation frees the loads), reproducing Figure 4-6's gap.
+	src := `
+var x[256]: real;
+var y[256]: real;
+func main() {
+	var i: int;
+	for i = 0 to 255 { x[i] = float(i) * 0.5; y[i] = 1.0; }
+	var s: real;
+	s = 0.0;
+	for i = 0 to 255 {
+		y[i] = y[i] + 2.0 * x[i];
+		s = s + x[i];
+	}
+	print(s);
+}
+`
+	m := machine.IdealSuperscalar(8)
+	m.IntTemps, m.FPTemps = machine.WideTemps, machine.WideTemps
+	m.IntHomes, m.FPHomes = 10, 10
+	_, naive := simulate(t, src, Options{Machine: m.Clone(), Level: O4, Unroll: 4})
+	_, careful := simulate(t, src, Options{Machine: m.Clone(), Level: O4, Unroll: 4, Careful: true})
+	if !(careful.BaseCycles < naive.BaseCycles) {
+		t.Errorf("careful unrolling (%1.f cycles) did not beat naive (%1.f cycles)",
+			careful.BaseCycles, naive.BaseCycles)
+	}
+}

@@ -1,0 +1,245 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ilp/internal/isa"
+	"ilp/internal/lang/interp"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+)
+
+// progGen generates random but well-defined TL programs: every array index
+// is masked into range, divisors are forced non-zero, loops are bounded,
+// and floats stay away from overflow — so the reference interpreter and
+// the compiled simulation must agree exactly at every optimization level.
+type progGen struct {
+	r    *rand.Rand
+	b    strings.Builder
+	vars []string // readable int scalars (includes loop counters)
+	// writable excludes loop counters: assigning a counter inside its
+	// own loop could loop forever.
+	writable []string
+	// active marks loop counters currently driving an enclosing loop, so
+	// a nested loop never reuses one (which could reset it forever).
+	active map[string]bool
+}
+
+func (g *progGen) pick(list []string) string { return list[g.r.Intn(len(list))] }
+
+// intExpr emits a well-defined int expression of bounded depth.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(200)-100)
+		case 1:
+			return g.pick(g.vars)
+		default:
+			return fmt.Sprintf("arr[iabs(%s) %% 32]", g.pick(g.vars))
+		}
+	}
+	a := g.intExpr(depth - 1)
+	b := g.intExpr(depth - 1)
+	switch g.r.Intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * (%s %% 7))", a, b)
+	case 3:
+		return fmt.Sprintf("(%s / (iabs(%s) %% 9 + 1))", a, b)
+	case 4:
+		return fmt.Sprintf("(%s %% (iabs(%s) %% 9 + 1))", a, b)
+	default:
+		return fmt.Sprintf("iabs(%s)", a)
+	}
+}
+
+func (g *progGen) cond(depth int) string {
+	a := g.intExpr(depth)
+	b := g.intExpr(depth)
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	c := fmt.Sprintf("%s %s %s", a, ops[g.r.Intn(len(ops))], b)
+	if depth > 0 && g.r.Intn(3) == 0 {
+		c2 := g.cond(depth - 1)
+		if g.r.Intn(2) == 0 {
+			return fmt.Sprintf("(%s) && (%s)", c, c2)
+		}
+		return fmt.Sprintf("(%s) || (%s)", c, c2)
+	}
+	return c
+}
+
+func (g *progGen) stmt(depth, indent int) {
+	pad := strings.Repeat("\t", indent)
+	switch g.r.Intn(9) {
+	case 0, 1: // assignment
+		fmt.Fprintf(&g.b, "%s%s = %s;\n", pad, g.pick(g.writable), g.intExpr(2))
+	case 2: // array store
+		fmt.Fprintf(&g.b, "%sarr[iabs(%s) %% 32] = %s;\n", pad, g.intExpr(1), g.intExpr(2))
+	case 6, 7: // floating-point accumulator updates (exact: no reassoc here)
+		switch g.r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.b, "%sfr = fr * 0.5 + float(%s) * 0.25;\n", pad, g.intExpr(1))
+		case 1:
+			fmt.Fprintf(&g.b, "%sfr = fr - float(%s) / 8.0;\n", pad, g.intExpr(1))
+		default:
+			fmt.Fprintf(&g.b, "%sif fr > 100.0 { fr = fr * 0.125; } else { fr = fr + 1.5; }\n", pad)
+		}
+	case 8: // float print
+		fmt.Fprintf(&g.b, "%sprint(fr);\n", pad)
+	case 3: // if
+		fmt.Fprintf(&g.b, "%sif %s {\n", pad, g.cond(1))
+		g.stmt(depth-1, indent+1)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.b, "%s} else {\n", pad)
+			g.stmt(depth-1, indent+1)
+		}
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+	case 4: // bounded counted loop over a fresh, unused counter
+		v := ""
+		for _, cand := range []string{"k0", "k1", "k2"} {
+			if !g.active[cand] {
+				v = cand
+				break
+			}
+		}
+		if v == "" { // all counters busy: fall back to an assignment
+			fmt.Fprintf(&g.b, "%s%s = %s;\n", pad, g.pick(g.writable), g.intExpr(2))
+			return
+		}
+		g.active[v] = true
+		fmt.Fprintf(&g.b, "%sfor %s = 0 to %d {\n", pad, v, 2+g.r.Intn(6))
+		if depth > 0 {
+			g.stmt(depth-1, indent+1)
+		} else {
+			fmt.Fprintf(&g.b, "%s\tchk = chk + %s;\n", pad, v)
+		}
+		fmt.Fprintf(&g.b, "%s}\n", pad)
+		g.active[v] = false
+	default: // print
+		fmt.Fprintf(&g.b, "%sprint(%s);\n", pad, g.intExpr(2))
+	}
+}
+
+func (g *progGen) generate(stmts int) string {
+	g.b.Reset()
+	g.vars = []string{"g0", "g1", "g2", "t0", "t1", "chk", "k0", "k1", "k2"}
+	g.writable = []string{"g0", "g1", "g2", "t0", "t1", "chk"}
+	g.active = map[string]bool{}
+	g.b.WriteString("var g0: int = 3;\nvar g1: int = -7;\nvar g2, chk: int;\nvar arr[32]: int;\n")
+	g.b.WriteString("func helper(x: int): int { return x * 2 - 5; }\n")
+	g.b.WriteString("func main() {\n\tvar t0, t1, k0, k1, k2: int;\n\tvar fr: real;\n")
+	g.b.WriteString("\tt0 = helper(g0);\n\tt1 = helper(g1);\n")
+	for i := 0; i < stmts; i++ {
+		g.stmt(2, 1)
+	}
+	g.b.WriteString("\tprint(chk);\n\tprint(t0 + t1);\n\tprint(fr);\n")
+	g.b.WriteString("\tvar j: int;\n\tfor j = 0 to 31 { chk = chk + arr[j]; }\n\tprint(chk);\n")
+	g.b.WriteString("}\n")
+	return g.b.String()
+}
+
+// TestRandomProgramsDifferential is the pipeline's property test: for many
+// random programs, simulated output at every optimization level on several
+// machines must equal the reference interpreter's output exactly.
+func TestRandomProgramsDifferential(t *testing.T) {
+	iterations := 60
+	if testing.Short() {
+		iterations = 10
+	}
+	machines := []*machine.Config{
+		machine.Base(),
+		machine.MultiTitan(),
+		machine.IdealSuperscalar(4),
+		machine.Superpipelined(3),
+	}
+	for seed := 0; seed < iterations; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(seed)))}
+		src := g.generate(6)
+
+		p, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		info, err := sem.Analyze(p)
+		if err != nil {
+			t.Fatalf("seed %d: sem: %v\n%s", seed, err, src)
+		}
+		want, err := interp.RunLimited(info, 1<<24)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
+		}
+
+		for lvl := O0; lvl <= O4; lvl++ {
+			for _, m := range machines {
+				// Also exercise the unroller periodically.
+				unroll := 0
+				if seed%3 == 0 {
+					unroll = 3
+				}
+				c, err := Compile(src, Options{Machine: m.Clone(), Level: lvl, Unroll: unroll})
+				if err != nil {
+					t.Fatalf("seed %d %v/%s: compile: %v\n%s", seed, lvl, m.Name, err, src)
+				}
+				r, err := sim.Run(c.Prog, sim.Options{Machine: m, MaxInstructions: 1 << 26})
+				if err != nil {
+					t.Fatalf("seed %d %v/%s: sim: %v\n%s", seed, lvl, m.Name, err, src)
+				}
+				if len(r.Output) != len(want) {
+					t.Fatalf("seed %d %v/%s: %d outputs, want %d\n%s", seed, lvl, m.Name, len(r.Output), len(want), src)
+				}
+				for i := range want {
+					if !r.Output[i].Equal(want[i]) {
+						t.Fatalf("seed %d %v/%s: output[%d] = %v, want %v\n%s",
+							seed, lvl, m.Name, i, r.Output[i], want[i], src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramsTimingSanity: for random programs, wider machines never
+// take more base cycles than the base machine, and superpipelined time in
+// base cycles never beats the ideal superscalar of the same degree by more
+// than rounding (supersymmetry as an invariant).
+func TestRandomProgramsTimingSanity(t *testing.T) {
+	iterations := 20
+	if testing.Short() {
+		iterations = 5
+	}
+	for seed := 100; seed < 100+iterations; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(seed)))}
+		src := g.generate(5)
+		cycles := func(m *machine.Config) float64 {
+			c, err := Compile(src, Options{Machine: m.Clone(), Level: O4})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			r, err := sim.Run(c.Prog, sim.Options{Machine: m})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return r.BaseCycles
+		}
+		base := cycles(machine.Base())
+		ss4 := cycles(machine.IdealSuperscalar(4))
+		sp4 := cycles(machine.Superpipelined(4))
+		if ss4 > base*1.0001 {
+			t.Errorf("seed %d: 4-wide (%v) slower than base (%v)", seed, ss4, base)
+		}
+		if sp4 < ss4*0.999 {
+			t.Errorf("seed %d: superpipelined (%v base cycles) beats superscalar (%v)", seed, sp4, ss4)
+		}
+	}
+}
+
+var _ = isa.NumClasses

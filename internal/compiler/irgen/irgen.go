@@ -1,0 +1,674 @@
+// Package irgen lowers checked TL syntax trees to the IR. The translation
+// is deliberately naive — every named variable lives in memory, every
+// expression result gets a fresh virtual register, address arithmetic is
+// explicit — because the paper's measurements start from unoptimized code
+// ("the leftmost point is the parallelism with no optimization at all",
+// Figure 4-8) and the optimization passes must be able to earn their keep.
+package irgen
+
+import (
+	"fmt"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/sem"
+	"ilp/internal/lang/token"
+)
+
+// MaxArgs is the number of register-passed arguments supported by the
+// calling convention.
+const MaxArgs = isa.NArgs
+
+// Generate lowers the whole program.
+func Generate(info *sem.Info) (*ir.Program, error) {
+	prog := &ir.Program{Info: info}
+	for _, fd := range info.Program.Funcs {
+		fi := info.Funcs[fd.Name]
+		f, err := genFunc(info, fi)
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("irgen: internal error: %w", err)
+	}
+	return prog, nil
+}
+
+type gen struct {
+	info  *sem.Info
+	f     *ir.Func
+	cur   *ir.Block
+	brk   []*ir.Block // break targets, innermost last
+	decls map[*ast.VarDecl]*ast.Symbol
+}
+
+func genFunc(info *sem.Info, fi *sem.FuncInfo) (*ir.Func, error) {
+	if len(fi.Decl.Params) > MaxArgs {
+		return nil, fmt.Errorf("irgen: %s: more than %d parameters unsupported", fi.Decl.Name, MaxArgs)
+	}
+	f := &ir.Func{Name: fi.Decl.Name, Decl: fi.Decl, Info: fi}
+	g := &gen{info: info, f: f, decls: map[*ast.VarDecl]*ast.Symbol{}}
+	for _, sym := range fi.Locals {
+		if d, ok := sym.Decl.(*ast.VarDecl); ok {
+			g.decls[d] = sym
+		}
+	}
+	g.cur = f.NewBlock()
+	if err := g.genBlockStmts(fi.Decl.Body); err != nil {
+		return nil, err
+	}
+	// Fall off the end: implicit return (zero value for result functions,
+	// matching the reference interpreter).
+	if g.cur != nil {
+		g.genImplicitReturn()
+	}
+	f.RemoveUnreachable()
+	return f, nil
+}
+
+func (g *gen) genImplicitReturn() {
+	switch g.f.Decl.Result {
+	case ast.Void:
+		g.emit(ir.Instr{Kind: ir.KRet, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+	case ast.Real:
+		r := g.f.NewReg(ir.RFP)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpFli, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg})
+		g.emit(ir.Instr{Kind: ir.KRet, Dst: ir.NoReg, Src1: r, Src2: ir.NoReg})
+	default:
+		r := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg})
+		g.emit(ir.Instr{Kind: ir.KRet, Dst: ir.NoReg, Src1: r, Src2: ir.NoReg})
+	}
+	g.cur = nil
+}
+
+func (g *gen) emit(in ir.Instr) {
+	g.cur.Instrs = append(g.cur.Instrs, in)
+}
+
+// startBlock switches emission to a new current block.
+func (g *gen) startBlock(b *ir.Block) { g.cur = b }
+
+func regClassOf(t ast.Type) ir.RegClass {
+	if t == ast.Real {
+		return ir.RFP
+	}
+	return ir.RInt
+}
+
+func (g *gen) genBlockStmts(b *ast.Block) error {
+	for _, s := range b.Stmts {
+		if g.cur == nil {
+			// Unreachable code after return/break: skip, matching the
+			// interpreter (it never executes it either).
+			return nil
+		}
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) genStmt(s ast.Stmt) error {
+	switch st := s.(type) {
+	case *ast.Block:
+		return g.genBlockStmts(st)
+
+	case *ast.LocalDecl:
+		sym := g.decls[st.Decl]
+		var v ir.Reg
+		if st.Decl.Init != nil {
+			var err error
+			v, err = g.genExpr(st.Decl.Init)
+			if err != nil {
+				return err
+			}
+		} else {
+			// Zero-initialize, matching the interpreter.
+			v = g.f.NewReg(regClassOf(st.Decl.Type))
+			if st.Decl.Type == ast.Real {
+				g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpFli, Dst: v, Src1: ir.NoReg, Src2: ir.NoReg})
+			} else {
+				g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: v, Src1: ir.NoReg, Src2: ir.NoReg})
+			}
+		}
+		g.emit(ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: v, Src2: ir.NoReg, Sym: sym})
+		return nil
+
+	case *ast.Assign:
+		v, err := g.genExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		switch lhs := st.LHS.(type) {
+		case *ast.VarRef:
+			g.emit(ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: v, Src2: ir.NoReg, Sym: lhs.Sym})
+			return nil
+		case *ast.IndexRef:
+			idx, err := g.genLinearIndex(lhs)
+			if err != nil {
+				return err
+			}
+			g.emit(ir.Instr{Kind: ir.KStoreElem, Dst: ir.NoReg, Src1: idx, Src2: v, Sym: lhs.Sym})
+			return nil
+		}
+		return fmt.Errorf("irgen: bad assignment target %T", st.LHS)
+
+	case *ast.If:
+		thenB := g.f.NewBlock()
+		joinB := g.f.NewBlock()
+		elseB := joinB
+		if st.Else != nil {
+			elseB = g.f.NewBlock()
+		}
+		if err := g.genCond(st.Cond, thenB, elseB); err != nil {
+			return err
+		}
+		g.startBlock(thenB)
+		if err := g.genBlockStmts(st.Then); err != nil {
+			return err
+		}
+		if g.cur != nil {
+			g.emit(ir.Instr{Kind: ir.KJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Targets: [2]*ir.Block{joinB}})
+		}
+		if st.Else != nil {
+			g.startBlock(elseB)
+			if err := g.genStmt(st.Else); err != nil {
+				return err
+			}
+			if g.cur != nil {
+				g.emit(ir.Instr{Kind: ir.KJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Targets: [2]*ir.Block{joinB}})
+			}
+		}
+		g.startBlock(joinB)
+		return nil
+
+	case *ast.While:
+		// Rotated (bottom-test) form: the entry test and the loop-back
+		// test each evaluate the condition, preserving the original's
+		// evaluation sequence while leaving one block — and one taken
+		// branch — per iteration, which is what the pipeline scheduler
+		// wants to see.
+		body := g.f.NewBlock()
+		exit := g.f.NewBlock()
+		if err := g.genCond(st.Cond, body, exit); err != nil {
+			return err
+		}
+		g.startBlock(body)
+		g.brk = append(g.brk, exit)
+		err := g.genBlockStmts(st.Body)
+		g.brk = g.brk[:len(g.brk)-1]
+		if err != nil {
+			return err
+		}
+		if g.cur != nil {
+			if err := g.genCond(st.Cond, body, exit); err != nil {
+				return err
+			}
+		}
+		g.startBlock(exit)
+		return nil
+
+	case *ast.For:
+		return g.genFor(st)
+
+	case *ast.Return:
+		if st.Value == nil {
+			g.emit(ir.Instr{Kind: ir.KRet, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+			g.cur = nil
+			return nil
+		}
+		v, err := g.genExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		g.emit(ir.Instr{Kind: ir.KRet, Dst: ir.NoReg, Src1: v, Src2: ir.NoReg})
+		g.cur = nil
+		return nil
+
+	case *ast.Break:
+		g.emit(ir.Instr{Kind: ir.KJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg,
+			Targets: [2]*ir.Block{g.brk[len(g.brk)-1]}})
+		g.cur = nil
+		return nil
+
+	case *ast.Print:
+		v, err := g.genExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		op := isa.OpPrinti
+		if st.Value.Type() == ast.Real {
+			op = isa.OpPrintf
+		}
+		g.emit(ir.Instr{Kind: ir.KPrint, Op: op, Dst: ir.NoReg, Src1: v, Src2: ir.NoReg})
+		return nil
+
+	case *ast.ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+	}
+	return fmt.Errorf("irgen: unhandled statement %T", s)
+}
+
+// genFor lowers the counted loop in rotated (bottom-test) form:
+//
+//	i = lo; hiTmp = hi
+//	t = load i; if t > hiTmp goto exit   (entry guard)
+//	body:  ...
+//	       t = load i; store i, t+step
+//	       if t+step <= hiTmp goto body  (back test)
+//	exit:
+func (g *gen) genFor(st *ast.For) error {
+	lo, err := g.genExpr(st.Lo)
+	if err != nil {
+		return err
+	}
+	g.emit(ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: lo, Src2: ir.NoReg, Sym: st.Var.Sym})
+	hi, err := g.genExpr(st.Hi)
+	if err != nil {
+		return err
+	}
+	body := g.f.NewBlock()
+	exit := g.f.NewBlock()
+
+	iv := g.f.NewReg(ir.RInt)
+	g.emit(ir.Instr{Kind: ir.KLoadVar, Dst: iv, Src1: ir.NoReg, Src2: ir.NoReg, Sym: st.Var.Sym})
+	g.emit(ir.Instr{Kind: ir.KBr, Op: isa.OpBgt, Dst: ir.NoReg, Src1: iv, Src2: hi,
+		Targets: [2]*ir.Block{exit, body}})
+
+	g.startBlock(body)
+	g.brk = append(g.brk, exit)
+	err = g.genBlockStmts(st.Body)
+	g.brk = g.brk[:len(g.brk)-1]
+	if err != nil {
+		return err
+	}
+	if g.cur != nil {
+		iv2 := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KLoadVar, Dst: iv2, Src1: ir.NoReg, Src2: ir.NoReg, Sym: st.Var.Sym})
+		next := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpAddi, Dst: next, Src1: iv2, Src2: ir.NoReg, Imm: st.Step})
+		g.emit(ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: next, Src2: ir.NoReg, Sym: st.Var.Sym})
+		g.emit(ir.Instr{Kind: ir.KBr, Op: isa.OpBle, Dst: ir.NoReg, Src1: next, Src2: hi,
+			Targets: [2]*ir.Block{body, exit}})
+	}
+	g.startBlock(exit)
+	return nil
+}
+
+// genLinearIndex computes the row-major linear element index of an array
+// reference into a register.
+func (g *gen) genLinearIndex(x *ast.IndexRef) (ir.Reg, error) {
+	idx, err := g.genExpr(x.Index[0])
+	if err != nil {
+		return ir.NoReg, err
+	}
+	for d := 1; d < len(x.Index); d++ {
+		ext := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: ext, Src1: ir.NoReg, Src2: ir.NoReg, Imm: int64(x.Sym.Dims[d])})
+		scaled := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpMul, Dst: scaled, Src1: idx, Src2: ext})
+		next, err := g.genExpr(x.Index[d])
+		if err != nil {
+			return ir.NoReg, err
+		}
+		sum := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpAdd, Dst: sum, Src1: scaled, Src2: next})
+		idx = sum
+	}
+	return idx, nil
+}
+
+// genCond emits control flow for a boolean expression.
+func (g *gen) genCond(e ast.Expr, t, f *ir.Block) error {
+	switch x := e.(type) {
+	case *ast.BoolLit:
+		tgt := f
+		if x.Value {
+			tgt = t
+		}
+		g.emit(ir.Instr{Kind: ir.KJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Targets: [2]*ir.Block{tgt}})
+		g.cur = nil
+		return nil
+
+	case *ast.UnOp:
+		if x.Op == token.Not {
+			return g.genCond(x.X, f, t)
+		}
+
+	case *ast.BinOp:
+		switch x.Op {
+		case token.AndAnd:
+			mid := g.f.NewBlock()
+			if err := g.genCond(x.X, mid, f); err != nil {
+				return err
+			}
+			g.startBlock(mid)
+			return g.genCond(x.Y, t, f)
+		case token.OrOr:
+			mid := g.f.NewBlock()
+			if err := g.genCond(x.X, t, mid); err != nil {
+				return err
+			}
+			g.startBlock(mid)
+			return g.genCond(x.Y, t, f)
+		case token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge:
+			l, err := g.genExpr(x.X)
+			if err != nil {
+				return err
+			}
+			r, err := g.genExpr(x.Y)
+			if err != nil {
+				return err
+			}
+			if x.X.Type() == ast.Real {
+				// FP compare to an int register, then branch on it.
+				cmp := g.f.NewReg(ir.RInt)
+				var op isa.Opcode
+				swap := false
+				switch x.Op {
+				case token.Eq:
+					op = isa.OpFseq
+				case token.Ne:
+					op = isa.OpFsne
+				case token.Lt:
+					op = isa.OpFslt
+				case token.Le:
+					op = isa.OpFsle
+				case token.Gt:
+					op, swap = isa.OpFslt, true
+				case token.Ge:
+					op, swap = isa.OpFsle, true
+				}
+				if swap {
+					l, r = r, l
+				}
+				g.emit(ir.Instr{Kind: ir.KOp, Op: op, Dst: cmp, Src1: l, Src2: r})
+				zero := g.zeroReg()
+				g.emit(ir.Instr{Kind: ir.KBr, Op: isa.OpBne, Dst: ir.NoReg, Src1: cmp, Src2: zero,
+					Targets: [2]*ir.Block{t, f}})
+				g.cur = nil
+				return nil
+			}
+			var op isa.Opcode
+			switch x.Op {
+			case token.Eq:
+				op = isa.OpBeq
+			case token.Ne:
+				op = isa.OpBne
+			case token.Lt:
+				op = isa.OpBlt
+			case token.Le:
+				op = isa.OpBle
+			case token.Gt:
+				op = isa.OpBgt
+			case token.Ge:
+				op = isa.OpBge
+			}
+			g.emit(ir.Instr{Kind: ir.KBr, Op: op, Dst: ir.NoReg, Src1: l, Src2: r,
+				Targets: [2]*ir.Block{t, f}})
+			g.cur = nil
+			return nil
+		}
+	}
+
+	// General boolean value: compare against zero.
+	v, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	zero := g.zeroReg()
+	g.emit(ir.Instr{Kind: ir.KBr, Op: isa.OpBne, Dst: ir.NoReg, Src1: v, Src2: zero,
+		Targets: [2]*ir.Block{t, f}})
+	g.cur = nil
+	return nil
+}
+
+func (g *gen) zeroReg() ir.Reg {
+	z := g.f.NewReg(ir.RInt)
+	g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: z, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 0})
+	return z
+}
+
+func (g *gen) genExpr(e ast.Expr) (ir.Reg, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		r := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg, Imm: x.Value})
+		return r, nil
+	case *ast.RealLit:
+		r := g.f.NewReg(ir.RFP)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpFli, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg, FImm: x.Value})
+		return r, nil
+	case *ast.BoolLit:
+		r := g.f.NewReg(ir.RInt)
+		imm := int64(0)
+		if x.Value {
+			imm = 1
+		}
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg, Imm: imm})
+		return r, nil
+
+	case *ast.VarRef:
+		r := g.f.NewReg(regClassOf(x.Sym.Type))
+		g.emit(ir.Instr{Kind: ir.KLoadVar, Dst: r, Src1: ir.NoReg, Src2: ir.NoReg, Sym: x.Sym})
+		return r, nil
+
+	case *ast.IndexRef:
+		idx, err := g.genLinearIndex(x)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		r := g.f.NewReg(regClassOf(x.Sym.Type))
+		g.emit(ir.Instr{Kind: ir.KLoadElem, Dst: r, Src1: idx, Src2: ir.NoReg, Sym: x.Sym})
+		return r, nil
+
+	case *ast.UnOp:
+		switch x.Op {
+		case token.Minus:
+			v, err := g.genExpr(x.X)
+			if err != nil {
+				return ir.NoReg, err
+			}
+			if x.Type() == ast.Real {
+				r := g.f.NewReg(ir.RFP)
+				g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpFneg, Dst: r, Src1: v, Src2: ir.NoReg})
+				return r, nil
+			}
+			zero := g.zeroReg()
+			r := g.f.NewReg(ir.RInt)
+			g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpSub, Dst: r, Src1: zero, Src2: v})
+			return r, nil
+		case token.Not:
+			v, err := g.genExpr(x.X)
+			if err != nil {
+				return ir.NoReg, err
+			}
+			r := g.f.NewReg(ir.RInt)
+			g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpXori, Dst: r, Src1: v, Src2: ir.NoReg, Imm: 1})
+			return r, nil
+		}
+		return ir.NoReg, fmt.Errorf("irgen: bad unary operator")
+
+	case *ast.BinOp:
+		if x.Op == token.AndAnd || x.Op == token.OrOr {
+			return g.genBoolValue(x)
+		}
+		l, err := g.genExpr(x.X)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		r, err := g.genExpr(x.Y)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		isReal := x.X.Type() == ast.Real
+		// Comparisons produce int 0/1.
+		switch x.Op {
+		case token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge:
+			dst := g.f.NewReg(ir.RInt)
+			var op isa.Opcode
+			swap := false
+			if isReal {
+				switch x.Op {
+				case token.Eq:
+					op = isa.OpFseq
+				case token.Ne:
+					op = isa.OpFsne
+				case token.Lt:
+					op = isa.OpFslt
+				case token.Le:
+					op = isa.OpFsle
+				case token.Gt:
+					op, swap = isa.OpFslt, true
+				case token.Ge:
+					op, swap = isa.OpFsle, true
+				}
+			} else {
+				switch x.Op {
+				case token.Eq:
+					op = isa.OpSeq
+				case token.Ne:
+					op = isa.OpSne
+				case token.Lt:
+					op = isa.OpSlt
+				case token.Le:
+					op = isa.OpSle
+				case token.Gt:
+					op, swap = isa.OpSlt, true
+				case token.Ge:
+					op, swap = isa.OpSle, true
+				}
+			}
+			if swap {
+				l, r = r, l
+			}
+			g.emit(ir.Instr{Kind: ir.KOp, Op: op, Dst: dst, Src1: l, Src2: r})
+			return dst, nil
+		}
+		var op isa.Opcode
+		var cls ir.RegClass
+		if isReal {
+			cls = ir.RFP
+			switch x.Op {
+			case token.Plus:
+				op = isa.OpFadd
+			case token.Minus:
+				op = isa.OpFsub
+			case token.Star:
+				op = isa.OpFmul
+			case token.Slash:
+				op = isa.OpFdiv
+			default:
+				return ir.NoReg, fmt.Errorf("irgen: bad real operator")
+			}
+		} else {
+			cls = ir.RInt
+			switch x.Op {
+			case token.Plus:
+				op = isa.OpAdd
+			case token.Minus:
+				op = isa.OpSub
+			case token.Star:
+				op = isa.OpMul
+			case token.Slash:
+				op = isa.OpDiv
+			case token.Percent:
+				op = isa.OpRem
+			default:
+				return ir.NoReg, fmt.Errorf("irgen: bad int operator")
+			}
+		}
+		dst := g.f.NewReg(cls)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: op, Dst: dst, Src1: l, Src2: r})
+		return dst, nil
+
+	case *ast.Call:
+		if x.Builtin != ast.NotBuiltin {
+			return g.genBuiltin(x)
+		}
+		args := make([]ir.Reg, len(x.Args))
+		for i, a := range x.Args {
+			v, err := g.genExpr(a)
+			if err != nil {
+				return ir.NoReg, err
+			}
+			args[i] = v
+		}
+		dst := ir.NoReg
+		if x.Func.Result != ast.Void {
+			dst = g.f.NewReg(regClassOf(x.Func.Result))
+		}
+		sym := g.funcSym(x)
+		g.emit(ir.Instr{Kind: ir.KCall, Dst: dst, Src1: ir.NoReg, Src2: ir.NoReg, Sym: sym, Args: args})
+		return dst, nil
+	}
+	return ir.NoReg, fmt.Errorf("irgen: unhandled expression %T", e)
+}
+
+func (g *gen) funcSym(x *ast.Call) *ast.Symbol {
+	// Use the analyzer's canonical symbol so callee identity survives
+	// into code generation.
+	return g.info.Funcs[x.Name].Sym
+}
+
+// genBoolValue materializes a short-circuit boolean as 0/1.
+func (g *gen) genBoolValue(e ast.Expr) (ir.Reg, error) {
+	dst := g.f.NewReg(ir.RInt)
+	tB := g.f.NewBlock()
+	fB := g.f.NewBlock()
+	join := g.f.NewBlock()
+	if err := g.genCond(e, tB, fB); err != nil {
+		return ir.NoReg, err
+	}
+	g.startBlock(tB)
+	g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: dst, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 1})
+	g.emit(ir.Instr{Kind: ir.KJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Targets: [2]*ir.Block{join}})
+	g.startBlock(fB)
+	g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: dst, Src1: ir.NoReg, Src2: ir.NoReg, Imm: 0})
+	g.emit(ir.Instr{Kind: ir.KJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Targets: [2]*ir.Block{join}})
+	g.startBlock(join)
+	return dst, nil
+}
+
+func (g *gen) genBuiltin(x *ast.Call) (ir.Reg, error) {
+	v, err := g.genExpr(x.Args[0])
+	if err != nil {
+		return ir.NoReg, err
+	}
+	simple := map[ast.Builtin]isa.Opcode{
+		ast.BSqrt: isa.OpFsqrt, ast.BSin: isa.OpFsin, ast.BCos: isa.OpFcos,
+		ast.BAtan: isa.OpFatn, ast.BExp: isa.OpFexp, ast.BLog: isa.OpFlog,
+		ast.BAbs: isa.OpFabs,
+	}
+	if op, ok := simple[x.Builtin]; ok {
+		dst := g.f.NewReg(ir.RFP)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: op, Dst: dst, Src1: v, Src2: ir.NoReg})
+		return dst, nil
+	}
+	switch x.Builtin {
+	case ast.BFloat:
+		dst := g.f.NewReg(ir.RFP)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpCvtif, Dst: dst, Src1: v, Src2: ir.NoReg})
+		return dst, nil
+	case ast.BTrunc:
+		dst := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpCvtfi, Dst: dst, Src1: v, Src2: ir.NoReg})
+		return dst, nil
+	case ast.BIAbs:
+		// Branch-free: abs(x) = (x ^ (x>>63)) - (x>>63).
+		sign := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpSrai, Dst: sign, Src1: v, Src2: ir.NoReg, Imm: 63})
+		flipped := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpXor, Dst: flipped, Src1: v, Src2: sign})
+		dst := g.f.NewReg(ir.RInt)
+		g.emit(ir.Instr{Kind: ir.KOp, Op: isa.OpSub, Dst: dst, Src1: flipped, Src2: sign})
+		return dst, nil
+	}
+	return ir.NoReg, fmt.Errorf("irgen: unhandled builtin %v", x.Builtin)
+}

@@ -1,0 +1,89 @@
+package opt
+
+import (
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+)
+
+// DeadCode removes pure instructions whose results are never used, using
+// global liveness. Iterates to a fixed point (removing an instruction can
+// make its operands' producers dead).
+func DeadCode(f *ir.Func) bool {
+	any := false
+	for {
+		if !dcePass(f) {
+			return any
+		}
+		any = true
+	}
+}
+
+// removable reports whether the instruction can be deleted when its result
+// is dead. Traps must be preserved: integer divide/remainder stay put, as
+// does float-to-int conversion (range trap).
+func removable(in *ir.Instr) bool {
+	switch in.Kind {
+	case ir.KOp:
+		switch in.Op {
+		case isa.OpDiv, isa.OpRem, isa.OpCvtfi:
+			return false
+		}
+		return in.Op.Info().HasDst
+	case ir.KLoadVar:
+		return true
+	case ir.KLoadElem:
+		// Loads cannot trap here (compilers for this study assume
+		// in-bounds programs; the reference interpreter checks bounds
+		// and the test suite runs both).
+		return true
+	}
+	return false
+}
+
+func dcePass(f *ir.Func) bool {
+	lv := f.ComputeLiveness()
+	changed := false
+	var buf [4]ir.Reg
+	for _, b := range f.Blocks {
+		live := map[ir.Reg]bool{}
+		for r := range lv.Out[b] {
+			live[r] = true
+		}
+		// Backward scan; mark deletions.
+		del := make([]bool, len(b.Instrs))
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			d := in.Def()
+			if _, pinned := f.Pinned[d]; pinned {
+				// Home registers carry variables across functions;
+				// writes to them are never dead within one function's
+				// view.
+				for _, u := range in.Uses(buf[:0]) {
+					live[u] = true
+				}
+				continue
+			}
+			if d != ir.NoReg && !live[d] && removable(in) {
+				del[i] = true
+				changed = true
+				continue
+			}
+			if d != ir.NoReg {
+				delete(live, d)
+			}
+			for _, u := range in.Uses(buf[:0]) {
+				live[u] = true
+			}
+		}
+		if changed {
+			kept := b.Instrs[:0]
+			for i := range b.Instrs {
+				if !del[i] {
+					kept = append(kept, b.Instrs[i])
+				}
+			}
+			b.Instrs = kept
+		}
+	}
+	return changed
+}

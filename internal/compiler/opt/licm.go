@@ -1,0 +1,177 @@
+package opt
+
+import (
+	"sort"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/lang/ast"
+)
+
+// LoopInvariant hoists loop-invariant computations to loop preheaders —
+// the paper's canonical example of a global optimization ("to move
+// invariant code out of a loop, we just remove a large computation and
+// replace it with a reference to a single temporary", §4.4).
+//
+// Hoisted instructions are pure operations (and loads whose location is
+// provably not written in the loop) whose operands are defined outside the
+// loop. Operations that can trap (divide, remainder, float-to-int) are not
+// speculated, since a preheader executes even when the loop body might not.
+func LoopInvariant(f *ir.Func) bool {
+	loops := f.NaturalLoops()
+	if len(loops) == 0 {
+		return false
+	}
+	// Innermost first so inner invariants can later migrate further out.
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Depth > loops[j].Depth })
+
+	changed := false
+	for _, l := range loops {
+		if hoistLoop(f, l) {
+			changed = true
+		}
+	}
+	if changed {
+		f.RemoveUnreachable()
+	}
+	return changed
+}
+
+func hoistLoop(f *ir.Func, l *ir.Loop) bool {
+	// Def counts across the whole function (non-SSA safety: only hoist
+	// single-definition registers).
+	defCount := map[ir.Reg]int{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				defCount[d]++
+			}
+		}
+	}
+
+	// What the loop writes.
+	definedInLoop := map[ir.Reg]bool{}
+	storedScalar := map[*ast.Symbol]bool{}
+	storedArray := map[*ast.Symbol]bool{}
+	hasCall := false
+	for b := range l.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if d := in.Def(); d != ir.NoReg {
+				definedInLoop[d] = true
+			}
+			switch in.Kind {
+			case ir.KStoreVar:
+				storedScalar[in.Sym] = true
+			case ir.KStoreElem:
+				storedArray[in.Sym] = true
+			case ir.KCall:
+				hasCall = true
+			}
+		}
+	}
+
+	if hasCall {
+		// Calls may rewrite any pinned home register (promoted globals).
+		for r := range f.Pinned {
+			definedInLoop[r] = true
+		}
+	}
+	hoisted := map[ir.Reg]bool{}
+	invariantReg := func(r ir.Reg) bool {
+		return r == ir.NoReg || !definedInLoop[r] || hoisted[r]
+	}
+	var toHoist []ir.Instr
+	var buf [4]ir.Reg
+
+	// Deterministic block order (map iteration would make the hoisting
+	// order — and thus cycle counts — vary run to run).
+	blocks := make([]*ir.Block, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].ID < blocks[j].ID })
+
+	// Iterate: hoisting one instruction can make another invariant.
+	for again := true; again; {
+		again = false
+		for _, b := range blocks {
+			kept := b.Instrs[:0]
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				if canHoist(&in, invariantReg, defCount, storedScalar, storedArray, hasCall, &buf) {
+					toHoist = append(toHoist, in)
+					hoisted[in.Def()] = true
+					again = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+	if len(toHoist) == 0 {
+		return false
+	}
+
+	// Build the preheader and retarget entering edges.
+	ph := f.NewBlock()
+	ph.Instrs = append(ph.Instrs, toHoist...)
+	ph.Instrs = append(ph.Instrs, ir.Instr{
+		Kind: ir.KJmp, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg,
+		Targets: [2]*ir.Block{l.Header},
+	})
+	for _, b := range f.Blocks {
+		if b == ph || l.Blocks[b] {
+			continue
+		}
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for k := range t.Targets {
+			if t.Targets[k] == l.Header {
+				t.Targets[k] = ph
+			}
+		}
+	}
+	return true
+}
+
+func canHoist(in *ir.Instr, invariantReg func(ir.Reg) bool, defCount map[ir.Reg]int,
+	storedScalar, storedArray map[*ast.Symbol]bool, hasCall bool, buf *[4]ir.Reg) bool {
+
+	d := in.Def()
+	if d == ir.NoReg || defCount[d] != 1 {
+		return false
+	}
+	for _, u := range in.Uses((*buf)[:0]) {
+		if !invariantReg(u) {
+			return false
+		}
+	}
+	switch in.Kind {
+	case ir.KOp:
+		switch in.Op {
+		case isa.OpDiv, isa.OpRem, isa.OpCvtfi:
+			return false // may trap; do not speculate
+		}
+		return in.Op.Info().HasDst
+	case ir.KLoadVar:
+		if storedScalar[in.Sym] {
+			return false
+		}
+		// Calls in the loop may write global scalars, never locals or
+		// parameters (TL has no pointers).
+		if hasCall && in.Sym.Kind == ast.SymGlobal {
+			return false
+		}
+		return true
+	case ir.KLoadElem:
+		if storedArray[in.Sym] || hasCall {
+			return false
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,474 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+)
+
+// fn builds a one-block function ending in ret.
+func fn(instrs ...ir.Instr) *ir.Func {
+	f := &ir.Func{Name: "t"}
+	b := f.NewBlock()
+	b.Instrs = append(instrs, ir.Instr{Kind: ir.KRet, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg})
+	// Allocate enough vregs for any register mentioned.
+	max := ir.Reg(-1)
+	var buf []ir.Reg
+	for i := range b.Instrs {
+		for _, u := range b.Instrs[i].Uses(buf[:0]) {
+			if u > max {
+				max = u
+			}
+		}
+		if d := b.Instrs[i].Def(); d > max {
+			max = d
+		}
+	}
+	for i := ir.Reg(0); i <= max; i++ {
+		f.NewReg(ir.RInt)
+	}
+	return f
+}
+
+func op(o isa.Opcode, d, s1, s2 ir.Reg) ir.Instr {
+	return ir.Instr{Kind: ir.KOp, Op: o, Dst: d, Src1: s1, Src2: s2}
+}
+
+func li(d ir.Reg, v int64) ir.Instr {
+	return ir.Instr{Kind: ir.KOp, Op: isa.OpLi, Dst: d, Src1: ir.NoReg, Src2: ir.NoReg, Imm: v}
+}
+
+func TestConstFoldArithmetic(t *testing.T) {
+	f := fn(
+		li(0, 6),
+		li(1, 7),
+		op(isa.OpMul, 2, 0, 1), // -> li 42
+	)
+	ConstFold(f)
+	in := &f.Blocks[0].Instrs[2]
+	if in.Op != isa.OpLi || in.Imm != 42 {
+		t.Errorf("6*7 folded to %s", in)
+	}
+}
+
+func TestConstFoldPreservesDivideByZeroTrap(t *testing.T) {
+	f := fn(
+		li(0, 1),
+		li(1, 0),
+		op(isa.OpDiv, 2, 0, 1),
+	)
+	ConstFold(f)
+	if f.Blocks[0].Instrs[2].Op != isa.OpDiv {
+		t.Error("division by zero must not be folded away")
+	}
+}
+
+func TestConstFoldStrengthReduction(t *testing.T) {
+	f := fn(
+		li(0, 8),
+		op(isa.OpMul, 2, 1, 0), // x * 8 -> x << 3
+	)
+	ConstFold(f)
+	in := &f.Blocks[0].Instrs[1]
+	if in.Op != isa.OpSlli || in.Imm != 3 {
+		t.Errorf("x*8 became %s, want slli by 3", in)
+	}
+}
+
+func TestConstFoldIdentities(t *testing.T) {
+	f := fn(
+		li(0, 0),
+		li(1, 1),
+		op(isa.OpAdd, 2, 3, 0), // x+0 -> mov
+		op(isa.OpMul, 4, 3, 1), // x*1 -> mov
+		op(isa.OpMul, 5, 3, 0), // x*0 -> li 0
+		op(isa.OpSub, 6, 3, 0), // x-0 -> mov
+	)
+	ConstFold(f)
+	ins := f.Blocks[0].Instrs
+	if ins[2].Op != isa.OpMov {
+		t.Errorf("x+0 -> %s", &ins[2])
+	}
+	if ins[3].Op != isa.OpMov {
+		t.Errorf("x*1 -> %s", &ins[3])
+	}
+	if ins[4].Op != isa.OpLi || ins[4].Imm != 0 {
+		t.Errorf("x*0 -> %s", &ins[4])
+	}
+	if ins[5].Op != isa.OpMov {
+		t.Errorf("x-0 -> %s", &ins[5])
+	}
+}
+
+func TestConstFoldImmediateForms(t *testing.T) {
+	f := fn(
+		li(0, 5),
+		op(isa.OpAdd, 1, 2, 0), // -> addi x, 5
+		op(isa.OpAnd, 3, 2, 0), // -> andi x, 5
+	)
+	ConstFold(f)
+	ins := f.Blocks[0].Instrs
+	if ins[1].Op != isa.OpAddi || ins[1].Imm != 5 {
+		t.Errorf("add-with-const -> %s", &ins[1])
+	}
+	if ins[2].Op != isa.OpAndi {
+		t.Errorf("and-with-const -> %s", &ins[2])
+	}
+}
+
+func TestLocalCSEDedupes(t *testing.T) {
+	f := fn(
+		op(isa.OpAdd, 2, 0, 1),
+		op(isa.OpAdd, 3, 0, 1), // duplicate -> mov
+		op(isa.OpAdd, 4, 1, 0), // commuted duplicate -> mov
+	)
+	LocalCSE(f)
+	ins := f.Blocks[0].Instrs
+	if ins[1].Op != isa.OpMov || ins[1].Src1 != 2 {
+		t.Errorf("duplicate add -> %s", &ins[1])
+	}
+	if ins[2].Op != isa.OpMov {
+		t.Errorf("commuted duplicate -> %s", &ins[2])
+	}
+}
+
+func TestLocalCSECopyPropagation(t *testing.T) {
+	f := fn(
+		op(isa.OpMov, 1, 0, ir.NoReg),
+		op(isa.OpAdd, 2, 1, 1), // should read v0 directly
+	)
+	LocalCSE(f)
+	in := &f.Blocks[0].Instrs[1]
+	if in.Src1 != 0 || in.Src2 != 0 {
+		t.Errorf("copy not propagated: %s", in)
+	}
+}
+
+// symOf builds a scalar symbol for memory tests.
+func symOf(name string, kind ast.SymKind) *ast.Symbol {
+	return &ast.Symbol{Name: name, Kind: kind, Type: ast.Int}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	g := symOf("g", ast.SymLocal)
+	f := fn(
+		li(0, 3),
+		ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: 0, Src2: ir.NoReg, Sym: g},
+		ir.Instr{Kind: ir.KLoadVar, Dst: 1, Src1: ir.NoReg, Src2: ir.NoReg, Sym: g},
+	)
+	LocalCSE(f)
+	in := &f.Blocks[0].Instrs[2]
+	if in.Kind != ir.KOp || in.Op != isa.OpMov || in.Src1 != 0 {
+		t.Errorf("load after store not forwarded: %s", in)
+	}
+}
+
+func TestCallClobbersGlobalNotLocal(t *testing.T) {
+	glob := symOf("glob", ast.SymGlobal)
+	loc := symOf("loc", ast.SymLocal)
+	callee := symOf("f", ast.SymFunc)
+	f := fn(
+		ir.Instr{Kind: ir.KLoadVar, Dst: 0, Src1: ir.NoReg, Src2: ir.NoReg, Sym: glob},
+		ir.Instr{Kind: ir.KLoadVar, Dst: 1, Src1: ir.NoReg, Src2: ir.NoReg, Sym: loc},
+		ir.Instr{Kind: ir.KCall, Dst: ir.NoReg, Src1: ir.NoReg, Src2: ir.NoReg, Sym: callee},
+		ir.Instr{Kind: ir.KLoadVar, Dst: 2, Src1: ir.NoReg, Src2: ir.NoReg, Sym: glob}, // must reload
+		ir.Instr{Kind: ir.KLoadVar, Dst: 3, Src1: ir.NoReg, Src2: ir.NoReg, Sym: loc},  // may reuse
+	)
+	LocalCSE(f)
+	ins := f.Blocks[0].Instrs
+	if ins[3].Kind != ir.KLoadVar {
+		t.Errorf("global load across call was CSE'd: %s", &ins[3])
+	}
+	if ins[4].Kind != ir.KOp || ins[4].Op != isa.OpMov {
+		t.Errorf("local load across call should be CSE'd (no pointers): %s", &ins[4])
+	}
+}
+
+func TestDeadStoreElimination(t *testing.T) {
+	lv := symOf("v", ast.SymLocal)
+	f := fn(
+		li(0, 1),
+		li(1, 2),
+		ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: 0, Src2: ir.NoReg, Sym: lv}, // dead
+		ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: 1, Src2: ir.NoReg, Sym: lv},
+	)
+	LocalCSE(f)
+	count := 0
+	for i := range f.Blocks[0].Instrs {
+		if f.Blocks[0].Instrs[i].Kind == ir.KStoreVar {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("dead store not eliminated: %d stores", count)
+	}
+}
+
+func TestForwardedLoadAllowsDeadStore(t *testing.T) {
+	// A load whose value is forwarded from the pending store no longer
+	// reads memory, so a later store may still kill the earlier one.
+	lv := symOf("v", ast.SymLocal)
+	f := fn(
+		li(0, 1),
+		li(1, 2),
+		ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: 0, Src2: ir.NoReg, Sym: lv},
+		ir.Instr{Kind: ir.KLoadVar, Dst: 2, Src1: ir.NoReg, Src2: ir.NoReg, Sym: lv},
+		ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: 1, Src2: ir.NoReg, Sym: lv},
+		ir.Instr{Kind: ir.KPrint, Op: isa.OpPrinti, Dst: ir.NoReg, Src1: 2, Src2: ir.NoReg},
+	)
+	LocalCSE(f)
+	stores, forwarded := 0, false
+	for i := range f.Blocks[0].Instrs {
+		in := &f.Blocks[0].Instrs[i]
+		if in.Kind == ir.KStoreVar {
+			stores++
+		}
+		if in.Kind == ir.KOp && in.Op == isa.OpMov && in.Dst == 2 && in.Src1 == 0 {
+			forwarded = true
+		}
+	}
+	if !forwarded {
+		t.Error("load not forwarded from pending store")
+	}
+	if stores != 1 {
+		t.Errorf("overwritten store should be dead after forwarding (%d stores)", stores)
+	}
+}
+
+func TestNonForwardableLoadProtectsStore(t *testing.T) {
+	// If the stored value's register is clobbered, the load must read
+	// memory, which protects the pending store from elimination.
+	lv := symOf("v", ast.SymLocal)
+	f := fn(
+		li(0, 1),
+		ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: 0, Src2: ir.NoReg, Sym: lv},
+		li(0, 9), // clobber the canonical register
+		ir.Instr{Kind: ir.KLoadVar, Dst: 2, Src1: ir.NoReg, Src2: ir.NoReg, Sym: lv},
+		ir.Instr{Kind: ir.KStoreVar, Dst: ir.NoReg, Src1: 0, Src2: ir.NoReg, Sym: lv},
+		ir.Instr{Kind: ir.KPrint, Op: isa.OpPrinti, Dst: ir.NoReg, Src1: 2, Src2: ir.NoReg},
+	)
+	LocalCSE(f)
+	stores := 0
+	loads := 0
+	for i := range f.Blocks[0].Instrs {
+		switch f.Blocks[0].Instrs[i].Kind {
+		case ir.KStoreVar:
+			stores++
+		case ir.KLoadVar:
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Errorf("load should survive un-forwarded (%d loads)", loads)
+	}
+	if stores != 2 {
+		t.Errorf("store read by a real load was eliminated (%d stores)", stores)
+	}
+}
+
+func TestDeadCodeRemovesUnused(t *testing.T) {
+	f := fn(
+		li(0, 1),
+		li(1, 2),
+		op(isa.OpAdd, 2, 0, 1), // dead
+		op(isa.OpAdd, 3, 0, 1),
+		ir.Instr{Kind: ir.KPrint, Op: isa.OpPrinti, Dst: ir.NoReg, Src1: 3, Src2: ir.NoReg},
+	)
+	DeadCode(f)
+	for i := range f.Blocks[0].Instrs {
+		if d := f.Blocks[0].Instrs[i].Def(); d == 2 {
+			t.Error("dead add survived")
+		}
+	}
+	// And the transitive operands of the live add survive.
+	found := 0
+	for i := range f.Blocks[0].Instrs {
+		if f.Blocks[0].Instrs[i].Op == isa.OpLi {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("live operands removed: %d li left", found)
+	}
+}
+
+func TestDeadCodeKeepsTraps(t *testing.T) {
+	f := fn(
+		li(0, 1),
+		li(1, 0),
+		op(isa.OpDiv, 2, 0, 1), // result dead, but may trap
+	)
+	DeadCode(f)
+	kept := false
+	for i := range f.Blocks[0].Instrs {
+		if f.Blocks[0].Instrs[i].Op == isa.OpDiv {
+			kept = true
+		}
+	}
+	if !kept {
+		t.Error("trap-capable divide removed by DCE")
+	}
+}
+
+func TestUnrollEligibility(t *testing.T) {
+	parse := func(src string) *ast.Program {
+		p, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sem.Analyze(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Eligible loop unrolls.
+	p := parse(`
+var a[100]: int;
+func main() {
+	var i: int;
+	for i = 0 to 99 { a[i] = i; }
+}
+`)
+	if n := UnrollLoops(p, 4); n != 1 {
+		t.Errorf("eligible loop: unrolled %d, want 1", n)
+	}
+
+	// Break makes it ineligible.
+	p = parse(`
+var a[100]: int;
+func main() {
+	var i: int;
+	for i = 0 to 99 { if a[i] == 5 { break; } }
+}
+`)
+	if n := UnrollLoops(p, 4); n != 0 {
+		t.Errorf("loop with break unrolled")
+	}
+
+	// Mutating the loop variable makes it ineligible.
+	p = parse(`
+func main() {
+	var i: int;
+	for i = 0 to 99 { i = i + 1; }
+}
+`)
+	if n := UnrollLoops(p, 4); n != 0 {
+		t.Errorf("loop mutating its variable unrolled")
+	}
+
+	// A nested loop is not innermost.
+	p = parse(`
+var a[100]: int;
+func main() {
+	var i, j: int;
+	for i = 0 to 9 {
+		for j = 0 to 9 { a[i * 10 + j] = i + j; }
+	}
+}
+`)
+	if n := UnrollLoops(p, 2); n != 1 {
+		t.Errorf("only the inner loop should unroll, got %d", n)
+	}
+
+	// Hi depending on a variable assigned in the body is unstable.
+	p = parse(`
+var n: int;
+func main() {
+	var i: int;
+	n = 50;
+	for i = 0 to n { n = n - 1; }
+}
+`)
+	if n := UnrollLoops(p, 2); n != 0 {
+		t.Errorf("loop with unstable bound unrolled")
+	}
+
+	// Declarations in the body prevent unrolling.
+	p = parse(`
+func main() {
+	var i: int;
+	for i = 0 to 9 { var t: int; t = i; }
+}
+`)
+	if n := UnrollLoops(p, 2); n != 0 {
+		t.Errorf("loop with declarations unrolled")
+	}
+}
+
+func TestReassociateBalancesChain(t *testing.T) {
+	// v10 = ((((v0+v1)+v2)+v3)+v4): depth 4 -> balanced depth ~3.
+	f := fn(
+		op(isa.OpAdd, 5, 0, 1),
+		op(isa.OpAdd, 6, 5, 2),
+		op(isa.OpAdd, 7, 6, 3),
+		op(isa.OpAdd, 8, 7, 4),
+		ir.Instr{Kind: ir.KPrint, Op: isa.OpPrinti, Dst: ir.NoReg, Src1: 8, Src2: ir.NoReg},
+	)
+	if !Reassociate(f) {
+		t.Fatal("chain not reassociated")
+	}
+	// Depth check: longest add-chain to the final value.
+	depth := map[ir.Reg]int{}
+	var buf []ir.Reg
+	var final ir.Reg = -1
+	for i := range f.Blocks[0].Instrs {
+		in := &f.Blocks[0].Instrs[i]
+		if in.Kind != ir.KOp || in.Op != isa.OpAdd {
+			continue
+		}
+		d := 0
+		for _, u := range in.Uses(buf[:0]) {
+			if depth[u] > d {
+				d = depth[u]
+			}
+		}
+		depth[in.Dst] = d + 1
+		final = in.Dst
+	}
+	if depth[final] >= 4 {
+		t.Errorf("chain depth still %d after reassociation:\n%s", depth[final], f.String())
+	}
+	if got := strings.Count(f.String(), "add"); got != 4 {
+		t.Errorf("reassociation changed operation count: %d adds", got)
+	}
+}
+
+func TestReassociateLeavesShortChains(t *testing.T) {
+	f := fn(
+		op(isa.OpAdd, 3, 0, 1),
+		op(isa.OpAdd, 4, 3, 2),
+		ir.Instr{Kind: ir.KPrint, Op: isa.OpPrinti, Dst: ir.NoReg, Src1: 4, Src2: ir.NoReg},
+	)
+	if Reassociate(f) {
+		t.Error("2-link chain should not be touched")
+	}
+}
+
+func TestReassociateSkipsMultiUseIntermediates(t *testing.T) {
+	f := fn(
+		op(isa.OpAdd, 4, 0, 1),
+		op(isa.OpAdd, 5, 4, 2),
+		op(isa.OpAdd, 6, 5, 3),
+		ir.Instr{Kind: ir.KPrint, Op: isa.OpPrinti, Dst: ir.NoReg, Src1: 6, Src2: ir.NoReg},
+		ir.Instr{Kind: ir.KPrint, Op: isa.OpPrinti, Dst: ir.NoReg, Src1: 5, Src2: ir.NoReg}, // second use of v5
+	)
+	Reassociate(f)
+	// v5 must still exist with its original value (chain through it
+	// cannot be rewritten).
+	found := false
+	for i := range f.Blocks[0].Instrs {
+		in := &f.Blocks[0].Instrs[i]
+		if in.Def() == 5 && in.Op == isa.OpAdd && in.Src1 == 4 && in.Src2 == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("multi-use intermediate rewritten:\n%s", f.String())
+	}
+}

@@ -1,0 +1,199 @@
+package opt
+
+import (
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+)
+
+// Reassociate rebalances long linear chains of an associative operator
+// into trees, exposing parallelism. This is half of the paper's careful
+// unrolling: "we reassociate long strings of additions or multiplications
+// to maximize the parallelism" (§4.4). A chain
+//
+//	c1 = a OP x1; c2 = c1 OP x2; ...; cn = c(n-1) OP xn
+//
+// (each intermediate used exactly once, all in one block) becomes a
+// balanced reduction tree writing the same final register.
+//
+// For floating point this changes rounding, exactly as the paper's hand
+// restructuring did ("this restructuring requires us to use knowledge of
+// operator associativity"); it therefore only runs in careful mode, and the
+// differential tests compare its outputs with a tolerance.
+func Reassociate(f *ir.Func) bool {
+	// Function-wide use and def counts (non-SSA safety).
+	useCount := map[ir.Reg]int{}
+	defCount := map[ir.Reg]int{}
+	var buf [4]ir.Reg
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, u := range in.Uses(buf[:0]) {
+				useCount[u]++
+			}
+			if d := in.Def(); d != ir.NoReg {
+				defCount[d]++
+			}
+		}
+	}
+
+	changed := false
+	for _, b := range f.Blocks {
+		if reassocBlock(f, b, useCount, defCount) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// callBetween reports whether a call sits strictly between two indices.
+func callBetween(b *ir.Block, lo, hi int) bool {
+	for i := lo + 1; i < hi; i++ {
+		if b.Instrs[i].Kind == ir.KCall {
+			return true
+		}
+	}
+	return false
+}
+
+func associative(op isa.Opcode) bool {
+	switch op {
+	case isa.OpAdd, isa.OpMul, isa.OpFadd, isa.OpFmul:
+		return true
+	}
+	return false
+}
+
+func reassocBlock(f *ir.Func, b *ir.Block, useCount, defCount map[ir.Reg]int) bool {
+	changed := false
+	// Index of the defining instruction within this block, for chain
+	// discovery.
+	defAt := map[ir.Reg]int{}
+	for i := range b.Instrs {
+		if d := b.Instrs[i].Def(); d != ir.NoReg {
+			defAt[d] = i
+		}
+	}
+	inChain := make([]bool, len(b.Instrs))
+
+	for end := len(b.Instrs) - 1; end >= 0; end-- {
+		if inChain[end] {
+			continue
+		}
+		last := &b.Instrs[end]
+		if last.Kind != ir.KOp || !associative(last.Op) {
+			continue
+		}
+		op := last.Op
+		// Walk the chain upward: each link is OP(prev, x) or OP(x, prev)
+		// where prev is defined in this block by the same op, used once,
+		// and defined once in the function.
+		var leaves []ir.Reg
+		var members []int
+		cur := end
+		for {
+			in := &b.Instrs[cur]
+			members = append(members, cur)
+			isLink := func(r ir.Reg) bool {
+				j, here := defAt[r]
+				return here && j < cur && !inChain[j] &&
+					b.Instrs[j].Kind == ir.KOp && b.Instrs[j].Op == op &&
+					useCount[r] == 1 && defCount[r] == 1
+			}
+			l1, l2 := isLink(in.Src1), isLink(in.Src2)
+			// Follow exactly one link. If both operands are links the
+			// node is already tree-shaped (e.g. the output of a prior
+			// rebalance): treat it as a head so rescanning terminates.
+			if l1 != l2 {
+				link, other := in.Src1, in.Src2
+				if l2 {
+					link, other = in.Src2, in.Src1
+				}
+				leaves = append(leaves, other)
+				cur = defAt[link]
+				continue
+			}
+			// Chain head: both operands are leaves.
+			leaves = append(leaves, in.Src2, in.Src1)
+			break
+		}
+		if len(members) < 3 {
+			continue
+		}
+		// Rebuilding the tree at the last member's position moves leaf
+		// reads later. That is only unsafe for pinned home registers,
+		// which a call in between could rewrite.
+		minIdx := members[len(members)-1]
+		if callBetween(b, minIdx, end) {
+			pinnedLeaf := false
+			for _, l := range leaves {
+				if _, p := f.Pinned[l]; p {
+					pinnedLeaf = true
+					break
+				}
+			}
+			if pinnedLeaf {
+				continue
+			}
+		}
+		// leaves were collected from the tail inward; order is
+		// irrelevant for an associative/commutative reduction, but
+		// reverse for stable, source-like ordering.
+		for i, j := 0, len(leaves)-1; i < j; i, j = i+1, j-1 {
+			leaves[i], leaves[j] = leaves[j], leaves[i]
+		}
+
+		// Build the balanced tree at the position of the final link.
+		cls := ir.RInt
+		if op == isa.OpFadd || op == isa.OpFmul {
+			cls = ir.RFP
+		}
+		var tree []ir.Instr
+		level := leaves
+		for len(level) > 1 {
+			var next []ir.Reg
+			for i := 0; i+1 < len(level); i += 2 {
+				var dst ir.Reg
+				if len(level) == 2 {
+					dst = b.Instrs[end].Dst // final result register
+				} else {
+					dst = f.NewReg(cls)
+				}
+				tree = append(tree, ir.Instr{Kind: ir.KOp, Op: op, Dst: dst, Src1: level[i], Src2: level[i+1]})
+				next = append(next, dst)
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+
+		// Mark chain members for removal and splice the tree in at the
+		// end position.
+		for _, m := range members {
+			inChain[m] = true
+		}
+		var out []ir.Instr
+		for i := range b.Instrs {
+			if inChain[i] && i != end {
+				continue
+			}
+			if i == end {
+				out = append(out, tree...)
+				continue
+			}
+			out = append(out, b.Instrs[i])
+		}
+		// Rebuild bookkeeping after splicing.
+		b.Instrs = out
+		defAt = map[ir.Reg]int{}
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Def(); d != ir.NoReg {
+				defAt[d] = i
+			}
+		}
+		inChain = make([]bool, len(b.Instrs))
+		changed = true
+		end = len(b.Instrs) // restart scan of this block
+	}
+	return changed
+}

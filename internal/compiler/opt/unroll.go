@@ -1,0 +1,317 @@
+package opt
+
+import (
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/token"
+)
+
+// UnrollLoops unrolls eligible innermost counted loops by the given factor,
+// at the syntax-tree level — the paper did this "by hand" on the benchmark
+// sources, in naive and careful variants (§4.4); automating it keeps the
+// experiment reproducible. Naive unrolling "consists simply of duplicating
+// the loop body inside the loop"; the careful variant additionally enables
+// Reassociate and the scheduler's memory disambiguation.
+//
+// A loop
+//
+//	for i = lo to hi by s { body }
+//
+// becomes
+//
+//	for i = lo to hi - (k-1)*s by k*s { body; body[i+s]; ...; body[i+(k-1)*s] }
+//	for i = i to hi by s { body }          // remainder
+//
+// which relies on TL's `for` semantics: the loop variable holds the first
+// unprocessed index after the loop exits.
+//
+// Eligible loops are innermost (no nested loops), do not mutate their loop
+// variable, contain no break, return, or declaration, and have a bound
+// expression whose value cannot change while the loop runs. The function
+// returns how many loops were unrolled.
+func UnrollLoops(prog *ast.Program, factor int) int {
+	if factor <= 1 {
+		return 0
+	}
+	n := 0
+	for _, f := range prog.Funcs {
+		n += unrollBlock(f.Body, factor)
+	}
+	return n
+}
+
+func unrollBlock(b *ast.Block, factor int) int {
+	n := 0
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ast.For:
+			n += unrollBlock(st.Body, factor)
+			if main, rem, ok := unrollFor(st, factor); ok {
+				out = append(out, main, rem)
+				n++
+				continue
+			}
+		case *ast.While:
+			n += unrollBlock(st.Body, factor)
+		case *ast.If:
+			n += unrollBlock(st.Then, factor)
+			if st.Else != nil {
+				switch e := st.Else.(type) {
+				case *ast.Block:
+					n += unrollBlock(e, factor)
+				case *ast.If:
+					wrap := &ast.Block{Stmts: []ast.Stmt{e}}
+					n += unrollBlock(wrap, factor)
+					st.Else = wrap.Stmts[0]
+				}
+			}
+		case *ast.Block:
+			n += unrollBlock(st, factor)
+		}
+		out = append(out, s)
+	}
+	b.Stmts = out
+	return n
+}
+
+// unrollFor builds the main and remainder loops, or reports ineligibility.
+func unrollFor(st *ast.For, factor int) (main, rem ast.Stmt, ok bool) {
+	if st.VarMutated || st.HasBreak {
+		return nil, nil, false
+	}
+	if !eligibleBody(st.Body) {
+		return nil, nil, false
+	}
+	if !boundStable(st) {
+		return nil, nil, false
+	}
+
+	k := int64(factor)
+	s := st.Step
+
+	// Main loop: body copies with the loop variable offset by c*s.
+	mainBody := &ast.Block{LBrace: st.Body.LBrace}
+	for c := int64(0); c < k; c++ {
+		clone := ast.CloneBlock(st.Body)
+		if c > 0 {
+			offsetLoopVar(clone, st.Var.Sym, c*s)
+		}
+		mainBody.Stmts = append(mainBody.Stmts, clone.Stmts...)
+	}
+	hiMain := &ast.BinOp{
+		OpPos: st.ForPos, Op: token.Minus,
+		X: ast.CloneExpr(st.Hi),
+		Y: &ast.IntLit{LitPos: st.ForPos, Value: (k - 1) * s},
+	}
+	hiMain.SetType(ast.Int)
+	hiMain.Y.(*ast.IntLit).SetType(ast.Int)
+	mainFor := &ast.For{
+		ForPos: st.ForPos,
+		Var:    ast.CloneExpr(st.Var).(*ast.VarRef),
+		Lo:     st.Lo,
+		Hi:     hiMain,
+		Step:   k * s,
+		Body:   mainBody,
+	}
+
+	// Remainder: continue from wherever the main loop stopped.
+	loRem := ast.CloneExpr(st.Var) // reads the current value of i
+	remFor := &ast.For{
+		ForPos: st.ForPos,
+		Var:    ast.CloneExpr(st.Var).(*ast.VarRef),
+		Lo:     loRem,
+		Hi:     ast.CloneExpr(st.Hi),
+		Step:   s,
+		Body:   st.Body,
+	}
+	return mainFor, remFor, true
+}
+
+// eligibleBody: straight-line-ish code only — no nested loops, breaks,
+// returns, or local declarations (cloned declarations would redeclare).
+func eligibleBody(b *ast.Block) bool {
+	ok := true
+	var visit func(s ast.Stmt)
+	visit = func(s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.For, *ast.While, *ast.Break, *ast.Return, *ast.LocalDecl:
+			ok = false
+		case *ast.Block:
+			for _, x := range st.Stmts {
+				visit(x)
+			}
+		case *ast.If:
+			for _, x := range st.Then.Stmts {
+				visit(x)
+			}
+			if st.Else != nil {
+				visit(st.Else)
+			}
+		}
+	}
+	for _, s := range b.Stmts {
+		visit(s)
+	}
+	return ok
+}
+
+// boundStable reports whether the Hi expression evaluates to the same value
+// before and after the body runs, so it can be re-evaluated for the
+// remainder loop. True when Hi contains no calls and references no
+// variable assigned in the body (and no global at all if the body calls
+// functions).
+func boundStable(st *ast.For) bool {
+	assigned := map[*ast.Symbol]bool{}
+	bodyCalls := false
+	var visitS func(s ast.Stmt)
+	visitS = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.Assign:
+			if vr, isVar := x.LHS.(*ast.VarRef); isVar {
+				assigned[vr.Sym] = true
+			}
+			if exprHasCall(x.RHS) || exprHasCall(x.LHS) {
+				bodyCalls = true
+			}
+		case *ast.Print:
+			if exprHasCall(x.Value) {
+				bodyCalls = true
+			}
+		case *ast.ExprStmt:
+			bodyCalls = true
+		case *ast.If:
+			if exprHasCall(x.Cond) {
+				bodyCalls = true
+			}
+			for _, y := range x.Then.Stmts {
+				visitS(y)
+			}
+			if x.Else != nil {
+				visitS(x.Else)
+			}
+		case *ast.Block:
+			for _, y := range x.Stmts {
+				visitS(y)
+			}
+		}
+	}
+	for _, s := range st.Body.Stmts {
+		visitS(s)
+	}
+
+	stable := true
+	var visitE func(e ast.Expr)
+	visitE = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.VarRef:
+			if assigned[x.Sym] {
+				stable = false
+			}
+			if bodyCalls && x.Sym.Kind == ast.SymGlobal {
+				stable = false
+			}
+		case *ast.IndexRef:
+			// Array elements could be written by the body or callees;
+			// be conservative.
+			stable = false
+		case *ast.Call:
+			stable = false
+		case *ast.UnOp:
+			visitE(x.X)
+		case *ast.BinOp:
+			visitE(x.X)
+			visitE(x.Y)
+		}
+	}
+	visitE(st.Hi)
+	return stable
+}
+
+func exprHasCall(e ast.Expr) bool {
+	found := false
+	var visit func(x ast.Expr)
+	visit = func(x ast.Expr) {
+		switch y := x.(type) {
+		case *ast.Call:
+			found = true
+		case *ast.UnOp:
+			visit(y.X)
+		case *ast.BinOp:
+			visit(y.X)
+			visit(y.Y)
+		case *ast.IndexRef:
+			for _, ie := range y.Index {
+				visit(ie)
+			}
+		}
+	}
+	visit(e)
+	return found
+}
+
+// offsetLoopVar rewrites reads of the loop variable to (var + off) in a
+// cloned body.
+func offsetLoopVar(b *ast.Block, sym *ast.Symbol, off int64) {
+	var rewriteE func(e ast.Expr) ast.Expr
+	rewriteE = func(e ast.Expr) ast.Expr {
+		switch x := e.(type) {
+		case *ast.VarRef:
+			if x.Sym == sym {
+				lit := &ast.IntLit{LitPos: x.NamePos, Value: off}
+				lit.SetType(ast.Int)
+				sum := &ast.BinOp{OpPos: x.NamePos, Op: token.Plus, X: x, Y: lit}
+				sum.SetType(ast.Int)
+				return sum
+			}
+			return x
+		case *ast.IndexRef:
+			for i := range x.Index {
+				x.Index[i] = rewriteE(x.Index[i])
+			}
+			return x
+		case *ast.UnOp:
+			x.X = rewriteE(x.X)
+			return x
+		case *ast.BinOp:
+			x.X = rewriteE(x.X)
+			x.Y = rewriteE(x.Y)
+			return x
+		case *ast.Call:
+			for i := range x.Args {
+				x.Args[i] = rewriteE(x.Args[i])
+			}
+			return x
+		}
+		return e
+	}
+	var rewriteS func(s ast.Stmt)
+	rewriteS = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case *ast.Assign:
+			// Only the RHS and index expressions read the variable;
+			// the analyzer guaranteed the variable itself is never
+			// assigned.
+			x.LHS = rewriteE(x.LHS)
+			x.RHS = rewriteE(x.RHS)
+		case *ast.If:
+			x.Cond = rewriteE(x.Cond)
+			for _, y := range x.Then.Stmts {
+				rewriteS(y)
+			}
+			if x.Else != nil {
+				rewriteS(x.Else)
+			}
+		case *ast.Block:
+			for _, y := range x.Stmts {
+				rewriteS(y)
+			}
+		case *ast.Print:
+			x.Value = rewriteE(x.Value)
+		case *ast.ExprStmt:
+			x.X = rewriteE(x.X)
+		}
+	}
+	for _, s := range b.Stmts {
+		rewriteS(s)
+	}
+}

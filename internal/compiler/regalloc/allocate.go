@@ -1,0 +1,308 @@
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// Assignment is the result of local allocation: every virtual register of
+// the function either has a physical register or a spill slot.
+type Assignment struct {
+	// Phys maps virtual registers to physical registers; isa.NoReg when
+	// spilled.
+	Phys []isa.Reg
+	// Slot maps virtual registers to spill-slot indices; -1 when in a
+	// register.
+	Slot []int
+	// NumSlots is the number of spill slots the frame needs.
+	NumSlots int
+}
+
+// PhysOf returns the physical register of a non-spilled vreg.
+func (a *Assignment) PhysOf(r ir.Reg) isa.Reg { return a.Phys[r] }
+
+// Spilled reports whether the vreg lives in a stack slot.
+func (a *Assignment) Spilled(r ir.Reg) bool { return a.Slot[r] >= 0 }
+
+// scratchPerClass is how many temporaries per file are reserved for
+// spill-code addressing; the rest are allocatable.
+const scratchPerClass = 2
+
+// Allocate maps the function's virtual registers onto the machine's
+// temporary registers with a linear scan over live intervals. Intervals
+// that cross a call are spilled outright (every temporary is caller-save;
+// home registers, being pinned, survive calls by construction). Spill code
+// is inserted into the IR using the reserved scratch temporaries; after
+// Allocate returns, every vreg in the (possibly grown) function has an
+// entry in the Assignment.
+func Allocate(f *ir.Func, cfg *machine.Config) (*Assignment, error) {
+	type interval struct {
+		reg        ir.Reg
+		start, end int
+		crossCall  bool
+	}
+
+	// 1. Linearize and index positions.
+	order := f.ReversePostorder()
+	pos := 0
+	instrPos := map[*ir.Instr]int{}
+	blockRange := map[*ir.Block][2]int{}
+	var callPositions []int
+	for _, b := range order {
+		start := pos
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			instrPos[in] = pos
+			if in.Kind == ir.KCall {
+				callPositions = append(callPositions, pos)
+			}
+			pos += 2
+		}
+		blockRange[b] = [2]int{start, pos}
+	}
+
+	// 2. Liveness -> intervals.
+	lv := f.ComputeLiveness()
+	iv := map[ir.Reg]*interval{}
+	touch := func(r ir.Reg, p int) {
+		if r == ir.NoReg {
+			return
+		}
+		it := iv[r]
+		if it == nil {
+			iv[r] = &interval{reg: r, start: p, end: p}
+			return
+		}
+		if p < it.start {
+			it.start = p
+		}
+		if p > it.end {
+			it.end = p
+		}
+	}
+	var buf [8]ir.Reg
+	for _, b := range order {
+		rng := blockRange[b]
+		for r := range lv.In[b] {
+			touch(r, rng[0])
+		}
+		for r := range lv.Out[b] {
+			touch(r, rng[1])
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			p := instrPos[in]
+			for _, u := range in.Uses(buf[:0]) {
+				touch(u, p)
+			}
+			if d := in.Def(); d != ir.NoReg {
+				touch(d, p)
+			}
+		}
+	}
+
+	// 3. Mark call-crossing intervals.
+	for _, it := range iv {
+		for _, cp := range callPositions {
+			if it.start < cp && cp < it.end {
+				it.crossCall = true
+				break
+			}
+		}
+	}
+
+	// 4. Pools (minus scratch registers).
+	poolSize := map[ir.RegClass]int{
+		ir.RInt: cfg.IntTemps - scratchPerClass,
+		ir.RFP:  cfg.FPTemps - scratchPerClass,
+	}
+	for cl, n := range poolSize {
+		if n < 0 {
+			return nil, fmt.Errorf("regalloc: %s: class %d temp pool too small (%d temps, %d reserved for spill code)",
+				f.Name, cl, n+scratchPerClass, scratchPerClass)
+		}
+	}
+	scratch := func(cl ir.RegClass, i int) isa.Reg {
+		return TempPhys(cl, poolSize[cl]+i)
+	}
+
+	// 5. Linear scan per class.
+	a := &Assignment{}
+	grow := func() {
+		for len(a.Phys) < f.NumRegs() {
+			a.Phys = append(a.Phys, isa.NoReg)
+			a.Slot = append(a.Slot, -1)
+		}
+	}
+	grow()
+	newSlot := func() int {
+		s := a.NumSlots
+		a.NumSlots++
+		return s
+	}
+
+	var all []*interval
+	for _, it := range iv {
+		all = append(all, it)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].start != all[j].start {
+			return all[i].start < all[j].start
+		}
+		return all[i].reg < all[j].reg
+	})
+
+	for _, cl := range []ir.RegClass{ir.RInt, ir.RFP} {
+		free := make([]bool, poolSize[cl])
+		for i := range free {
+			free[i] = true
+		}
+		physIdx := map[ir.Reg]int{}
+		var active []*interval
+		// Round-robin cursor: reusing the most-recently-freed register
+		// would introduce artificial WAR/WAW dependencies between
+		// independent computations — exactly the effect the paper warns
+		// about ("using the same temporary register for two different
+		// values in the same basic block introduces an artificial
+		// dependency that can interfere with pipeline scheduling", §3).
+		// Rotating through the pool spreads values across temporaries.
+		cursor := 0
+		expire := func(now int) {
+			kept := active[:0]
+			for _, it := range active {
+				if it.end < now {
+					free[physIdx[it.reg]] = true
+					continue
+				}
+				kept = append(kept, it)
+			}
+			active = kept
+		}
+		for _, it := range all {
+			if f.RegClassOf(it.reg) != cl {
+				continue
+			}
+			if _, pinned := f.Pinned[it.reg]; pinned {
+				continue
+			}
+			if it.crossCall {
+				a.Slot[it.reg] = newSlot()
+				continue
+			}
+			expire(it.start)
+			found := -1
+			for k := 0; k < len(free); k++ {
+				i := (cursor + k) % len(free)
+				if free[i] {
+					found = i
+					cursor = (i + 1) % len(free)
+					break
+				}
+			}
+			if found >= 0 {
+				free[found] = false
+				physIdx[it.reg] = found
+				a.Phys[it.reg] = TempPhys(cl, found)
+				active = append(active, it)
+				continue
+			}
+			// Spill the active interval ending last, or this one.
+			victim := it
+			for _, act := range active {
+				if act.end > victim.end {
+					victim = act
+				}
+			}
+			if victim != it {
+				// Steal the victim's register.
+				idx := physIdx[victim.reg]
+				a.Phys[victim.reg] = isa.NoReg
+				a.Slot[victim.reg] = newSlot()
+				delete(physIdx, victim.reg)
+				kept := active[:0]
+				for _, act := range active {
+					if act != victim {
+						kept = append(kept, act)
+					}
+				}
+				active = kept
+				physIdx[it.reg] = idx
+				a.Phys[it.reg] = TempPhys(cl, idx)
+				active = append(active, it)
+			} else {
+				a.Slot[it.reg] = newSlot()
+			}
+		}
+	}
+
+	// 6. Insert spill code, rewriting spilled operands through scratch
+	// registers. Calls and returns are left alone: the code generator
+	// reloads spilled arguments directly into argument registers.
+	scratchVreg := map[[2]int]ir.Reg{} // (class, i) -> pinned vreg
+	getScratch := func(cl ir.RegClass, i int) ir.Reg {
+		key := [2]int{int(cl), i}
+		if r, ok := scratchVreg[key]; ok {
+			return r
+		}
+		r := f.NewPinnedReg(cl, scratch(cl, i))
+		scratchVreg[key] = r
+		return r
+	}
+
+	for _, b := range f.Blocks {
+		var out []ir.Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Kind == ir.KCall || in.Kind == ir.KRet {
+				out = append(out, in)
+				continue
+			}
+			// Reload spilled sources.
+			next := 0
+			reloaded := map[ir.Reg]ir.Reg{}
+			for _, u := range in.Uses(buf[:0]) {
+				if a.Slot[u] < 0 {
+					continue
+				}
+				if s, done := reloaded[u]; done {
+					in.ReplaceUses(u, s)
+					continue
+				}
+				s := getScratch(f.RegClassOf(u), next)
+				next++
+				out = append(out, ir.Instr{Kind: ir.KLoadSlot, Dst: s, Src1: ir.NoReg, Src2: ir.NoReg, Imm: int64(a.Slot[u])})
+				in.ReplaceUses(u, s)
+				reloaded[u] = s
+			}
+			// Redirect a spilled destination through scratch 0.
+			d := in.Def()
+			if d != ir.NoReg && a.Slot[d] >= 0 {
+				s := getScratch(f.RegClassOf(d), 0)
+				in.Dst = s
+				out = append(out, in)
+				out = append(out, ir.Instr{Kind: ir.KStoreSlot, Dst: ir.NoReg, Src1: s, Src2: ir.NoReg, Imm: int64(a.Slot[d])})
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+
+	// 7. Finalize: pinned registers and bounds.
+	grow()
+	for v, phys := range f.Pinned {
+		a.Phys[v] = phys
+	}
+	for v := 0; v < f.NumRegs(); v++ {
+		if a.Phys[v] == isa.NoReg && a.Slot[v] < 0 {
+			// Never-used register (e.g. optimized away): park it on a
+			// scratch so the code generator never sees NoReg.
+			a.Phys[v] = scratch(f.RegClassOf(ir.Reg(v)), 0)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,282 @@
+// Package regalloc implements both halves of the paper's register story:
+//
+//   - PromoteHomes is the global register allocator [16]: it assigns the
+//     "home location" part of the register file to local and global
+//     variables, using call-graph interference the way Wall's link-time
+//     allocator did (two functions' locals may share a home register only
+//     if the functions can never be active simultaneously).
+//
+//   - Allocate is the local allocator: it maps expression temporaries
+//     (virtual registers) onto the "temporaries" part of the register
+//     file with a linear scan, spilling to stack slots when the paper's
+//     16-temporary budget (or the 40-temporary unrolling budget) runs out.
+//
+// The split mirrors §3: "Our compiler divides the register set into two
+// disjoint parts. It uses one part as temporaries for short-term
+// expressions ... It uses the other part as home locations for local and
+// global variables."
+package regalloc
+
+import (
+	"sort"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/lang/ast"
+	"ilp/internal/machine"
+)
+
+// Physical register pool layout. The 50 allocatable registers per file are
+// r10..r59 (f10..f59): first the temporaries, then the home locations.
+const poolBase = 10
+
+// TempPhys returns the i'th temporary register of the class.
+func TempPhys(c ir.RegClass, i int) isa.Reg {
+	if c == ir.RFP {
+		return isa.F(poolBase + i)
+	}
+	return isa.R(poolBase + i)
+}
+
+// HomePhys returns the i'th home register of the class given the
+// temporary-pool size.
+func HomePhys(c ir.RegClass, temps, i int) isa.Reg {
+	if c == ir.RFP {
+		return isa.F(poolBase + temps + i)
+	}
+	return isa.R(poolBase + temps + i)
+}
+
+// loopWeight is the per-nesting-level multiplier for usage estimates.
+const loopWeight = 10
+
+// candidate is a variable considered for a home register.
+type candidate struct {
+	sym    *ast.Symbol
+	fn     *ir.Func // nil for globals
+	weight int64
+	class  ir.RegClass
+}
+
+// PromoteHomes performs global register allocation: the most-used global
+// scalars and function locals/parameters move from memory into home
+// registers. It rewrites LoadVar/StoreVar of promoted symbols into register
+// moves and records the assignment in p.Promoted (the code generator uses
+// it to initialize promoted globals and parameters).
+func PromoteHomes(p *ir.Program, cfg *machine.Config) {
+	if p.Promoted == nil {
+		p.Promoted = map[*ast.Symbol]isa.Reg{}
+	}
+	interferes := buildInterference(p)
+	recursive := findRecursive(p)
+
+	// Gather candidates with static usage weights.
+	var cands []*candidate
+	bySym := map[*ast.Symbol]*candidate{}
+	for _, f := range p.Funcs {
+		depths := f.LoopDepths()
+		for _, b := range f.Blocks {
+			w := int64(1)
+			for d := 0; d < depths[b] && d < 6; d++ {
+				w *= loopWeight
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Kind != ir.KLoadVar && in.Kind != ir.KStoreVar {
+					continue
+				}
+				sym := in.Sym
+				c := bySym[sym]
+				if c == nil {
+					cl := ir.RInt
+					if sym.Type == ast.Real {
+						cl = ir.RFP
+					}
+					c = &candidate{sym: sym, class: cl}
+					if sym.Kind != ast.SymGlobal {
+						c.fn = f
+					}
+					bySym[sym] = c
+					cands = append(cands, c)
+				}
+				c.weight += w
+			}
+		}
+	}
+
+	// Locals of recursive functions cannot live in home registers (a
+	// second activation would clobber the first).
+	eligible := cands[:0]
+	for _, c := range cands {
+		if c.fn != nil && recursive[c.fn.Name] {
+			continue
+		}
+		eligible = append(eligible, c)
+	}
+	cands = eligible
+
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].weight > cands[j].weight })
+
+	// Greedy assignment into the home pools.
+	type holder struct{ c *candidate }
+	homes := map[ir.RegClass]int{ir.RInt: cfg.IntHomes, ir.RFP: cfg.FPHomes}
+	temps := map[ir.RegClass]int{ir.RInt: cfg.IntTemps, ir.RFP: cfg.FPTemps}
+	assigned := map[ir.RegClass][][]holder{
+		ir.RInt: make([][]holder, cfg.IntHomes),
+		ir.RFP:  make([][]holder, cfg.FPHomes),
+	}
+	conflict := func(a, b *candidate) bool {
+		if a.fn == nil || b.fn == nil {
+			return true // globals are live everywhere
+		}
+		if a.fn == b.fn {
+			return true
+		}
+		return interferes(a.fn.Name, b.fn.Name)
+	}
+	for _, c := range cands {
+		n := homes[c.class]
+		for h := 0; h < n; h++ {
+			ok := true
+			for _, held := range assigned[c.class][h] {
+				if conflict(c, held.c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assigned[c.class][h] = append(assigned[c.class][h], holder{c})
+				p.Promoted[c.sym] = HomePhys(c.class, temps[c.class], h)
+				break
+			}
+		}
+	}
+
+	// Rewrite accesses of promoted symbols to moves through pinned
+	// virtual registers.
+	for _, f := range p.Funcs {
+		pinnedOf := map[*ast.Symbol]ir.Reg{}
+		pin := func(sym *ast.Symbol, cl ir.RegClass) ir.Reg {
+			if r, ok := pinnedOf[sym]; ok {
+				return r
+			}
+			r := f.NewPinnedReg(cl, p.Promoted[sym])
+			pinnedOf[sym] = r
+			return r
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				var sym *ast.Symbol
+				if in.Kind == ir.KLoadVar || in.Kind == ir.KStoreVar {
+					sym = in.Sym
+				} else {
+					continue
+				}
+				phys, prom := p.Promoted[sym]
+				if !prom {
+					continue
+				}
+				_ = phys
+				cl := ir.RInt
+				op := isa.OpMov
+				if sym.Type == ast.Real {
+					cl, op = ir.RFP, isa.OpFmov
+				}
+				h := pin(sym, cl)
+				if in.Kind == ir.KLoadVar {
+					*in = ir.Instr{Kind: ir.KOp, Op: op, Dst: in.Dst, Src1: h, Src2: ir.NoReg}
+				} else {
+					*in = ir.Instr{Kind: ir.KOp, Op: op, Dst: h, Src1: in.Src1, Src2: ir.NoReg}
+				}
+			}
+		}
+	}
+}
+
+// buildInterference returns a predicate: can functions a and b be active at
+// the same time (one reachable from the other in the call graph)?
+func buildInterference(p *ir.Program) func(a, b string) bool {
+	callees := map[string]map[string]bool{}
+	for _, f := range p.Funcs {
+		set := map[string]bool{}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Kind == ir.KCall {
+					set[b.Instrs[i].Sym.Name] = true
+				}
+			}
+		}
+		callees[f.Name] = set
+	}
+	// Transitive closure (programs have few functions).
+	reach := map[string]map[string]bool{}
+	for name := range callees {
+		r := map[string]bool{}
+		stack := []string{name}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for callee := range callees[cur] {
+				if !r[callee] {
+					r[callee] = true
+					stack = append(stack, callee)
+				}
+			}
+		}
+		reach[name] = r
+	}
+	return func(a, b string) bool {
+		return reach[a][b] || reach[b][a]
+	}
+}
+
+// findRecursive returns functions on call-graph cycles.
+func findRecursive(p *ir.Program) map[string]bool {
+	inter := buildInterference(p)
+	out := map[string]bool{}
+	for _, f := range p.Funcs {
+		// f is recursive iff f can reach itself.
+		callSelf := false
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Kind == ir.KCall {
+					callee := b.Instrs[i].Sym.Name
+					if callee == f.Name || inter(callee, f.Name) && reaches(p, callee, f.Name) {
+						callSelf = true
+					}
+				}
+			}
+		}
+		out[f.Name] = callSelf
+	}
+	return out
+}
+
+// reaches reports whether from can (transitively) call to.
+func reaches(p *ir.Program, from, to string) bool {
+	seen := map[string]bool{}
+	var walk func(name string) bool
+	walk = func(name string) bool {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		f := p.FuncByName(name)
+		if f == nil {
+			return false
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Kind == ir.KCall {
+					callee := b.Instrs[i].Sym.Name
+					if callee == to || walk(callee) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return walk(from)
+}

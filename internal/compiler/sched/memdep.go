@@ -1,0 +1,230 @@
+// Package sched is the pipeline instruction scheduler of the paper's
+// toolchain [17]: it reorders instructions within basic blocks, driven by
+// the machine description, "so that the resulting stall time will be
+// minimized" (§3).
+//
+// Its memory dependence analysis has two modes, mirroring §4.4:
+//
+//   - conservative (default): "the scheduler must assume that two memory
+//     locations are the same unless it can prove otherwise" — any store
+//     orders against any other variable or array access. Compiler-generated
+//     spill slots are still disambiguated (they can never be aliased), and
+//     program output stays in order.
+//
+//   - careful: the memory analysis of careful unrolling — distinct
+//     variables and arrays are independent (TL has no pointers, so this is
+//     the trivially-sharp version of the paper's "interprocedural alias
+//     analysis"), and accesses to the same array are disambiguated by
+//     symbolic affine addresses, "so that stores from early copies of the
+//     loop do not interfere with loads in later copies".
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+)
+
+// linear is a symbolic address: a sum of opaque terms plus a constant.
+type linear struct {
+	terms []int32 // sorted opaque term ids; nil means pure constant
+	c     int64
+}
+
+func (l linear) key() string {
+	var b strings.Builder
+	for _, t := range l.terms {
+		fmt.Fprintf(&b, "%d,", t)
+	}
+	fmt.Fprintf(&b, ":%d", l.c)
+	return b.String()
+}
+
+// sameBase reports whether two linear forms share exactly the same term
+// multiset (so their difference is a compile-time constant).
+func sameBase(a, b linear) bool {
+	if len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i] != b.terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxTerms bounds the linear form before collapsing to an opaque value.
+const maxTerms = 6
+
+// addrAnalysis tracks symbolic register values through a region so memory
+// addresses can be compared.
+type addrAnalysis struct {
+	vals     map[isa.Reg]linear
+	memo     map[string]int32 // expression key -> opaque term
+	nextTerm int32
+}
+
+func newAddrAnalysis() *addrAnalysis {
+	return &addrAnalysis{
+		vals: map[isa.Reg]linear{},
+		memo: map[string]int32{},
+	}
+}
+
+// valueOf returns the symbolic value of a register (registers not yet
+// written in the region get a per-register opaque term).
+func (a *addrAnalysis) valueOf(r isa.Reg) linear {
+	if r == isa.RZero {
+		return linear{}
+	}
+	if v, ok := a.vals[r]; ok {
+		return v
+	}
+	v := linear{terms: []int32{-int32(r) - 1}}
+	a.vals[r] = v
+	return v
+}
+
+// opaque returns a canonical fresh term for the expression key.
+func (a *addrAnalysis) opaque(key string) linear {
+	t, ok := a.memo[key]
+	if !ok {
+		a.nextTerm++
+		t = a.nextTerm
+		a.memo[key] = t
+	}
+	return linear{terms: []int32{t}}
+}
+
+func mergeTerms(x, y []int32) []int32 {
+	out := make([]int32, 0, len(x)+len(y))
+	out = append(out, x...)
+	out = append(out, y...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// step updates the analysis for one instruction and returns the symbolic
+// address if it is a data-memory access (ok=false otherwise).
+func (a *addrAnalysis) step(in *isa.Instr) (addr linear, isMem bool) {
+	info := in.Op.Info()
+	if info.Load || (info.Store && in.Op != isa.OpPrinti && in.Op != isa.OpPrintf) {
+		base := a.valueOf(in.Src1)
+		addr = linear{terms: base.terms, c: base.c + in.Imm}
+		isMem = true
+	}
+
+	// Transfer function for the destination.
+	if !info.HasDst || in.Dst == isa.NoReg || in.Dst == isa.RZero {
+		return addr, isMem
+	}
+	var v linear
+	switch in.Op {
+	case isa.OpLi:
+		v = linear{c: in.Imm}
+	case isa.OpMov:
+		v = a.valueOf(in.Src1)
+	case isa.OpAddi:
+		s := a.valueOf(in.Src1)
+		v = linear{terms: s.terms, c: s.c + in.Imm}
+	case isa.OpAdd:
+		s1, s2 := a.valueOf(in.Src1), a.valueOf(in.Src2)
+		if len(s1.terms)+len(s2.terms) <= maxTerms {
+			v = linear{terms: mergeTerms(s1.terms, s2.terms), c: s1.c + s2.c}
+		} else {
+			v = a.opaque("add:" + s1.key() + "+" + s2.key())
+		}
+	case isa.OpSub:
+		s1, s2 := a.valueOf(in.Src1), a.valueOf(in.Src2)
+		if len(s2.terms) == 0 {
+			v = linear{terms: s1.terms, c: s1.c - s2.c}
+		} else {
+			v = a.opaque("sub:" + s1.key() + "-" + s2.key())
+		}
+	case isa.OpSlli, isa.OpMul, isa.OpSll:
+		// Memoized opaque: identical shift/multiply expressions get the
+		// same term, so scaled indices still compare equal.
+		s1 := a.valueOf(in.Src1)
+		var s2key string
+		if in.Op == isa.OpSlli {
+			s2key = fmt.Sprintf("#%d", in.Imm)
+		} else {
+			s2key = a.valueOf(in.Src2).key()
+		}
+		v = a.opaque(fmt.Sprintf("%s:%s:%s", in.Op, s1.key(), s2key))
+	default:
+		// Any other producer: a fresh opaque value per destination
+		// definition site is unnecessary — memoizing on operands keeps
+		// equal expressions equal, which is strictly more precise and
+		// still sound within a straight-line region.
+		key := fmt.Sprintf("%s:%d:%x", in.Op, in.Imm, in.FImm)
+		if info.NSrc >= 1 {
+			key += ":" + a.valueOf(in.Src1).key()
+		}
+		if info.NSrc >= 2 {
+			key += ":" + a.valueOf(in.Src2).key()
+		}
+		v = a.opaque(key)
+	}
+	a.vals[in.Dst] = v
+	return addr, isMem
+}
+
+// memAccess is the dependence-relevant footprint of one instruction.
+type memAccess struct {
+	ref     ir.MemRef
+	isStore bool
+	addr    linear
+	hasAddr bool
+}
+
+// depends reports whether access j (later) must stay ordered after access i
+// (earlier).
+func depends(i, j memAccess, careful bool) bool {
+	a, b := i.ref, j.ref
+	// Output stays in program order; it never conflicts with data memory.
+	if a.Kind == ir.MemOut || b.Kind == ir.MemOut {
+		return a.Kind == ir.MemOut && b.Kind == ir.MemOut
+	}
+	if a.Kind == ir.MemNone || b.Kind == ir.MemNone {
+		return false
+	}
+	// Two loads never conflict.
+	if !i.isStore && !j.isStore {
+		return false
+	}
+	// Spill slots are compiler-private: exact disambiguation always.
+	if a.Kind == ir.MemSpill || b.Kind == ir.MemSpill {
+		return a.Kind == ir.MemSpill && b.Kind == ir.MemSpill && a.Slot == b.Slot
+	}
+	// Distinct named arrays never overlap, even for the baseline
+	// scheduler (array variables cannot alias in Modula-2 either); the
+	// ambiguity the paper describes is scalars versus array elements,
+	// because VAR parameters can alias scalars.
+	if a.Kind == ir.MemArray && b.Kind == ir.MemArray && a.Sym != b.Sym {
+		return false
+	}
+	if !careful {
+		// Conservative otherwise: a store conflicts with any other
+		// variable or same-array access, like the paper's baseline
+		// scheduler ("the scheduler must assume that two memory
+		// locations are the same unless it can prove otherwise").
+		return true
+	}
+	// Careful mode: distinct symbols cannot alias.
+	if a.Sym != b.Sym {
+		return false
+	}
+	if a.Kind == ir.MemScalar {
+		return true // same scalar: same address
+	}
+	// Same array: affine disambiguation.
+	if i.hasAddr && j.hasAddr && sameBase(i.addr, j.addr) {
+		return i.addr.c == j.addr.c
+	}
+	return true
+}

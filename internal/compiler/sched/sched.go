@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// Options selects scheduling behavior.
+type Options struct {
+	// Careful enables the careful-unrolling memory disambiguation.
+	Careful bool
+}
+
+// Schedule reorders instructions within each basic block (in place) to
+// minimize pipeline stalls under the machine description. The permutation
+// never crosses block leaders, branches, calls, or returns, so all branch
+// targets remain valid. The mem annotation array is permuted alongside.
+func Schedule(p *isa.Program, mem []ir.MemRef, blockStarts []int, cfg *machine.Config, opts Options) {
+	leader := make(map[int]bool, len(blockStarts))
+	for _, b := range blockStarts {
+		leader[b] = true
+	}
+	isBarrier := func(in *isa.Instr) bool {
+		info := in.Op.Info()
+		return info.Branch || in.Op == isa.OpHalt
+	}
+
+	n := len(p.Instrs)
+	start := 0
+	for start < n {
+		if isBarrier(&p.Instrs[start]) {
+			start++
+			continue
+		}
+		// A region is a maximal run of non-barrier instructions that
+		// does not cross a block leader.
+		end := start + 1
+		for end < n && !isBarrier(&p.Instrs[end]) && !leader[end] {
+			end++
+		}
+		if end-start > 1 {
+			scheduleRegion(p.Instrs[start:end], mem[start:end], cfg, opts)
+		}
+		start = end
+	}
+}
+
+// scheduleRegion list-schedules one straight-line region.
+func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, opts Options) {
+	n := len(instrs)
+
+	// Memory footprints.
+	aa := newAddrAnalysis()
+	acc := make([]memAccess, n)
+	for i := range instrs {
+		in := &instrs[i]
+		addr, hasAddr := aa.step(in)
+		info := in.Op.Info()
+		acc[i] = memAccess{
+			ref:     mem[i],
+			isStore: info.Store,
+			addr:    addr,
+			hasAddr: hasAddr,
+		}
+	}
+
+	// Dependence edges. succ[i] holds (j, weight) pairs with j > i.
+	type edge struct {
+		to int
+		w  int
+	}
+	succ := make([][]edge, n)
+	npred := make([]int, n)
+	addEdge := func(i, j, w int) {
+		succ[i] = append(succ[i], edge{j, w})
+		npred[j]++
+	}
+
+	lastDef := map[isa.Reg]int{}
+	lastUses := map[isa.Reg][]int{}
+	var buf [2]isa.Reg
+	uses := func(in *isa.Instr) []isa.Reg {
+		u1, u2 := in.Uses()
+		out := buf[:0]
+		if u1 != isa.NoReg {
+			out = append(out, u1)
+		}
+		if u2 != isa.NoReg {
+			out = append(out, u2)
+		}
+		return out
+	}
+	for j := 0; j < n; j++ {
+		in := &instrs[j]
+		for _, u := range uses(in) {
+			if i, ok := lastDef[u]; ok {
+				addEdge(i, j, cfg.Latency[instrs[i].Op.Class()]) // RAW
+			}
+		}
+		if d := in.Def(); d != isa.NoReg && d != isa.RZero {
+			if i, ok := lastDef[d]; ok {
+				addEdge(i, j, 1) // WAW
+			}
+			for _, r := range lastUses[d] {
+				if r != j {
+					addEdge(r, j, 0) // WAR
+				}
+			}
+			lastDef[d] = j
+			delete(lastUses, d)
+		}
+		for _, u := range uses(in) {
+			lastUses[u] = append(lastUses[u], j)
+		}
+		// Memory ordering.
+		if acc[j].ref.Kind != ir.MemNone {
+			for i := 0; i < j; i++ {
+				if acc[i].ref.Kind == ir.MemNone {
+					continue
+				}
+				if depends(acc[i], acc[j], opts.Careful) {
+					addEdge(i, j, 1)
+				}
+			}
+		}
+	}
+
+	// Priorities: critical-path height.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := cfg.Latency[instrs[i].Op.Class()]
+		for _, e := range succ[i] {
+			if v := e.w + height[e.to]; v > h {
+				h = v
+			}
+		}
+		height[i] = h
+	}
+
+	// List scheduling with a virtual machine clock: issue width and
+	// functional-unit issue latencies are modeled so the order matches
+	// what the target machine can actually sustain.
+	classUnit := map[isa.Class]int{}
+	for ui, u := range cfg.Units {
+		for _, cl := range u.Classes {
+			classUnit[cl] = ui
+		}
+	}
+	unitFree := make([][]int, len(cfg.Units))
+	for i, u := range cfg.Units {
+		unitFree[i] = make([]int, u.Multiplicity)
+	}
+
+	earliest := make([]int, n)
+	scheduled := make([]bool, n)
+	order := make([]int, 0, n)
+	var cycle, inCycle int
+
+	remaining := n
+	for remaining > 0 {
+		best := -1
+		bestTime := 1 << 30
+		for i := 0; i < n; i++ {
+			if scheduled[i] || npred[i] > 0 {
+				continue
+			}
+			t := earliest[i]
+			if t < bestTime || (t == bestTime && best >= 0 &&
+				(height[i] > height[best] || (height[i] == height[best] && i < best))) {
+				best = i
+				bestTime = t
+			}
+		}
+		// Account for issue width and unit availability.
+		t := bestTime
+		if t < cycle {
+			t = cycle
+		}
+		if t == cycle && inCycle >= cfg.IssueWidth {
+			t = cycle + 1
+		}
+		ui := classUnit[instrs[best].Op.Class()]
+		copies := unitFree[ui]
+		bc := 0
+		for k := 1; k < len(copies); k++ {
+			if copies[k] < copies[bc] {
+				bc = k
+			}
+		}
+		if copies[bc] > t {
+			t = copies[bc]
+		}
+		if t > cycle {
+			cycle = t
+			inCycle = 1
+		} else {
+			inCycle++
+		}
+		copies[bc] = t + cfg.Units[ui].IssueLatency
+
+		scheduled[best] = true
+		order = append(order, best)
+		remaining--
+		for _, e := range succ[best] {
+			npred[e.to]--
+			if v := t + e.w; v > earliest[e.to] {
+				earliest[e.to] = v
+			}
+		}
+	}
+
+	// Apply the permutation.
+	newInstrs := make([]isa.Instr, n)
+	newMem := make([]ir.MemRef, n)
+	for pos, i := range order {
+		newInstrs[pos] = instrs[i]
+		newMem[pos] = mem[i]
+	}
+	copy(instrs, newInstrs)
+	copy(mem, newMem)
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+	"ilp/internal/metrics"
+)
+
+// These experiments probe design decisions the paper raises but does not
+// plot (DESIGN.md §5): the issue-group branch rule behind the startup
+// transient, the temporary-register budget behind the unrolling plateau,
+// scheduling itself, and careful memory disambiguation in isolation.
+
+func init() {
+	register("abl-branch", "Ablation: taken-branch issue-group break (startup transient)", runAblBranch)
+	register("abl-temps", "Ablation: temporary-register budget at high unroll factors", runAblTemps)
+	register("abl-sched", "Ablation: pipeline scheduling on/off", runAblSched)
+	register("abl-memdep", "Ablation: careful memory disambiguation without unrolling", runAblMemdep)
+}
+
+// runAblBranch quantifies §4.1's startup-transient argument by letting a
+// superscalar machine issue through taken branches.
+func runAblBranch(r *Runner) (*Result, error) {
+	suite, err := r.Cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	deg := r.Cfg.maxDegree()
+	normal := machine.IdealSuperscalar(deg)
+	through := machine.IdealSuperscalar(deg)
+	through.Name += "-branchthrough"
+	through.TakenBranchEndsGroup = false
+
+	var with, without []float64
+	t := &table{header: []string{"benchmark", "parallelism (group breaks)", "parallelism (issue through branches)"}}
+	for _, b := range suite {
+		rb, err := r.Measure(b.Name, defaultOpts(b), machine.Base())
+		if err != nil {
+			return nil, err
+		}
+		rn, err := r.Measure(b.Name, defaultOpts(b), normal)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := r.Measure(b.Name, defaultOpts(b), through)
+		if err != nil {
+			return nil, err
+		}
+		pw := rb.BaseCycles / rn.BaseCycles
+		po := rb.BaseCycles / rt.BaseCycles
+		with = append(with, pw)
+		without = append(without, po)
+		t.add(b.Name, fmtF(pw), fmtF(po))
+	}
+	var b strings.Builder
+	b.WriteString(t.render())
+	fmt.Fprintf(&b, "\nHarmonic mean: %.2f with group breaks, %.2f issuing through taken branches.\n",
+		metrics.HarmonicMean(with), metrics.HarmonicMean(without))
+	b.WriteString("The gap bounds how much of the parallelism ceiling is the control structure\n" +
+		"(basic-block boundaries) rather than data dependence.\n")
+	return &Result{ID: "abl-branch", Title: "Taken-branch issue-group break", Text: b.String(),
+		Series: []metrics.Series{
+			{Name: "with-breaks", X: seq(len(with)), Y: with},
+			{Name: "through-branches", X: seq(len(without)), Y: without},
+		}}, nil
+}
+
+// runAblTemps reruns the careful-unrolling measurement with the paper's 16
+// temporaries instead of 40: "we have only forty temporary registers
+// available, which limits the amount of parallelism we can exploit."
+func runAblTemps(r *Runner) (*Result, error) {
+	factors := []int{1, 4, 10}
+	t := &table{header: []string{"config", "x1", "x4", "x10"}}
+	var series []metrics.Series
+	for _, temps := range []int{machine.DefaultTemps, machine.WideTemps} {
+		s := metrics.Series{Name: fmt.Sprintf("linpack.careful.%dtemps", temps)}
+		row := []string{s.Name}
+		for _, k := range factors {
+			base := machine.Base()
+			wide := machine.IdealSuperscalar(r.Cfg.maxDegree())
+			for _, m := range []*machine.Config{base, wide} {
+				m.IntTemps, m.FPTemps = temps, temps
+				m.IntHomes, m.FPHomes = 10, 10
+			}
+			copts := compiler.Options{Level: compiler.O4, Unroll: k, Careful: true}
+			rb, err := r.Measure("linpack", copts, base)
+			if err != nil {
+				return nil, err
+			}
+			rw, err := r.Measure("linpack", copts, wide)
+			if err != nil {
+				return nil, err
+			}
+			par := rb.BaseCycles / rw.BaseCycles
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, par)
+			row = append(row, fmtF(par))
+		}
+		series = append(series, s)
+		t.add(row...)
+	}
+	var b strings.Builder
+	b.WriteString(t.render())
+	b.WriteString("\nFewer temporaries force register reuse, whose artificial WAR/WAW dependencies\n" +
+		"cap the parallelism of heavily unrolled loops (§3, §4.4).\n")
+	return &Result{ID: "abl-temps", Title: "Temporary-register budget", Text: b.String(), Series: series}, nil
+}
+
+// runAblSched isolates the scheduler at full optimization: O4 with and
+// without the final scheduling pass.
+func runAblSched(r *Runner) (*Result, error) {
+	suite, err := r.Cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	wide := machine.IdealSuperscalar(r.Cfg.maxDegree())
+	t := &table{header: []string{"benchmark", "parallelism unscheduled", "parallelism scheduled", "gain"}}
+	var gains []float64
+	for _, b := range suite {
+		on := defaultOpts(b)
+		off := defaultOpts(b)
+		off.NoSchedule = true
+		pb, err := r.Measure(b.Name, off, machine.Base())
+		if err != nil {
+			return nil, err
+		}
+		pw, err := r.Measure(b.Name, off, wide)
+		if err != nil {
+			return nil, err
+		}
+		sb, err := r.Measure(b.Name, on, machine.Base())
+		if err != nil {
+			return nil, err
+		}
+		sw, err := r.Measure(b.Name, on, wide)
+		if err != nil {
+			return nil, err
+		}
+		pOff := pb.BaseCycles / pw.BaseCycles
+		pOn := sb.BaseCycles / sw.BaseCycles
+		gains = append(gains, pOn/pOff)
+		t.add(b.Name, fmtF(pOff), fmtF(pOn), fmt.Sprintf("%+.0f%%", (pOn/pOff-1)*100))
+	}
+	var b strings.Builder
+	b.WriteString(t.render())
+	fmt.Fprintf(&b, "\nGeometric-mean gain from scheduling: %+.0f%% (paper: 'pipeline scheduling can\n"+
+		"increase the available parallelism by 10%% to 60%%').\n", (metrics.GeometricMean(gains)-1)*100)
+	return &Result{ID: "abl-sched", Title: "Scheduling on/off", Text: b.String(),
+		Series: []metrics.Series{{Name: "gain", X: seq(len(gains)), Y: gains}}}, nil
+}
+
+// runAblMemdep turns on careful memory disambiguation without unrolling,
+// separating the scheduler-analysis effect from the unrolling effect.
+func runAblMemdep(r *Runner) (*Result, error) {
+	suite, err := r.Cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	wide := machine.IdealSuperscalar(r.Cfg.maxDegree())
+	t := &table{header: []string{"benchmark", "conservative", "careful disambiguation", "gain"}}
+	var gains []float64
+	for _, b := range suite {
+		cons := defaultOpts(b)
+		care := defaultOpts(b)
+		care.Careful = true
+		cb, err := r.Measure(b.Name, cons, machine.Base())
+		if err != nil {
+			return nil, err
+		}
+		cw, err := r.Measure(b.Name, cons, wide)
+		if err != nil {
+			return nil, err
+		}
+		kb, err := r.Measure(b.Name, care, machine.Base())
+		if err != nil {
+			return nil, err
+		}
+		kw, err := r.Measure(b.Name, care, wide)
+		if err != nil {
+			return nil, err
+		}
+		pc := cb.BaseCycles / cw.BaseCycles
+		pk := kb.BaseCycles / kw.BaseCycles
+		gains = append(gains, pk/pc)
+		t.add(b.Name, fmtF(pc), fmtF(pk), fmt.Sprintf("%+.0f%%", (pk/pc-1)*100))
+	}
+	var b strings.Builder
+	b.WriteString(t.render())
+	b.WriteString("\nWithout unrolled copies to disambiguate, sharper memory analysis buys little —\n" +
+		"the paper's careful-unrolling gains come from the combination, not the analysis\n" +
+		"alone.\n")
+	return &Result{ID: "abl-memdep", Title: "Careful disambiguation without unrolling", Text: b.String(),
+		Series: []metrics.Series{{Name: "gain", X: seq(len(gains)), Y: gains}}}, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ilp/internal/compiler"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+	"ilp/internal/metrics"
+	"ilp/internal/pipeviz"
+)
+
+func init() {
+	register("fig2", "Figures 2-1..2-8: machine-taxonomy pipeline diagrams", runFig2)
+	register("tab2-1", "Table 2-1: average degree of superpipelining", runTab21)
+}
+
+func runFig2(r *Runner) (*Result, error) {
+	var b strings.Builder
+	for _, d := range pipeviz.All() {
+		b.WriteString(d.Render())
+		b.WriteString("\n")
+	}
+	return &Result{ID: "fig2", Title: "Machine taxonomy pipeline diagrams (§2)", Text: b.String()}, nil
+}
+
+// runTab21 measures the dynamic instruction mix of the whole benchmark
+// suite on the base machine and weights the Table 2-1 machine latencies by
+// it, reproducing the average degree of superpipelining (paper: MultiTitan
+// 1.7, CRAY-1 4.4 at their assumed frequencies).
+func runTab21(r *Runner) (*Result, error) {
+	suite, err := r.Cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+	base := machine.Base()
+
+	var jobs []job
+	for _, b := range suite {
+		jobs = append(jobs, job{b.Name, defaultOpts(b), base})
+	}
+	results, err := r.measureMany(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mean dynamic frequency per Table 2-1 group, averaged over
+	// benchmarks (each benchmark weighted equally, like the paper's
+	// whole-suite means).
+	var freq [isa.NumTableGroups]float64
+	for _, res := range results {
+		f := res.GroupFrequencies()
+		for g := range freq {
+			freq[g] += f[g] / float64(len(results))
+		}
+	}
+
+	// The paper's assumed frequencies, for the side-by-side columns.
+	paperFreq := [isa.NumTableGroups]float64{
+		isa.GroupLogical: 0.10, isa.GroupShift: 0.10, isa.GroupAddSub: 0.20,
+		isa.GroupLoad: 0.20, isa.GroupStore: 0.15, isa.GroupBranch: 0.15,
+		isa.GroupFP: 0.10,
+	}
+
+	// Group-level latencies for the two machines (Table 2-1 columns).
+	latOf := func(m *machine.Config) [isa.NumTableGroups]float64 {
+		var lat [isa.NumTableGroups]float64
+		lat[isa.GroupLogical] = float64(m.Latency[isa.ClassLogical])
+		lat[isa.GroupShift] = float64(m.Latency[isa.ClassShift])
+		lat[isa.GroupAddSub] = float64(m.Latency[isa.ClassAddSub])
+		lat[isa.GroupLoad] = float64(m.Latency[isa.ClassLoad])
+		lat[isa.GroupStore] = float64(m.Latency[isa.ClassStore])
+		lat[isa.GroupBranch] = float64(m.Latency[isa.ClassBranch])
+		lat[isa.GroupFP] = float64(m.Latency[isa.ClassFPAddSub])
+		return lat
+	}
+	mt, cray := machine.MultiTitan(), machine.CRAY1()
+	mtLat, crLat := latOf(mt), latOf(cray)
+
+	avg := func(freq [isa.NumTableGroups]float64, lat [isa.NumTableGroups]float64) float64 {
+		var s float64
+		for g := range freq {
+			s += freq[g] * lat[g]
+		}
+		return s
+	}
+
+	t := &table{header: []string{"Instr. class", "freq (measured)", "freq (paper)", "MultiTitan lat", "CRAY-1 lat",
+		"MT contrib", "CRAY contrib"}}
+	for g := 0; g < isa.NumTableGroups; g++ {
+		t.add(isa.TableGroup(g).String(),
+			fmt.Sprintf("%5.1f%%", freq[g]*100),
+			fmt.Sprintf("%5.0f%%", paperFreq[g]*100),
+			fmt.Sprintf("%d", int(mtLat[g])),
+			fmt.Sprintf("%d", int(crLat[g])),
+			fmtF(freq[g]*mtLat[g]),
+			fmtF(freq[g]*crLat[g]))
+	}
+
+	measuredMT, measuredCR := avg(freq, mtLat), avg(freq, crLat)
+	paperMT, paperCR := avg(paperFreq, mtLat), avg(paperFreq, crLat)
+
+	var b strings.Builder
+	b.WriteString(t.render())
+	fmt.Fprintf(&b, "\nAverage degree of superpipelining:\n")
+	fmt.Fprintf(&b, "  MultiTitan: %.2f measured mix (%.2f at the paper's mix; paper reports 1.7)\n", measuredMT, paperMT)
+	fmt.Fprintf(&b, "  CRAY-1:     %.2f measured mix (%.2f at the paper's mix; paper reports 4.4)\n", measuredCR, paperCR)
+
+	return &Result{
+		ID: "tab2-1", Title: "Average degree of superpipelining", Text: b.String(),
+		Series: []metrics.Series{
+			{Name: "avg-degree", X: []float64{0, 1, 2, 3},
+				Y: []float64{measuredMT, measuredCR, paperMT, paperCR}},
+		},
+	}, nil
+}
+
+var _ = compiler.O0

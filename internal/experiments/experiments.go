@@ -1,0 +1,329 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2.7, §4, §5) from the reproduction's own compiler,
+// benchmarks, and simulator. Each experiment produces a text rendition of
+// the paper's table/figure plus structured series for tests to assert the
+// shape results on (see EXPERIMENTS.md for paper-vs-measured).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+	"ilp/internal/metrics"
+	"ilp/internal/sim"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// MaxDegree is the largest superscalar/superpipelined degree swept
+	// (the paper uses 8). Smaller values make quick runs.
+	MaxDegree int
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+	// Benchmarks restricts the suite (nil = all eight).
+	Benchmarks []string
+}
+
+func (c Config) maxDegree() int {
+	if c.MaxDegree <= 0 {
+		return 8
+	}
+	return c.MaxDegree
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) suite() ([]benchmarks.Benchmark, error) {
+	if len(c.Benchmarks) == 0 {
+		return benchmarks.All(), nil
+	}
+	var out []benchmarks.Benchmark
+	for _, name := range c.Benchmarks {
+		b, err := benchmarks.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Text   string
+	Series []metrics.Series
+}
+
+// Experiment is a registered reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(r *Runner) (*Result, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// canonicalOrder is the paper's presentation order (registration order
+// depends on file-name init order, which is not it).
+var canonicalOrder = []string{
+	"fig2", "tab2-1",
+	"fig4-1", "fig4-2", "fig4-3", "fig4-4", "fig4-5",
+	"fig4-6", "fig4-7", "fig4-8",
+	"tab5-1", "sec5-1",
+	"abl-branch", "abl-temps", "abl-sched", "abl-memdep",
+	"ext-conflicts", "ext-vliw", "ext-icache", "ext-limits",
+}
+
+// Experiments lists all registered experiments in the paper's order.
+func Experiments() []Experiment {
+	byID := map[string]Experiment{}
+	for _, e := range registry {
+		byID[e.ID] = e
+	}
+	var out []Experiment
+	for _, id := range canonicalOrder {
+		if e, ok := byID[id]; ok {
+			out = append(out, e)
+			delete(byID, id)
+		}
+	}
+	// Anything registered but not in the canonical list goes last, in
+	// registration order.
+	for _, e := range registry {
+		if _, left := byID[e.ID]; left {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IDs lists experiment ids.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+}
+
+// Runner caches compilations and simulations across experiments.
+type Runner struct {
+	Cfg Config
+
+	mu    sync.Mutex
+	cache map[string]*sim.Result
+	sem   chan struct{}
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		Cfg:   cfg,
+		cache: map[string]*sim.Result{},
+		sem:   make(chan struct{}, cfg.workers()),
+	}
+}
+
+// Run executes one experiment by id.
+func (r *Runner) Run(id string) (*Result, error) {
+	e, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(r)
+}
+
+// RunAll executes every experiment, writing each rendition to w.
+func (r *Runner) RunAll(w io.Writer) error {
+	for _, e := range registry {
+		res, err := e.Run(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "==== %s: %s ====\n\n%s\n", res.ID, res.Title, res.Text)
+	}
+	return nil
+}
+
+// measureKey builds the cache key.
+func measureKey(bench string, copts compiler.Options, m *machine.Config) string {
+	return fmt.Sprintf("%s|L%d|u%d|c%v|ns%v|%s|w%d|d%d|t%d,%d|h%d,%d|br%d|tb%v|ic%v|dc%v",
+		bench, copts.Level, copts.Unroll, copts.Careful, copts.NoSchedule,
+		m.Name, m.IssueWidth, m.Degree,
+		m.IntTemps, m.FPTemps, m.IntHomes, m.FPHomes,
+		m.BranchRedirect, m.TakenBranchEndsGroup, m.ICache != nil, m.DCache != nil)
+}
+
+// Measure compiles the named benchmark for machine m with the given options
+// and simulates it, caching the result.
+func (r *Runner) Measure(bench string, copts compiler.Options, m *machine.Config) (*sim.Result, error) {
+	key := measureKey(bench, copts, m)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
+	// Re-check after acquiring the worker slot.
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	b, err := benchmarks.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	copts.Machine = m
+	c, err := compiler.Compile(b.Source, copts)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s for %s: %w", bench, m.Name, err)
+	}
+	res, err := sim.Run(c.Prog, sim.Options{Machine: m})
+	if err != nil {
+		return nil, fmt.Errorf("simulate %s on %s: %w", bench, m.Name, err)
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// MeasureMany runs a set of (bench, opts, machine) jobs concurrently.
+type job struct {
+	bench string
+	copts compiler.Options
+	m     *machine.Config
+}
+
+func (r *Runner) measureMany(jobs []job) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Measure(jobs[i].bench, jobs[i].copts, jobs[i].m)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Speedup returns base-cycle speedup of run over base.
+func speedup(run, base *sim.Result) float64 {
+	return base.BaseCycles / run.BaseCycles
+}
+
+// defaultOpts is the paper's standard configuration for §4.1–4.3:
+// "throughout the remainder of this paper we assume that pipeline
+// scheduling is performed", with normal optimization and global register
+// allocation, and Linpack's official 4x unrolling.
+func defaultOpts(b benchmarks.Benchmark) compiler.Options {
+	return compiler.Options{Level: compiler.O4, Unroll: b.DefaultUnroll}
+}
+
+// benchLabel renders the figure label (linpack.unroll4x).
+func benchLabel(b benchmarks.Benchmark) string {
+	if b.DefaultUnroll > 1 {
+		return fmt.Sprintf("%s.unroll%dx", b.Name, b.DefaultUnroll)
+	}
+	return b.Name
+}
+
+// table is a tiny fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// sortedNames of a benchmark slice.
+func sortedNames(bs []benchmarks.Benchmark) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+	"ilp/internal/metrics"
+	"ilp/internal/trace"
+)
+
+func init() {
+	register("ext-limits", "Extension: trace-driven parallelism limits ([14], [15] vs. this paper)", runExtLimits)
+}
+
+// runExtLimits situates the paper's compile-time result between the two
+// classical trace-study extremes it cites in §4.2: the branch-inhibited
+// limit of Riseman & Foster (≈2, matching "average instruction-level
+// parallelism of around 2") and the perfect-prediction oracle (an order of
+// magnitude higher).
+func runExtLimits(r *Runner) (*Result, error) {
+	suite, err := r.Cfg.suite()
+	if err != nil {
+		return nil, err
+	}
+
+	type row struct {
+		name            string
+		compiled        float64
+		blocked, oracle float64
+		truncated       bool
+	}
+	rows := make([]row, len(suite))
+	var wg sync.WaitGroup
+	errs := make([]error, len(suite))
+	for i, b := range suite {
+		wg.Add(1)
+		go func(i int, b benchmarks.Benchmark) {
+			defer wg.Done()
+			// Compiled, machine-level parallelism (the paper's metric).
+			rb, err := r.Measure(b.Name, defaultOpts(b), machine.Base())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rw, err := r.Measure(b.Name, defaultOpts(b), machine.IdealSuperscalar(r.Cfg.maxDegree()))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Trace limits on the same binary.
+			copts := defaultOpts(b)
+			copts.Machine = machine.Base()
+			c, err := compiler.Compile(b.Source, copts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			lim, err := trace.Analyze(c.Prog, trace.Options{MaxTrace: 1_500_000})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = row{
+				name:      benchLabel(b),
+				compiled:  rb.BaseCycles / rw.BaseCycles,
+				blocked:   lim.BlockedParallelism(),
+				oracle:    lim.OracleParallelism(),
+				truncated: lim.Truncated,
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	t := &table{header: []string{"benchmark", "compiled (this paper)", "blocked limit [14]", "oracle limit [14,15]"}}
+	var compiled, blocked, oracle []float64
+	for _, row := range rows {
+		note := ""
+		if row.truncated {
+			note = "*"
+		}
+		t.add(row.name+note, fmtF(row.compiled), fmtF(row.blocked), fmtF(row.oracle))
+		compiled = append(compiled, row.compiled)
+		blocked = append(blocked, row.blocked)
+		oracle = append(oracle, row.oracle)
+	}
+	var b strings.Builder
+	b.WriteString("Three parallelism measures of the same binaries (* = trace truncated at 1.5M):\n\n")
+	b.WriteString(t.render())
+	fmt.Fprintf(&b, "\nHarmonic means: compiled %.2f, blocked trace limit %.2f, oracle %.1f.\n",
+		metrics.HarmonicMean(compiled), metrics.HarmonicMean(blocked), metrics.HarmonicMean(oracle))
+	b.WriteString("\nThe blocked limit (infinite width, unit latency, perfect renaming, exact memory\n" +
+		"disambiguation — but no execution past an unresolved conditional branch) lands\n" +
+		"near the ~2 the paper quotes from the classical studies; the perfect-prediction\n" +
+		"oracle is an order of magnitude higher (Riseman & Foster's contrast). The\n" +
+		"compiled machines sit at or below the blocked limit, as they must: a real\n" +
+		"compiler, finite registers, and in-order issue only lose parallelism from there.\n")
+	return &Result{ID: "ext-limits", Title: "Trace-driven parallelism limits", Text: b.String(),
+		Series: []metrics.Series{
+			{Name: "compiled", X: seq(len(compiled)), Y: compiled},
+			{Name: "blocked", X: seq(len(blocked)), Y: blocked},
+			{Name: "oracle", X: seq(len(oracle)), Y: oracle},
+		}}, nil
+}

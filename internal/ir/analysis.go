@@ -1,0 +1,251 @@
+package ir
+
+// This file holds the CFG analyses the optimizer and register allocator
+// share: reverse postorder, liveness, dominators, and natural loops.
+
+// ReversePostorder returns the blocks reachable from the entry in reverse
+// postorder (a topological-ish order good for forward dataflow and for
+// linearizing code).
+func (f *Func) ReversePostorder() []*Block {
+	seen := map[*Block]bool{}
+	var order []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		succs := b.Succs()
+		// Visit the fall-through last so it ends up adjacent in the
+		// final order where possible.
+		for i := len(succs) - 1; i >= 0; i-- {
+			if !seen[succs[i]] {
+				dfs(succs[i])
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(f.Entry())
+	// Reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// RemoveUnreachable drops blocks not reachable from the entry.
+func (f *Func) RemoveUnreachable() {
+	reach := map[*Block]bool{}
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		reach[b] = true
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				dfs(s)
+			}
+		}
+	}
+	dfs(f.Entry())
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+}
+
+// Liveness holds per-block live-in/live-out virtual register sets.
+type Liveness struct {
+	In  map[*Block]map[Reg]bool
+	Out map[*Block]map[Reg]bool
+}
+
+// ComputeLiveness runs the standard backward iterative dataflow.
+func (f *Func) ComputeLiveness() *Liveness {
+	lv := &Liveness{
+		In:  map[*Block]map[Reg]bool{},
+		Out: map[*Block]map[Reg]bool{},
+	}
+	// use/def per block.
+	use := map[*Block]map[Reg]bool{}
+	def := map[*Block]map[Reg]bool{}
+	var buf []Reg
+	for _, b := range f.Blocks {
+		u, d := map[Reg]bool{}, map[Reg]bool{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			buf = in.Uses(buf[:0])
+			for _, r := range buf {
+				if !d[r] {
+					u[r] = true
+				}
+			}
+			if dst := in.Def(); dst != NoReg {
+				d[dst] = true
+			}
+		}
+		use[b], def[b] = u, d
+		lv.In[b] = map[Reg]bool{}
+		lv.Out[b] = map[Reg]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in reverse RPO for fast convergence.
+		rpo := f.ReversePostorder()
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := lv.Out[b]
+			for _, s := range b.Succs() {
+				for r := range lv.In[s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.In[b]
+			for r := range use[b] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !def[b][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// Dominators computes the immediate-dominator map (entry maps to nil) with
+// the Cooper-Harvey-Kennedy iterative algorithm.
+func (f *Func) Dominators() map[*Block]*Block {
+	rpo := f.ReversePostorder()
+	index := map[*Block]int{}
+	for i, b := range rpo {
+		index[b] = i
+	}
+	idom := map[*Block]*Block{}
+	entry := f.Entry()
+	idom[entry] = entry
+	preds := f.Preds()
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry] = nil
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom map.
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = idom[b]
+	}
+	return false
+}
+
+// Loop is a natural loop: a back edge tail->header plus the body.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+	// Depth is the nesting depth (1 = outermost).
+	Depth int
+}
+
+// NaturalLoops finds all natural loops (merging loops that share a header)
+// and computes nesting depths.
+func (f *Func) NaturalLoops() []*Loop {
+	idom := f.Dominators()
+	preds := f.Preds()
+	byHeader := map[*Block]*Loop{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if Dominates(idom, s, b) {
+				// Back edge b -> s.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+					byHeader[s] = l
+				}
+				// Walk predecessors from the tail to collect the body.
+				var stack []*Block
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range preds[x] {
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	var loops []*Loop
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	// Depth: number of loops containing each header.
+	for _, l := range loops {
+		l.Depth = 0
+		for _, m := range loops {
+			if m.Blocks[l.Header] {
+				l.Depth++
+			}
+		}
+	}
+	return loops
+}
+
+// LoopDepths returns the nesting depth per block (0 = not in any loop).
+func (f *Func) LoopDepths() map[*Block]int {
+	depth := map[*Block]int{}
+	for _, l := range f.NaturalLoops() {
+		for b := range l.Blocks {
+			depth[b]++
+		}
+	}
+	return depth
+}

@@ -1,0 +1,39 @@
+package ir
+
+import "ilp/internal/lang/ast"
+
+// MemKind classifies a machine instruction's memory reference for the
+// scheduler's dependence analysis.
+type MemKind uint8
+
+// Memory reference kinds.
+const (
+	// MemNone: the instruction does not touch memory.
+	MemNone MemKind = iota
+	// MemScalar: a named scalar variable (global, local or parameter
+	// slot). In Modula-2 these could be aliased through VAR parameters,
+	// so the conservative scheduler treats them like any other memory;
+	// the careful mode knows distinct scalars cannot alias.
+	MemScalar
+	// MemArray: an element of a named array.
+	MemArray
+	// MemSpill: a compiler-generated spill or save slot. Never aliased —
+	// even the conservative scheduler disambiguates these, as the
+	// paper's scheduler must have (spill traffic would otherwise
+	// serialize everything uniformly).
+	MemSpill
+	// MemOut: the output port (printi/printf). Ordered against itself so
+	// program output order is preserved, independent of data memory.
+	MemOut
+)
+
+// MemRef annotates one machine instruction with what it touches. Produced
+// by the code generator in an array parallel to the instruction stream and
+// consumed by the pipeline scheduler.
+type MemRef struct {
+	Kind MemKind
+	// Sym is the variable or array for MemScalar/MemArray.
+	Sym *ast.Symbol
+	// Slot distinguishes spill/save slots within a function.
+	Slot int
+}

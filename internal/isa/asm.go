@@ -1,0 +1,299 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text in the disassembler's syntax back into a
+// Program, completing the toolchain round trip: Program -> Disassemble ->
+// Assemble -> identical Program. Lines look like:
+//
+//	label:
+//	    add r3, r1, r2
+//	    lw r4, 8(sp)
+//	    beq r1, r2, label
+//	    fli f2, 1.5
+//	    ; comment (also "//" and text after "\t;")
+//
+// Instruction indices in the input (the disassembler's leading numbers)
+// are ignored; labels and mnemonics carry all the information.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		opByName: map[string]Opcode{},
+		labels:   map[string]int{},
+	}
+	for op := 0; op < NumOpcodes; op++ {
+		a.opByName[Opcode(op).String()] = Opcode(op)
+	}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Instrs:  a.instrs,
+		Data:    a.data,
+		Symbols: a.symbols,
+	}
+	for _, f := range a.fixups {
+		pos, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: undefined label %q", f.line, f.label)
+		}
+		p.Instrs[f.instr].Target = pos
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+type asmFixup struct {
+	instr int
+	label string
+	line  int
+}
+
+type assembler struct {
+	opByName map[string]Opcode
+	labels   map[string]int
+	symbols  map[int]string
+	instrs   []Instr
+	data     []int64
+	fixups   []asmFixup
+}
+
+func (a *assembler) run(src string) error {
+	a.symbols = map[int]string{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		// Strip comments.
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Directives.
+		if strings.HasPrefix(line, ".data") {
+			fields := strings.Fields(line)[1:]
+			for _, f := range fields {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return fmt.Errorf("asm: line %d: bad data word %q", ln+1, f)
+				}
+				a.data = append(a.data, v)
+			}
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if name == "" || strings.ContainsAny(name, " \t,()") {
+				break // a colon inside something else; not a label
+			}
+			if _, dup := a.labels[name]; dup {
+				return fmt.Errorf("asm: line %d: duplicate label %q", ln+1, name)
+			}
+			a.labels[name] = len(a.instrs)
+			a.symbols[len(a.instrs)] = name
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		// Drop a leading instruction index if present (disassembler
+		// output).
+		fields := strings.Fields(line)
+		if _, err := strconv.Atoi(fields[0]); err == nil {
+			fields = fields[1:]
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		if err := a.instr(ln+1, fields[0], strings.TrimSpace(strings.TrimPrefix(strings.Join(fields, " "), fields[0]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseReg parses r7, f12, sp, ra, or "-".
+func parseReg(tok string) (Reg, error) {
+	switch tok {
+	case "sp":
+		return RSP, nil
+	case "ra":
+		return RRA, nil
+	case "-":
+		return NoReg, nil
+	}
+	if len(tok) >= 2 && (tok[0] == 'r' || tok[0] == 'f') {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n <= 63 {
+			if tok[0] == 'f' {
+				return F(n), nil
+			}
+			return R(n), nil
+		}
+	}
+	return NoReg, fmt.Errorf("bad register %q", tok)
+}
+
+// parseMem parses "imm(base)".
+func parseMem(tok string) (Reg, int64, error) {
+	open := strings.Index(tok, "(")
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return NoReg, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	imm, err := strconv.ParseInt(tok[:open], 10, 64)
+	if err != nil {
+		return NoReg, 0, fmt.Errorf("bad offset in %q", tok)
+	}
+	base, err := parseReg(tok[open+1 : len(tok)-1])
+	if err != nil {
+		return NoReg, 0, err
+	}
+	return base, imm, nil
+}
+
+func (a *assembler) instr(line int, mnemonic, rest string) error {
+	op, ok := a.opByName[mnemonic]
+	if !ok {
+		return fmt.Errorf("asm: line %d: unknown mnemonic %q", line, mnemonic)
+	}
+	info := op.Info()
+	var ops []string
+	for _, f := range strings.Split(rest, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			ops = append(ops, f)
+		}
+	}
+	in := Instr{Op: op, Dst: NoReg, Src1: NoReg, Src2: NoReg}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("asm: line %d: %s takes %d operands, got %d", line, mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	fail := func(e error) error { return fmt.Errorf("asm: line %d: %w", line, e) }
+
+	switch {
+	case info.Load:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return fail(err)
+		}
+		if in.Src1, in.Imm, err = parseMem(ops[1]); err != nil {
+			return fail(err)
+		}
+	case info.Store && op != OpPrinti && op != OpPrintf:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Src2, err = parseReg(ops[0]); err != nil {
+			return fail(err)
+		}
+		if in.Src1, in.Imm, err = parseMem(ops[1]); err != nil {
+			return fail(err)
+		}
+	case info.Branch && op != OpJr:
+		// beq r1, r2, label | j label | jal label
+		want := info.NSrc + 1
+		if err = need(want); err != nil {
+			return err
+		}
+		if info.NSrc >= 1 {
+			if in.Src1, err = parseReg(ops[0]); err != nil {
+				return fail(err)
+			}
+		}
+		if info.NSrc >= 2 {
+			if in.Src2, err = parseReg(ops[1]); err != nil {
+				return fail(err)
+			}
+		}
+		label := ops[len(ops)-1]
+		if strings.HasPrefix(label, "@") {
+			t, cerr := strconv.Atoi(label[1:])
+			if cerr != nil {
+				return fail(fmt.Errorf("bad target %q", label))
+			}
+			in.Target = t
+		} else {
+			in.Sym = label
+			a.fixups = append(a.fixups, asmFixup{len(a.instrs), label, line})
+		}
+		if op == OpJal {
+			in.Dst = RRA
+		}
+	default:
+		idx := 0
+		take := func() (string, error) {
+			if idx >= len(ops) {
+				return "", fmt.Errorf("missing operand for %s", mnemonic)
+			}
+			idx++
+			return ops[idx-1], nil
+		}
+		if info.HasDst {
+			tok, terr := take()
+			if terr != nil {
+				return fail(terr)
+			}
+			if in.Dst, err = parseReg(tok); err != nil {
+				return fail(err)
+			}
+		}
+		for s := 0; s < info.NSrc; s++ {
+			tok, terr := take()
+			if terr != nil {
+				return fail(terr)
+			}
+			r, rerr := parseReg(tok)
+			if rerr != nil {
+				return fail(rerr)
+			}
+			if s == 0 {
+				in.Src1 = r
+			} else {
+				in.Src2 = r
+			}
+		}
+		if info.HasImm {
+			tok, terr := take()
+			if terr != nil {
+				return fail(terr)
+			}
+			if in.Imm, err = strconv.ParseInt(tok, 10, 64); err != nil {
+				return fail(fmt.Errorf("bad immediate %q", tok))
+			}
+		}
+		if info.FImm {
+			tok, terr := take()
+			if terr != nil {
+				return fail(terr)
+			}
+			if in.FImm, err = strconv.ParseFloat(tok, 64); err != nil {
+				return fail(fmt.Errorf("bad float immediate %q", tok))
+			}
+		}
+		if idx != len(ops) {
+			return fail(fmt.Errorf("%s: %d extra operands", mnemonic, len(ops)-idx))
+		}
+	}
+	a.instrs = append(a.instrs, in)
+	return nil
+}

@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+start:
+	li r10, 5
+	li r11, 7
+	add r12, r10, r11
+	printi r12
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 5 {
+		t.Fatalf("instrs = %d", len(p.Instrs))
+	}
+	if p.Instrs[2].Op != OpAdd || p.Instrs[2].Dst != R(12) {
+		t.Errorf("add parsed as %s", &p.Instrs[2])
+	}
+}
+
+func TestAssembleMemoryAndBranches(t *testing.T) {
+	p, err := Assemble(`
+.data 10 20 30
+main:
+	lw r10, 1(r0)
+	sw r10, 2(sp)
+	lf f10, 0(r0)
+	sf f10, 2(r0)
+loop:
+	addi r10, r10, -1
+	bgt r10, r0, loop
+	jal main
+	jr ra
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 3 || p.Data[1] != 20 {
+		t.Errorf("data = %v", p.Data)
+	}
+	var br *Instr
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpBgt {
+			br = &p.Instrs[i]
+		}
+	}
+	if br == nil || p.Instrs[br.Target].Op != OpAddi {
+		t.Error("branch target not resolved to loop label")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, substr string
+	}{
+		{"frobnicate r1, r2", "unknown mnemonic"},
+		{"add r1", "operand"},
+		{"add r1, r2, r3, r4", "operand"},
+		{"lw r1, r2", "memory operand"},
+		{"beq r1, r2, nowhere\nhalt", "undefined label"},
+		{"li rx, 5", "register"},
+		{"li r1, banana", "immediate"},
+		{"x:\nx:\nhalt", "duplicate label"},
+		{".data 1 two", "data word"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%q: error %v, want mention of %q", c.src, err, c.substr)
+		}
+	}
+}
+
+// TestRoundTrip: disassembling and reassembling a built program reproduces
+// the instruction stream exactly.
+func TestAssembleRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	addr := b.Data(5, 6, 7)
+	b.Label("main")
+	b.Li(R(10), addr)
+	b.Load(OpLw, R(11), R(10), 1)
+	b.Fli(F(10), 2.5)
+	b.Op(OpFmul, F(11), F(10), F(10))
+	b.PrintF(F(11))
+	b.Label("loop")
+	b.Imm(OpAddi, R(11), R(11), -1)
+	b.Branch(OpBgt, R(11), RZero, "loop")
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Store(OpSw, R(11), R(10), 0)
+	b.Ret()
+	orig := b.MustFinish()
+
+	text := ".data 5 6 7\n" + orig.Disassemble()
+	back, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\nsource:\n%s", err, text)
+	}
+	if len(back.Instrs) != len(orig.Instrs) {
+		t.Fatalf("instr count %d != %d", len(back.Instrs), len(orig.Instrs))
+	}
+	for i := range orig.Instrs {
+		a, bI := orig.Instrs[i], back.Instrs[i]
+		a.Sym, bI.Sym = "", "" // symbols are display-only
+		if a != bI {
+			t.Errorf("instr %d: %v != %v", i, orig.Instrs[i].String(), back.Instrs[i].String())
+		}
+	}
+	if len(back.Data) != 3 || back.Data[2] != 7 {
+		t.Errorf("data lost: %v", back.Data)
+	}
+}
+
+// TestAssembleRoundTripProperty: random single instructions survive the
+// disassemble/assemble round trip bit-for-bit.
+func TestAssembleRoundTripProperty(t *testing.T) {
+	seed := uint64(99)
+	rnd := func(m int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % m
+	}
+	reg := func(fp bool) Reg {
+		if fp {
+			return F(rnd(64))
+		}
+		return R(rnd(64))
+	}
+	for trial := 0; trial < 500; trial++ {
+		op := Opcode(rnd(NumOpcodes))
+		info := op.Info()
+		in := Instr{Op: op, Dst: NoReg, Src1: NoReg, Src2: NoReg}
+		if info.HasDst {
+			in.Dst = reg(info.DstFP)
+		}
+		if op == OpJal {
+			in.Dst = RRA
+		}
+		if info.NSrc >= 1 {
+			in.Src1 = reg(info.Src1FP)
+		}
+		if info.NSrc >= 2 {
+			in.Src2 = reg(info.Src2FP)
+		}
+		if info.HasImm {
+			in.Imm = int64(rnd(2000) - 1000)
+		}
+		if info.FImm {
+			in.FImm = float64(rnd(1000)) / 8.0
+		}
+		if info.Load || (info.Store && op != OpPrinti && op != OpPrintf) {
+			if in.Imm < 0 {
+				in.Imm = -in.Imm // keep memory offsets printable as-is
+			}
+		}
+		// Build a tiny program: label so branches have a target.
+		b := NewBuilder()
+		b.Label("l0")
+		if info.Branch && op != OpJr {
+			in.Target = 0
+			in.Sym = "l0"
+		}
+		b.Emit(in)
+		b.Halt()
+		p, err := b.Finish()
+		if err != nil {
+			t.Fatalf("trial %d: build: %v (%s)", trial, err, in.String())
+		}
+		back, err := Assemble(p.Disassemble())
+		if err != nil {
+			t.Fatalf("trial %d: reassemble %q: %v", trial, in.String(), err)
+		}
+		got, want := back.Instrs[0], p.Instrs[0]
+		got.Sym, want.Sym = "", ""
+		if got != want {
+			t.Fatalf("trial %d: round trip %q -> %q", trial, want.String(), got.String())
+		}
+	}
+}

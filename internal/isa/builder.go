@@ -1,0 +1,152 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program incrementally, with symbolic labels resolved
+// at Finish. It exists for tests, examples, and the pipeline-diagram tool;
+// the compiler's code generator builds Programs directly.
+type Builder struct {
+	instrs  []Instr
+	labels  map[string]int
+	fixups  []fixup
+	data    []int64
+	symbols map[int]string
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: map[string]int{}, symbols: map[int]string{}}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("isa: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.instrs)
+	b.symbols[len(b.instrs)] = name
+	return b
+}
+
+// Emit appends an instruction.
+func (b *Builder) Emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// Op emits a three-register instruction.
+func (b *Builder) Op(op Opcode, dst, src1, src2 Reg) *Builder {
+	return b.Emit(Instr{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Op1 emits a two-register instruction.
+func (b *Builder) Op1(op Opcode, dst, src Reg) *Builder {
+	return b.Emit(Instr{Op: op, Dst: dst, Src1: src, Src2: NoReg})
+}
+
+// Imm emits a register-immediate instruction (addi, andi, slli, ...).
+func (b *Builder) Imm(op Opcode, dst, src Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: op, Dst: dst, Src1: src, Src2: NoReg, Imm: imm})
+}
+
+// Li emits a load-immediate.
+func (b *Builder) Li(dst Reg, imm int64) *Builder {
+	return b.Emit(Instr{Op: OpLi, Dst: dst, Src1: NoReg, Src2: NoReg, Imm: imm})
+}
+
+// Fli emits a floating-point load-immediate.
+func (b *Builder) Fli(dst Reg, imm float64) *Builder {
+	return b.Emit(Instr{Op: OpFli, Dst: dst, Src1: NoReg, Src2: NoReg, FImm: imm})
+}
+
+// Load emits lw/lf dst, off(base).
+func (b *Builder) Load(op Opcode, dst, base Reg, off int64) *Builder {
+	return b.Emit(Instr{Op: op, Dst: dst, Src1: base, Src2: NoReg, Imm: off})
+}
+
+// Store emits sw/sf val, off(base).
+func (b *Builder) Store(op Opcode, val, base Reg, off int64) *Builder {
+	return b.Emit(Instr{Op: op, Dst: NoReg, Src1: base, Src2: val, Imm: off})
+}
+
+// Branch emits a conditional branch to a label.
+func (b *Builder) Branch(op Opcode, src1, src2 Reg, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.Emit(Instr{Op: op, Dst: NoReg, Src1: src1, Src2: src2, Sym: label})
+}
+
+// Jump emits an unconditional jump to a label.
+func (b *Builder) Jump(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.Emit(Instr{Op: OpJ, Dst: NoReg, Src1: NoReg, Src2: NoReg, Sym: label})
+}
+
+// Call emits jal to a label, linking through RA.
+func (b *Builder) Call(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.Emit(Instr{Op: OpJal, Dst: RRA, Src1: NoReg, Src2: NoReg, Sym: label})
+}
+
+// Ret emits jr ra.
+func (b *Builder) Ret() *Builder {
+	return b.Emit(Instr{Op: OpJr, Dst: NoReg, Src1: RRA, Src2: NoReg})
+}
+
+// Halt emits halt.
+func (b *Builder) Halt() *Builder {
+	return b.Emit(Instr{Op: OpHalt, Dst: NoReg, Src1: NoReg, Src2: NoReg})
+}
+
+// Print emits printi rs.
+func (b *Builder) Print(src Reg) *Builder {
+	return b.Emit(Instr{Op: OpPrinti, Dst: NoReg, Src1: src, Src2: NoReg})
+}
+
+// PrintF emits printf fs.
+func (b *Builder) PrintF(src Reg) *Builder {
+	return b.Emit(Instr{Op: OpPrintf, Dst: NoReg, Src1: src, Src2: NoReg})
+}
+
+// Data appends words to the data segment and returns their base address.
+func (b *Builder) Data(words ...int64) int64 {
+	base := int64(len(b.data))
+	b.data = append(b.data, words...)
+	return base
+}
+
+// Pos returns the index the next instruction will have.
+func (b *Builder) Pos() int { return len(b.instrs) }
+
+// Finish resolves labels and returns the program.
+func (b *Builder) Finish() (*Program, error) {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		b.instrs[f.instr].Target = target
+	}
+	p := &Program{
+		Instrs:  b.instrs,
+		Data:    b.data,
+		Symbols: b.symbols,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustFinish is Finish, panicking on error. For tests and examples.
+func (b *Builder) MustFinish() *Program {
+	p, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

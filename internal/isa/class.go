@@ -1,0 +1,145 @@
+// Package isa defines the target instruction set of the reproduction: a
+// load/store RISC architecture closely modeled on the DEC WRL MultiTitan,
+// the machine used by Jouppi and Wall in the ASPLOS'89 study.
+//
+// The package provides the instruction classes (the paper groups all
+// operations into fourteen classes "selected so that operations in a given
+// class are likely to have identical pipeline behavior in any machine"),
+// the opcodes, the register model, a structured instruction representation,
+// and a disassembler. Timing is deliberately absent: operation and issue
+// latencies belong to a machine description (package machine), not to the
+// ISA, exactly as in the paper's parameterizable evaluation environment.
+package isa
+
+// Class identifies one of the fourteen instruction classes of §3 of the
+// paper. All instructions in a class share pipeline behavior: a machine
+// description assigns an operation latency to each class and maps each
+// class to a functional unit.
+type Class uint8
+
+const (
+	// ClassLogical covers bitwise operations (AND, OR, XOR, ...).
+	ClassLogical Class = iota
+	// ClassShift covers shift operations.
+	ClassShift
+	// ClassAddSub covers integer add, subtract and compare operations.
+	ClassAddSub
+	// ClassIntMul is integer multiplication (not a "simple" operation).
+	ClassIntMul
+	// ClassIntDiv is integer division and remainder (not "simple").
+	ClassIntDiv
+	// ClassLoad covers word loads, integer and floating point.
+	ClassLoad
+	// ClassStore covers word stores, integer and floating point.
+	ClassStore
+	// ClassBranch covers conditional branches and direct jumps.
+	ClassBranch
+	// ClassJump covers calls, indirect jumps and returns.
+	ClassJump
+	// ClassFPAddSub covers floating-point add, subtract, negate,
+	// comparison, and int/float conversion.
+	ClassFPAddSub
+	// ClassFPMul is floating-point multiplication.
+	ClassFPMul
+	// ClassFPDiv is floating-point division (not "simple").
+	ClassFPDiv
+	// ClassFPSpecial covers the long-latency math intrinsics
+	// (sqrt, sin, cos, atan, exp, log); not "simple".
+	ClassFPSpecial
+	// ClassMove covers register moves and immediate loads.
+	ClassMove
+
+	// NumClasses is the number of instruction classes.
+	NumClasses = int(ClassMove) + 1
+)
+
+var classNames = [NumClasses]string{
+	"logical", "shift", "addsub", "intmul", "intdiv",
+	"load", "store", "branch", "jump",
+	"fpaddsub", "fpmul", "fpdiv", "fpspecial", "move",
+}
+
+// String returns the lower-case name of the class.
+func (c Class) String() string {
+	if int(c) < NumClasses {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// Classes lists all instruction classes in order.
+func Classes() []Class {
+	out := make([]Class, NumClasses)
+	for i := range out {
+		out[i] = Class(i)
+	}
+	return out
+}
+
+// Simple reports whether the class is a "simple operation" in the paper's
+// sense: "the vast majority of operations executed by the machine", such as
+// integer add, logical ops, loads, stores, branches, and even floating-point
+// addition and multiplication. Divides and the special intrinsics are not
+// simple.
+func (c Class) Simple() bool {
+	switch c {
+	case ClassIntDiv, ClassFPDiv, ClassFPSpecial, ClassIntMul:
+		return false
+	}
+	return true
+}
+
+// TableGroup maps the fourteen classes onto the seven rows of Table 2-1 of
+// the paper (logical, shift, add/sub, load, store, branch, FP). Move is
+// folded into logical (register moves issue to the logic/ALU datapath),
+// jumps into branch, and all floating point including multiply/divide into
+// FP, following the table's granularity. Integer multiply and divide fold
+// into FP as well: like the MultiTitan, our machine performs them in the
+// floating-point datapath.
+type TableGroup uint8
+
+// Rows of Table 2-1.
+const (
+	GroupLogical TableGroup = iota
+	GroupShift
+	GroupAddSub
+	GroupLoad
+	GroupStore
+	GroupBranch
+	GroupFP
+
+	// NumTableGroups is the number of Table 2-1 rows.
+	NumTableGroups = int(GroupFP) + 1
+)
+
+var groupNames = [NumTableGroups]string{
+	"logical", "shift", "add/sub", "load", "store", "branch", "FP",
+}
+
+// String returns the Table 2-1 row label.
+func (g TableGroup) String() string {
+	if int(g) < NumTableGroups {
+		return groupNames[g]
+	}
+	return "group?"
+}
+
+// Group returns the Table 2-1 row for the class.
+func (c Class) Group() TableGroup {
+	switch c {
+	case ClassLogical, ClassMove:
+		return GroupLogical
+	case ClassShift:
+		return GroupShift
+	case ClassAddSub:
+		return GroupAddSub
+	case ClassLoad:
+		return GroupLoad
+	case ClassStore:
+		return GroupStore
+	case ClassBranch, ClassJump:
+		return GroupBranch
+	default:
+		return GroupFP
+	}
+}

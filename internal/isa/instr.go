@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is one machine instruction. The representation is unpacked for
+// simulation speed and clarity; there is no binary encoding (the study never
+// needed one: the paper's simulator is also instruction-level).
+type Instr struct {
+	Op   Opcode
+	Dst  Reg   // destination register (NoReg if none)
+	Src1 Reg   // first source (NoReg if unused)
+	Src2 Reg   // second source / store data (NoReg if unused)
+	Imm  int64 // integer immediate / address offset in words
+	FImm float64
+	// Target is the resolved instruction index for branches, jumps and
+	// calls.
+	Target int
+	// Sym is an optional symbol for disassembly: branch label, callee
+	// name, or the variable a memory access touches.
+	Sym string
+}
+
+// Uses returns the registers the instruction reads (zero, one, or two).
+// The second return value is NoReg when fewer than two are read.
+func (in *Instr) Uses() (Reg, Reg) {
+	info := in.Op.Info()
+	switch info.NSrc {
+	case 0:
+		return NoReg, NoReg
+	case 1:
+		return in.Src1, NoReg
+	default:
+		return in.Src1, in.Src2
+	}
+}
+
+// Def returns the register the instruction writes, or NoReg.
+func (in *Instr) Def() Reg {
+	if in.Op.Info().HasDst {
+		return in.Dst
+	}
+	return NoReg
+}
+
+// String disassembles the instruction.
+func (in *Instr) String() string {
+	info := in.Op.Info()
+	var b strings.Builder
+	b.WriteString(info.Name)
+	sep := " "
+	emit := func(s string) { b.WriteString(sep); b.WriteString(s); sep = ", " }
+	switch {
+	case info.Load:
+		emit(in.Dst.String())
+		emit(fmt.Sprintf("%d(%s)", in.Imm, in.Src1))
+	case info.Store && in.Op != OpPrinti && in.Op != OpPrintf:
+		emit(in.Src2.String())
+		emit(fmt.Sprintf("%d(%s)", in.Imm, in.Src1))
+	default:
+		if info.HasDst && in.Op != OpJal {
+			emit(in.Dst.String())
+		}
+		for i := 0; i < info.NSrc; i++ {
+			if i == 0 {
+				emit(in.Src1.String())
+			} else {
+				emit(in.Src2.String())
+			}
+		}
+		if info.HasImm {
+			emit(fmt.Sprintf("%d", in.Imm))
+		}
+		if info.FImm {
+			emit(fmt.Sprintf("%g", in.FImm))
+		}
+	}
+	if info.Branch && in.Op != OpJr {
+		if in.Sym != "" {
+			emit(in.Sym)
+		} else {
+			emit(fmt.Sprintf("@%d", in.Target))
+		}
+	}
+	if in.Sym != "" && !info.Branch {
+		b.WriteString("\t; ")
+		b.WriteString(in.Sym)
+	}
+	return b.String()
+}
+
+// Validate checks internal consistency of the instruction: that register
+// operands are present exactly where the opcode requires them and that they
+// live in the correct register file. It returns a descriptive error for the
+// first violation found.
+func (in *Instr) Validate() error {
+	info := in.Op.Info()
+	if int(in.Op) >= NumOpcodes {
+		return fmt.Errorf("invalid opcode %d", in.Op)
+	}
+	checkReg := func(what string, r Reg, want bool, fp bool) error {
+		if !want {
+			if r != NoReg {
+				return fmt.Errorf("%s: unexpected %s operand %s", info.Name, what, r)
+			}
+			return nil
+		}
+		if r == NoReg {
+			return fmt.Errorf("%s: missing %s operand", info.Name, what)
+		}
+		if r >= NumRegs {
+			return fmt.Errorf("%s: %s register %d out of range", info.Name, what, r)
+		}
+		if r.IsFP() != fp {
+			return fmt.Errorf("%s: %s operand %s in wrong register file", info.Name, what, r)
+		}
+		return nil
+	}
+	if err := checkReg("dst", in.Dst, info.HasDst, info.DstFP); err != nil {
+		return err
+	}
+	if err := checkReg("src1", in.Src1, info.NSrc >= 1, info.Src1FP); err != nil {
+		return err
+	}
+	if err := checkReg("src2", in.Src2, info.NSrc >= 2, info.Src2FP); err != nil {
+		return err
+	}
+	return nil
+}

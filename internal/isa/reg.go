@@ -1,0 +1,86 @@
+package isa
+
+import "fmt"
+
+// Reg names a machine register. The architecture has 64 integer registers
+// r0..r63 and 64 floating-point registers f0..f63, addressed in a single
+// 128-entry space so that one scoreboard covers both files: values 0..63
+// are the integer file, 64..127 the floating-point file.
+//
+// By software convention (fixed by the code generator):
+//
+//	r0       always reads as zero; writes are ignored
+//	r1       integer return value
+//	r2..r9   integer argument registers
+//	r60      stack pointer (SP)
+//	r62      link register (RA), written by JAL
+//	f1       floating-point return value
+//	f2..f9   floating-point argument registers
+//
+// The remaining registers are split by the register allocator into
+// expression temporaries and variable home locations according to the
+// machine description, mirroring the paper's compiler: "Our compiler
+// divides the register set into two disjoint parts."
+type Reg uint8
+
+// NumRegs is the size of the combined register space.
+const NumRegs = 128
+
+// Architectural register conventions.
+const (
+	RZero Reg = 0  // hardwired zero
+	RRet  Reg = 1  // integer return value
+	RArg0 Reg = 2  // first integer argument
+	NArgs     = 8  // number of argument registers per file
+	RSP   Reg = 60 // stack pointer
+	RRA   Reg = 62 // link register
+
+	FRet  Reg = 64 + 1 // floating-point return value
+	FArg0 Reg = 64 + 2 // first floating-point argument
+)
+
+// NoReg marks an unused register operand in an instruction.
+const NoReg Reg = 255
+
+// R returns the i'th integer register.
+func R(i int) Reg {
+	if i < 0 || i > 63 {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// F returns the i'th floating-point register.
+func F(i int) Reg {
+	if i < 0 || i > 63 {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return Reg(64 + i)
+}
+
+// IsFP reports whether the register is in the floating-point file.
+func (r Reg) IsFP() bool { return r >= 64 && r != NoReg }
+
+// Index returns the register's index within its file (0..63).
+func (r Reg) Index() int {
+	if r.IsFP() {
+		return int(r) - 64
+	}
+	return int(r)
+}
+
+// String returns the assembly name of the register (r7, f12, sp, ra, ...).
+func (r Reg) String() string {
+	switch r {
+	case NoReg:
+		return "-"
+	case RSP:
+		return "sp"
+	case RRA:
+		return "ra"
+	}
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", r.Index())
+	}
+	return fmt.Sprintf("r%d", r.Index())
+}

@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is one item of program output (produced by the printi/printf
+// instructions, and by the reference interpreter for the source language).
+// It is the common currency for differential testing: a compiled program
+// simulated on any machine configuration must print the same Values as the
+// interpreter, because machine timing never changes semantics.
+type Value struct {
+	IsFloat bool
+	I       int64
+	F       float64
+}
+
+// IntValue wraps an integer output.
+func IntValue(i int64) Value { return Value{I: i} }
+
+// FloatValue wraps a floating-point output.
+func FloatValue(f float64) Value { return Value{IsFloat: true, F: f} }
+
+// String formats the value the way both the simulator and interpreter
+// report it.
+func (v Value) String() string {
+	if v.IsFloat {
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	}
+	return strconv.FormatInt(v.I, 10)
+}
+
+// Equal reports exact equality (bit-for-bit for floats; the compiler and
+// interpreter perform identical float64 operations unless reassociation is
+// enabled, so exact comparison is the right default).
+func (v Value) Equal(w Value) bool {
+	if v.IsFloat != w.IsFloat {
+		return false
+	}
+	if v.IsFloat {
+		return v.F == w.F || (v.F != v.F && w.F != w.F) // NaN == NaN for testing
+	}
+	return v.I == w.I
+}
+
+// ApproxEqual compares with a relative tolerance, for outputs of
+// reassociated (carefully unrolled) floating-point code.
+func (v Value) ApproxEqual(w Value, tol float64) bool {
+	if v.IsFloat != w.IsFloat {
+		return false
+	}
+	if !v.IsFloat {
+		return v.I == w.I
+	}
+	d := v.F - w.F
+	if d < 0 {
+		d = -d
+	}
+	m := v.F
+	if m < 0 {
+		m = -m
+	}
+	if wa := w.F; wa < 0 && -wa > m {
+		m = -wa
+	} else if wa > m {
+		m = wa
+	}
+	return d <= tol*(1+m)
+}
+
+// FormatValues renders a slice of values one per line, for diffing.
+func FormatValues(vs []Value) string {
+	s := ""
+	for _, v := range vs {
+		s += v.String() + "\n"
+	}
+	return s
+}
+
+var _ = fmt.Stringer(Value{})

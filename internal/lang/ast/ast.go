@@ -1,0 +1,409 @@
+// Package ast defines the abstract syntax tree of TL. Nodes carry the
+// fields the semantic analyzer fills in (types on expressions, resolved
+// symbols on references), so later phases never re-resolve names.
+package ast
+
+import (
+	"ilp/internal/lang/token"
+)
+
+// Type is a TL type.
+type Type uint8
+
+// TL types. Void is the "type" of procedures without a result.
+const (
+	Invalid Type = iota
+	Int
+	Real
+	Bool
+	Void
+)
+
+// String returns the source-level name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Real:
+		return "real"
+	case Bool:
+		return "bool"
+	case Void:
+		return "void"
+	}
+	return "invalid"
+}
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---- Declarations ----
+
+// Program is a whole source file.
+type Program struct {
+	Globals []*VarDecl  // scalars and arrays, in declaration order
+	Funcs   []*FuncDecl // in declaration order
+}
+
+// Pos returns the program start.
+func (p *Program) Pos() token.Pos { return token.Pos{Line: 1, Col: 1} }
+
+// VarDecl declares a scalar variable or (at file scope) an array.
+type VarDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    Type
+	// Dims is non-empty for arrays: constant extents per dimension.
+	Dims []int
+	// Init is an optional scalar initializer (constant expression).
+	Init Expr
+	// Global is set by the parser for file-scope declarations.
+	Global bool
+}
+
+// Pos returns the declaration position.
+func (d *VarDecl) Pos() token.Pos { return d.NamePos }
+
+// IsArray reports whether the declaration is an array.
+func (d *VarDecl) IsArray() bool { return len(d.Dims) > 0 }
+
+// Size returns the total element count of an array (1 for scalars).
+func (d *VarDecl) Size() int {
+	n := 1
+	for _, e := range d.Dims {
+		n *= e
+	}
+	return n
+}
+
+// Param is a function parameter (scalars only).
+type Param struct {
+	NamePos token.Pos
+	Name    string
+	Type    Type
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	NamePos token.Pos
+	Name    string
+	Params  []Param
+	Result  Type // Void for procedures
+	Body    *Block
+}
+
+// Pos returns the declaration position.
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a braced statement list.
+type Block struct {
+	LBrace token.Pos
+	Stmts  []Stmt
+}
+
+// Pos returns the opening brace.
+func (b *Block) Pos() token.Pos { return b.LBrace }
+func (b *Block) stmt()          {}
+
+// LocalDecl declares function-local scalars.
+type LocalDecl struct {
+	Decl *VarDecl
+}
+
+// Pos returns the declaration position.
+func (s *LocalDecl) Pos() token.Pos { return s.Decl.NamePos }
+func (s *LocalDecl) stmt()          {}
+
+// Assign is "lhs = rhs;". LHS is a variable or array element.
+type Assign struct {
+	LHS Expr // *VarRef or *IndexRef
+	RHS Expr
+}
+
+// Pos returns the LHS position.
+func (s *Assign) Pos() token.Pos { return s.LHS.Pos() }
+func (s *Assign) stmt()          {}
+
+// If is a conditional with an optional else (which may be another If).
+type If struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  *Block
+	Else  Stmt // *Block, *If, or nil
+}
+
+// Pos returns the `if` keyword position.
+func (s *If) Pos() token.Pos { return s.IfPos }
+func (s *If) stmt()          {}
+
+// While is a pre-tested loop.
+type While struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     *Block
+}
+
+// Pos returns the `while` keyword position.
+func (s *While) Pos() token.Pos { return s.WhilePos }
+func (s *While) stmt()          {}
+
+// For is the counted loop "for i = lo to hi [by step] { ... }". The loop
+// variable must be a previously declared local int; bounds are evaluated
+// once; the range is inclusive; step is a positive constant. These are the
+// loops the unroller targets.
+type For struct {
+	ForPos token.Pos
+	Var    *VarRef
+	Lo, Hi Expr
+	Step   int64 // constant, >= 1
+	Body   *Block
+
+	// VarMutated is set by the semantic analyzer if the body assigns the
+	// loop variable (which forbids unrolling).
+	VarMutated bool
+	// HasBreak is set if the body contains a break for this loop.
+	HasBreak bool
+}
+
+// Pos returns the `for` keyword position.
+func (s *For) Pos() token.Pos { return s.ForPos }
+func (s *For) stmt()          {}
+
+// Return exits the enclosing function, with a value iff it has a result.
+type Return struct {
+	RetPos token.Pos
+	Value  Expr // nil for procedures
+}
+
+// Pos returns the `return` keyword position.
+func (s *Return) Pos() token.Pos { return s.RetPos }
+func (s *Return) stmt()          {}
+
+// Break exits the innermost loop.
+type Break struct {
+	BreakPos token.Pos
+}
+
+// Pos returns the `break` keyword position.
+func (s *Break) Pos() token.Pos { return s.BreakPos }
+func (s *Break) stmt()          {}
+
+// Print emits a value to the program's output stream.
+type Print struct {
+	PrintPos token.Pos
+	Value    Expr
+}
+
+// Pos returns the `print` keyword position.
+func (s *Print) Pos() token.Pos { return s.PrintPos }
+func (s *Print) stmt()          {}
+
+// ExprStmt is a call used as a statement.
+type ExprStmt struct {
+	X Expr // *Call
+}
+
+// Pos returns the expression position.
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *ExprStmt) stmt()          {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes. Type() is valid after
+// semantic analysis.
+type Expr interface {
+	Node
+	Type() Type
+	expr()
+}
+
+// typ is embedded in expression nodes to hold the checked type.
+type typ struct{ T Type }
+
+// Type returns the checked type of the expression.
+func (t *typ) Type() Type { return t.T }
+
+// SetType records the checked type (used by the semantic analyzer).
+func (t *typ) SetType(x Type) { t.T = x }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typ
+	LitPos token.Pos
+	Value  int64
+}
+
+// Pos returns the literal position.
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) expr()          {}
+
+// RealLit is a real literal.
+type RealLit struct {
+	typ
+	LitPos token.Pos
+	Value  float64
+}
+
+// Pos returns the literal position.
+func (e *RealLit) Pos() token.Pos { return e.LitPos }
+func (e *RealLit) expr()          {}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	typ
+	LitPos token.Pos
+	Value  bool
+}
+
+// Pos returns the literal position.
+func (e *BoolLit) Pos() token.Pos { return e.LitPos }
+func (e *BoolLit) expr()          {}
+
+// VarRef names a scalar variable or parameter.
+type VarRef struct {
+	typ
+	NamePos token.Pos
+	Name    string
+	// Sym is resolved by the semantic analyzer.
+	Sym *Symbol
+}
+
+// Pos returns the reference position.
+func (e *VarRef) Pos() token.Pos { return e.NamePos }
+func (e *VarRef) expr()          {}
+
+// IndexRef is an array element reference a[i] or a[i, j].
+type IndexRef struct {
+	typ
+	NamePos token.Pos
+	Name    string
+	Index   []Expr
+	Sym     *Symbol
+}
+
+// Pos returns the reference position.
+func (e *IndexRef) Pos() token.Pos { return e.NamePos }
+func (e *IndexRef) expr()          {}
+
+// UnOp is a unary operator.
+type UnOp struct {
+	typ
+	OpPos token.Pos
+	Op    token.Kind // Minus or Not
+	X     Expr
+}
+
+// Pos returns the operator position.
+func (e *UnOp) Pos() token.Pos { return e.OpPos }
+func (e *UnOp) expr()          {}
+
+// BinOp is a binary operator. AndAnd and OrOr short-circuit.
+type BinOp struct {
+	typ
+	OpPos token.Pos
+	Op    token.Kind
+	X, Y  Expr
+}
+
+// Pos returns the operator position.
+func (e *BinOp) Pos() token.Pos { return e.OpPos }
+func (e *BinOp) expr()          {}
+
+// Call invokes a function or builtin.
+type Call struct {
+	typ
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+	// Func is resolved for user functions; Builtin for intrinsics.
+	Func    *FuncDecl
+	Builtin Builtin
+}
+
+// Pos returns the callee position.
+func (e *Call) Pos() token.Pos { return e.NamePos }
+func (e *Call) expr()          {}
+
+// Builtin identifies an intrinsic function.
+type Builtin uint8
+
+// Intrinsics. NotBuiltin marks user calls.
+const (
+	NotBuiltin Builtin = iota
+	BSqrt              // sqrt(real) real
+	BSin               // sin(real) real
+	BCos               // cos(real) real
+	BAtan              // atan(real) real
+	BExp               // exp(real) real
+	BLog               // log(real) real
+	BAbs               // abs(real) real
+	BIAbs              // iabs(int) int
+	BFloat             // float(int) real
+	BTrunc             // trunc(real) int
+)
+
+// BuiltinByName maps source names to intrinsics.
+var BuiltinByName = map[string]Builtin{
+	"sqrt": BSqrt, "sin": BSin, "cos": BCos, "atan": BAtan,
+	"exp": BExp, "log": BLog, "abs": BAbs, "iabs": BIAbs,
+	"float": BFloat, "trunc": BTrunc,
+}
+
+// String returns the builtin's source name.
+func (b Builtin) String() string {
+	for name, bb := range BuiltinByName {
+		if bb == b {
+			return name
+		}
+	}
+	return "notbuiltin"
+}
+
+// ---- Symbols ----
+
+// SymKind classifies a resolved symbol.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota // global scalar
+	SymArray                 // global array
+	SymLocal                 // function-local scalar
+	SymParam                 // parameter
+	SymFunc
+)
+
+// Symbol is a resolved name. The semantic analyzer creates exactly one
+// Symbol per declaration, so symbols can be compared by pointer.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type Type
+	// Decl points at the declaring node (*VarDecl or *FuncDecl).
+	Decl Node
+	// Dims for arrays.
+	Dims []int
+	// Index is a dense per-kind index assigned by the analyzer: globals
+	// and arrays are numbered across the program, locals and params
+	// within their function.
+	Index int
+}
+
+// Size returns the word count of the symbol's storage.
+func (s *Symbol) Size() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package ast
+
+import "fmt"
+
+// CloneExpr deep-copies an expression, preserving semantic annotations
+// (types and resolved symbols). The unroller uses it to duplicate loop
+// bodies; cloned references share the original symbols, so no re-analysis
+// is needed.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		c := *x
+		return &c
+	case *RealLit:
+		c := *x
+		return &c
+	case *BoolLit:
+		c := *x
+		return &c
+	case *VarRef:
+		c := *x
+		return &c
+	case *IndexRef:
+		c := *x
+		c.Index = make([]Expr, len(x.Index))
+		for i, ie := range x.Index {
+			c.Index[i] = CloneExpr(ie)
+		}
+		return &c
+	case *UnOp:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	case *BinOp:
+		c := *x
+		c.X = CloneExpr(x.X)
+		c.Y = CloneExpr(x.Y)
+		return &c
+	case *Call:
+		c := *x
+		c.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return &c
+	}
+	panic(fmt.Sprintf("ast: CloneExpr: unhandled %T", e))
+}
+
+// CloneStmt deep-copies a statement tree, preserving annotations.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		return CloneBlock(x)
+	case *LocalDecl:
+		c := *x
+		d := *x.Decl
+		d.Init = CloneExpr(x.Decl.Init)
+		c.Decl = &d
+		return &c
+	case *Assign:
+		c := *x
+		c.LHS = CloneExpr(x.LHS)
+		c.RHS = CloneExpr(x.RHS)
+		return &c
+	case *If:
+		c := *x
+		c.Cond = CloneExpr(x.Cond)
+		c.Then = CloneBlock(x.Then)
+		c.Else = CloneStmt(x.Else)
+		return &c
+	case *While:
+		c := *x
+		c.Cond = CloneExpr(x.Cond)
+		c.Body = CloneBlock(x.Body)
+		return &c
+	case *For:
+		c := *x
+		c.Var = CloneExpr(x.Var).(*VarRef)
+		c.Lo = CloneExpr(x.Lo)
+		c.Hi = CloneExpr(x.Hi)
+		c.Body = CloneBlock(x.Body)
+		return &c
+	case *Return:
+		c := *x
+		c.Value = CloneExpr(x.Value)
+		return &c
+	case *Break:
+		c := *x
+		return &c
+	case *Print:
+		c := *x
+		c.Value = CloneExpr(x.Value)
+		return &c
+	case *ExprStmt:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	}
+	panic(fmt.Sprintf("ast: CloneStmt: unhandled %T", s))
+}
+
+// CloneBlock deep-copies a block.
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	c := &Block{LBrace: b.LBrace}
+	c.Stmts = make([]Stmt, len(b.Stmts))
+	for i, s := range b.Stmts {
+		c.Stmts[i] = CloneStmt(s)
+	}
+	return c
+}
+
+// CloneDeclNote: LocalDecl cloning above copies the VarDecl node itself.
+// The clone still points at the same *Symbol via the analyzer's maps keyed
+// by the original declaration, so the unroller must not clone statements
+// containing LocalDecls it intends to duplicate (a duplicated declaration
+// would redeclare the variable). The unroller therefore refuses loop bodies
+// with declarations.
+var _ = fmt.Sprintf

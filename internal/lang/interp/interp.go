@@ -1,0 +1,524 @@
+// Package interp is a reference interpreter for TL. It is the semantic
+// oracle of the reproduction: a compiled program simulated on any machine
+// configuration must print exactly what the interpreter prints, because
+// machine timing never changes meaning. The differential tests in package
+// compiler rely on this.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"ilp/internal/isa"
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/sem"
+	"ilp/internal/lang/token"
+)
+
+// DefaultMaxSteps bounds execution to catch runaway programs.
+const DefaultMaxSteps = 1 << 32
+
+// Run analyzes nothing — it expects an already-checked program — and
+// executes it, returning the printed output.
+func Run(info *sem.Info) ([]isa.Value, error) {
+	return RunLimited(info, DefaultMaxSteps)
+}
+
+// RunLimited is Run with an explicit statement budget.
+func RunLimited(info *sem.Info, maxSteps int64) ([]isa.Value, error) {
+	it := &interp{info: info, maxSteps: maxSteps}
+	if err := it.init(); err != nil {
+		return nil, err
+	}
+	if _, err := it.call(info.Main, nil); err != nil {
+		return nil, err
+	}
+	return it.output, nil
+}
+
+type interp struct {
+	info     *sem.Info
+	globals  []int64
+	arrays   [][]int64
+	output   []isa.Value
+	steps    int64
+	maxSteps int64
+	// declSym caches VarDecl -> Symbol lookups (symbols are unique per
+	// declaration).
+	declSym map[*ast.VarDecl]*ast.Symbol
+}
+
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlReturn
+)
+
+type frame struct {
+	fi     *sem.FuncInfo
+	params []int64
+	locals []int64
+	ret    int64
+}
+
+func (it *interp) init() error {
+	it.globals = make([]int64, len(it.info.Globals))
+	it.arrays = make([][]int64, len(it.info.Arrays))
+	for _, sym := range it.info.Arrays {
+		it.arrays[sym.Index] = make([]int64, sym.Size())
+	}
+	for _, sym := range it.info.Globals {
+		d := sym.Decl.(*ast.VarDecl)
+		if d.Init != nil {
+			v, err := constValue(d.Init)
+			if err != nil {
+				return err
+			}
+			it.globals[sym.Index] = v
+		}
+	}
+	return nil
+}
+
+func constValue(e ast.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, nil
+	case *ast.RealLit:
+		return int64(math.Float64bits(x.Value)), nil
+	case *ast.BoolLit:
+		if x.Value {
+			return 1, nil
+		}
+		return 0, nil
+	case *ast.UnOp:
+		v, err := constValue(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.X.Type() == ast.Real {
+			return int64(math.Float64bits(-math.Float64frombits(uint64(v)))), nil
+		}
+		return -v, nil
+	}
+	return 0, fmt.Errorf("interp: non-constant global initializer")
+}
+
+func (it *interp) runtimeErr(pos token.Pos, format string, args ...any) error {
+	return fmt.Errorf("interp: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (it *interp) call(fi *sem.FuncInfo, args []int64) (int64, error) {
+	f := &frame{fi: fi, params: args, locals: make([]int64, len(fi.Locals))}
+	c, err := it.execBlock(f, fi.Decl.Body)
+	if err != nil {
+		return 0, err
+	}
+	_ = c
+	return f.ret, nil
+}
+
+func (it *interp) execBlock(f *frame, b *ast.Block) (ctrl, error) {
+	for _, s := range b.Stmts {
+		c, err := it.execStmt(f, s)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (it *interp) step(pos token.Pos) error {
+	it.steps++
+	if it.steps > it.maxSteps {
+		return it.runtimeErr(pos, "step limit exceeded (infinite loop?)")
+	}
+	return nil
+}
+
+func (it *interp) execStmt(f *frame, s ast.Stmt) (ctrl, error) {
+	if err := it.step(s.Pos()); err != nil {
+		return ctrlNone, err
+	}
+	switch st := s.(type) {
+	case *ast.Block:
+		return it.execBlock(f, st)
+
+	case *ast.LocalDecl:
+		if st.Decl.Init != nil {
+			v, err := it.eval(f, st.Decl.Init)
+			if err != nil {
+				return ctrlNone, err
+			}
+			sym := it.localSym(f, st.Decl)
+			f.locals[sym.Index] = v
+		}
+		return ctrlNone, nil
+
+	case *ast.Assign:
+		v, err := it.eval(f, st.RHS)
+		if err != nil {
+			return ctrlNone, err
+		}
+		return ctrlNone, it.store(f, st.LHS, v)
+
+	case *ast.If:
+		c, err := it.eval(f, st.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c != 0 {
+			return it.execBlock(f, st.Then)
+		}
+		if st.Else != nil {
+			return it.execStmt(f, st.Else)
+		}
+		return ctrlNone, nil
+
+	case *ast.While:
+		for {
+			c, err := it.eval(f, st.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == 0 {
+				return ctrlNone, nil
+			}
+			cc, err := it.execBlock(f, st.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if cc == ctrlReturn {
+				return cc, nil
+			}
+			if cc == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if err := it.step(st.WhilePos); err != nil {
+				return ctrlNone, err
+			}
+		}
+
+	case *ast.For:
+		lo, err := it.eval(f, st.Lo)
+		if err != nil {
+			return ctrlNone, err
+		}
+		hi, err := it.eval(f, st.Hi)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if err := it.storeVar(f, st.Var.Sym, lo); err != nil {
+			return ctrlNone, err
+		}
+		for {
+			i := it.loadVar(f, st.Var.Sym)
+			if i > hi {
+				return ctrlNone, nil
+			}
+			cc, err := it.execBlock(f, st.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if cc == ctrlReturn {
+				return cc, nil
+			}
+			if cc == ctrlBreak {
+				return ctrlNone, nil
+			}
+			// Re-read: the body may have assigned the loop variable.
+			if err := it.storeVar(f, st.Var.Sym, it.loadVar(f, st.Var.Sym)+st.Step); err != nil {
+				return ctrlNone, err
+			}
+			if err := it.step(st.ForPos); err != nil {
+				return ctrlNone, err
+			}
+		}
+
+	case *ast.Return:
+		if st.Value != nil {
+			v, err := it.eval(f, st.Value)
+			if err != nil {
+				return ctrlNone, err
+			}
+			f.ret = v
+		}
+		return ctrlReturn, nil
+
+	case *ast.Break:
+		return ctrlBreak, nil
+
+	case *ast.Print:
+		v, err := it.eval(f, st.Value)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if st.Value.Type() == ast.Real {
+			it.output = append(it.output, isa.FloatValue(math.Float64frombits(uint64(v))))
+		} else {
+			it.output = append(it.output, isa.IntValue(v))
+		}
+		return ctrlNone, nil
+
+	case *ast.ExprStmt:
+		_, err := it.eval(f, st.X)
+		return ctrlNone, err
+	}
+	return ctrlNone, it.runtimeErr(s.Pos(), "unhandled statement %T", s)
+}
+
+func (it *interp) localSym(f *frame, d *ast.VarDecl) *ast.Symbol {
+	if it.declSym == nil {
+		it.declSym = map[*ast.VarDecl]*ast.Symbol{}
+	}
+	if sym, ok := it.declSym[d]; ok {
+		return sym
+	}
+	for _, sym := range f.fi.Locals {
+		if sym.Decl == d {
+			it.declSym[d] = sym
+			return sym
+		}
+	}
+	panic(fmt.Sprintf("interp: local %q has no symbol", d.Name))
+}
+
+func (it *interp) loadVar(f *frame, sym *ast.Symbol) int64 {
+	switch sym.Kind {
+	case ast.SymGlobal:
+		return it.globals[sym.Index]
+	case ast.SymParam:
+		return f.params[sym.Index]
+	default:
+		return f.locals[sym.Index]
+	}
+}
+
+func (it *interp) storeVar(f *frame, sym *ast.Symbol, v int64) error {
+	switch sym.Kind {
+	case ast.SymGlobal:
+		it.globals[sym.Index] = v
+	case ast.SymParam:
+		f.params[sym.Index] = v
+	case ast.SymLocal:
+		f.locals[sym.Index] = v
+	default:
+		return fmt.Errorf("interp: cannot store to %q", sym.Name)
+	}
+	return nil
+}
+
+func (it *interp) arrayOffset(f *frame, x *ast.IndexRef) (int, error) {
+	off := 0
+	for d, ie := range x.Index {
+		iv, err := it.eval(f, ie)
+		if err != nil {
+			return 0, err
+		}
+		ext := x.Sym.Dims[d]
+		if iv < 0 || iv >= int64(ext) {
+			return 0, it.runtimeErr(ie.Pos(), "index %d out of range [0,%d) for %q dimension %d",
+				iv, ext, x.Name, d)
+		}
+		off = off*ext + int(iv)
+	}
+	return off, nil
+}
+
+func (it *interp) store(f *frame, lhs ast.Expr, v int64) error {
+	switch x := lhs.(type) {
+	case *ast.VarRef:
+		return it.storeVar(f, x.Sym, v)
+	case *ast.IndexRef:
+		off, err := it.arrayOffset(f, x)
+		if err != nil {
+			return err
+		}
+		it.arrays[x.Sym.Index][off] = v
+		return nil
+	}
+	return fmt.Errorf("interp: invalid assignment target %T", lhs)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (it *interp) eval(f *frame, e ast.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, nil
+	case *ast.RealLit:
+		return int64(math.Float64bits(x.Value)), nil
+	case *ast.BoolLit:
+		return b2i(x.Value), nil
+
+	case *ast.VarRef:
+		return it.loadVar(f, x.Sym), nil
+
+	case *ast.IndexRef:
+		off, err := it.arrayOffset(f, x)
+		if err != nil {
+			return 0, err
+		}
+		return it.arrays[x.Sym.Index][off], nil
+
+	case *ast.UnOp:
+		v, err := it.eval(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.Minus:
+			if x.Type() == ast.Real {
+				return fbits(-ffrom(v)), nil
+			}
+			return -v, nil
+		case token.Not:
+			return b2i(v == 0), nil
+		}
+		return 0, it.runtimeErr(x.OpPos, "bad unary op")
+
+	case *ast.BinOp:
+		// Short-circuit operators first.
+		if x.Op == token.AndAnd || x.Op == token.OrOr {
+			l, err := it.eval(f, x.X)
+			if err != nil {
+				return 0, err
+			}
+			if x.Op == token.AndAnd && l == 0 {
+				return 0, nil
+			}
+			if x.Op == token.OrOr && l != 0 {
+				return 1, nil
+			}
+			r, err := it.eval(f, x.Y)
+			if err != nil {
+				return 0, err
+			}
+			return b2i(r != 0), nil
+		}
+		l, err := it.eval(f, x.X)
+		if err != nil {
+			return 0, err
+		}
+		r, err := it.eval(f, x.Y)
+		if err != nil {
+			return 0, err
+		}
+		if x.X.Type() == ast.Real {
+			a, b := ffrom(l), ffrom(r)
+			switch x.Op {
+			case token.Plus:
+				return fbits(a + b), nil
+			case token.Minus:
+				return fbits(a - b), nil
+			case token.Star:
+				return fbits(a * b), nil
+			case token.Slash:
+				return fbits(a / b), nil
+			case token.Eq:
+				return b2i(a == b), nil
+			case token.Ne:
+				return b2i(a != b), nil
+			case token.Lt:
+				return b2i(a < b), nil
+			case token.Le:
+				return b2i(a <= b), nil
+			case token.Gt:
+				return b2i(a > b), nil
+			case token.Ge:
+				return b2i(a >= b), nil
+			}
+			return 0, it.runtimeErr(x.OpPos, "bad real op %s", x.Op)
+		}
+		switch x.Op {
+		case token.Plus:
+			return l + r, nil
+		case token.Minus:
+			return l - r, nil
+		case token.Star:
+			return l * r, nil
+		case token.Slash:
+			if r == 0 {
+				return 0, it.runtimeErr(x.OpPos, "integer division by zero")
+			}
+			return l / r, nil
+		case token.Percent:
+			if r == 0 {
+				return 0, it.runtimeErr(x.OpPos, "integer remainder by zero")
+			}
+			return l % r, nil
+		case token.Eq:
+			return b2i(l == r), nil
+		case token.Ne:
+			return b2i(l != r), nil
+		case token.Lt:
+			return b2i(l < r), nil
+		case token.Le:
+			return b2i(l <= r), nil
+		case token.Gt:
+			return b2i(l > r), nil
+		case token.Ge:
+			return b2i(l >= r), nil
+		}
+		return 0, it.runtimeErr(x.OpPos, "bad int op %s", x.Op)
+
+	case *ast.Call:
+		if x.Builtin != ast.NotBuiltin {
+			v, err := it.eval(f, x.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			switch x.Builtin {
+			case ast.BSqrt:
+				return fbits(math.Sqrt(ffrom(v))), nil
+			case ast.BSin:
+				return fbits(math.Sin(ffrom(v))), nil
+			case ast.BCos:
+				return fbits(math.Cos(ffrom(v))), nil
+			case ast.BAtan:
+				return fbits(math.Atan(ffrom(v))), nil
+			case ast.BExp:
+				return fbits(math.Exp(ffrom(v))), nil
+			case ast.BLog:
+				return fbits(math.Log(ffrom(v))), nil
+			case ast.BAbs:
+				return fbits(math.Abs(ffrom(v))), nil
+			case ast.BIAbs:
+				if v < 0 {
+					return -v, nil
+				}
+				return v, nil
+			case ast.BFloat:
+				return fbits(float64(v)), nil
+			case ast.BTrunc:
+				fv := ffrom(v)
+				if math.IsNaN(fv) || fv >= 9.3e18 || fv <= -9.3e18 {
+					return 0, it.runtimeErr(x.NamePos, "float-to-int overflow (%g)", fv)
+				}
+				return int64(fv), nil
+			}
+			return 0, it.runtimeErr(x.NamePos, "bad builtin")
+		}
+		fi := it.info.Funcs[x.Name]
+		args := make([]int64, len(x.Args))
+		for i, ae := range x.Args {
+			v, err := it.eval(f, ae)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return it.call(fi, args)
+	}
+	return 0, it.runtimeErr(e.Pos(), "unhandled expression %T", e)
+}
+
+func ffrom(v int64) float64 { return math.Float64frombits(uint64(v)) }
+func fbits(f float64) int64 { return int64(math.Float64bits(f)) }

@@ -1,0 +1,38 @@
+package interp
+
+import (
+	"testing"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+)
+
+// BenchmarkInterpreterSuite measures reference-interpreter speed over the
+// eight benchmarks (it is the oracle for every differential test).
+func BenchmarkInterpreterSuite(b *testing.B) {
+	type ready struct {
+		name string
+		info *sem.Info
+	}
+	var suite []ready
+	for _, bm := range benchmarks.All() {
+		p, err := parser.Parse(bm.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		info, err := sem.Analyze(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		suite = append(suite, ready{bm.Name, info})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range suite {
+			if _, err := Run(r.info); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"ilp/internal/isa"
+	"ilp/internal/lang/parser"
+	"ilp/internal/lang/sem"
+)
+
+func run(t *testing.T, src string) ([]isa.Value, error) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(p)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return Run(info)
+}
+
+func mustRun(t *testing.T, src string) []isa.Value {
+	t.Helper()
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func wantInts(t *testing.T, got []isa.Value, want ...int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output %v, want %v", got, want)
+	}
+	for i, w := range want {
+		if !got[i].Equal(isa.IntValue(w)) {
+			t.Errorf("output[%d] = %v, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestArithmeticAndControl(t *testing.T) {
+	out := mustRun(t, `
+func main() {
+	var i, s: int;
+	s = 0;
+	for i = 1 to 10 { s = s + i; }
+	print(s);
+	s = 0;
+	var j: int;
+	j = 10;
+	while j > 0 { s = s + 2; j = j - 1; }
+	print(s);
+	if s == 20 { print(1); } else { print(0); }
+	print(7 / 2);
+	print(7 % 2);
+	print(-7 / 2);
+}
+`)
+	wantInts(t, out, 55, 20, 1, 3, 1, -3)
+}
+
+func TestForStep(t *testing.T) {
+	out := mustRun(t, `
+func main() {
+	var i, s: int;
+	s = 0;
+	for i = 0 to 10 by 3 { s = s * 10 + i; }
+	print(s);
+	print(i);
+}
+`)
+	// Iterations: 0,3,6,9 -> s = 369 with leading 0; i ends at 12.
+	wantInts(t, out, 369, 12)
+}
+
+func TestBreakAndNestedLoops(t *testing.T) {
+	out := mustRun(t, `
+func main() {
+	var i, j, c: int;
+	c = 0;
+	for i = 0 to 4 {
+		for j = 0 to 4 {
+			if j == 2 { break; }
+			c = c + 1;
+		}
+	}
+	print(c);
+}
+`)
+	wantInts(t, out, 10)
+}
+
+func TestRecursionFibonacci(t *testing.T) {
+	out := mustRun(t, `
+func fib(n: int): int {
+	if n < 2 { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { print(fib(15)); }
+`)
+	wantInts(t, out, 610)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	out := mustRun(t, `
+var total: int = 100;
+var grid[3, 3]: int;
+func fill() {
+	var i, j: int;
+	for i = 0 to 2 {
+		for j = 0 to 2 { grid[i, j] = i * 3 + j; }
+	}
+}
+func main() {
+	fill();
+	var i, j: int;
+	for i = 0 to 2 {
+		for j = 0 to 2 { total = total + grid[i, j]; }
+	}
+	print(total);
+	print(grid[2, 1]);
+}
+`)
+	wantInts(t, out, 136, 7)
+}
+
+func TestRealArithmetic(t *testing.T) {
+	out := mustRun(t, `
+func main() {
+	var x: real;
+	x = 1.5 * 4.0 - 2.0;  // 4
+	print(sqrt(x));
+	print(float(3) / 2.0);
+	print(trunc(3.99));
+	print(abs(-2.5));
+	print(iabs(-7));
+	var e: real;
+	e = exp(log(5.0));
+	if e > 4.999 && e < 5.001 { print(1); } else { print(0); }
+}
+`)
+	if !out[0].Equal(isa.FloatValue(2.0)) {
+		t.Errorf("sqrt(4) = %v", out[0])
+	}
+	if !out[1].Equal(isa.FloatValue(1.5)) {
+		t.Errorf("3/2 = %v", out[1])
+	}
+	if !out[2].Equal(isa.IntValue(3)) {
+		t.Errorf("trunc = %v", out[2])
+	}
+	if !out[3].Equal(isa.FloatValue(2.5)) {
+		t.Errorf("abs = %v", out[3])
+	}
+	if !out[4].Equal(isa.IntValue(7)) {
+		t.Errorf("iabs = %v", out[4])
+	}
+	if !out[5].Equal(isa.IntValue(1)) {
+		t.Errorf("exp(log(5)) check = %v", out[5])
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not run when the left is false:
+	// here it would divide by zero.
+	out := mustRun(t, `
+var zero: int;
+func boom(): bool { return 1 / zero == 0; }
+func main() {
+	var ok: bool;
+	ok = false && boom();
+	if !ok { print(1); }
+	ok = true || boom();
+	if ok { print(2); }
+}
+`)
+	wantInts(t, out, 1, 2)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	out := mustRun(t, `
+var a: int = -5;
+var b: real = 2.5;
+var c: bool = true;
+func main() {
+	print(a);
+	print(b);
+	if c { print(1); }
+}
+`)
+	if !out[0].Equal(isa.IntValue(-5)) || !out[1].Equal(isa.FloatValue(2.5)) || !out[2].Equal(isa.IntValue(1)) {
+		t.Errorf("output %v", out)
+	}
+}
+
+func TestLocalInitializers(t *testing.T) {
+	out := mustRun(t, `
+var g: int = 10;
+func main() {
+	var x: int = g * 2;
+	var y: int = x + 1;
+	print(y);
+}
+`)
+	wantInts(t, out, 21)
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{`var z: int; func main() { print(1 / z); }`, "division by zero"},
+		{`var z: int; func main() { print(1 % z); }`, "remainder by zero"},
+		{`var a[3]: int; var i: int = 5; func main() { a[i] = 1; }`, "out of range"},
+		{`var a[3]: int; var i: int = -1; func main() { print(a[i]); }`, "out of range"},
+		{`func main() { print(trunc(1e30)); }`, "overflow"},
+		{`func main() { while true {} }`, "step limit"},
+	}
+	for _, c := range cases {
+		p, err := parser.Parse(c.src)
+		if err != nil {
+			t.Fatalf("%q: parse: %v", c.src, err)
+		}
+		info, err := sem.Analyze(p)
+		if err != nil {
+			t.Fatalf("%q: sem: %v", c.src, err)
+		}
+		_, err = RunLimited(info, 100000)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%q: error %v, want mention of %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestParamsAreValueCopies(t *testing.T) {
+	out := mustRun(t, `
+func bump(x: int): int { x = x + 1; return x; }
+func main() {
+	var v: int = 5;
+	print(bump(v));
+	print(v);
+}
+`)
+	wantInts(t, out, 6, 5)
+}
+
+func TestMultiDimIndexOrder(t *testing.T) {
+	// Row-major: m[i, j] at offset i*cols + j.
+	out := mustRun(t, `
+var m[2, 3]: int;
+func main() {
+	m[1, 2] = 42;
+	m[0, 0] = 7;
+	print(m[1, 2]);
+	print(m[0, 0]);
+	m[1, 0] = 9;
+	print(m[1, 0] + m[1, 2]);
+}
+`)
+	wantInts(t, out, 42, 7, 51)
+}

@@ -1,0 +1,489 @@
+// Package parser builds TL abstract syntax trees from source text. It is a
+// hand-written recursive-descent parser; parsing stops at the first error
+// (benchmark sources are expected to be correct; the error exists to fail
+// loudly, with a position, when they are not).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/scanner"
+	"ilp/internal/lang/token"
+)
+
+// Error is a syntax error with its position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse parses a complete TL program.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{sc: scanner.New(src)}
+	p.next()
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if errs := p.sc.Errors(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return prog, nil
+}
+
+type parser struct {
+	sc  *scanner.Scanner
+	tok token.Token
+}
+
+type bail struct{ err *Error }
+
+func (p *parser) next() { p.tok = p.sc.Next() }
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	panic(bail{&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}})
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.tok.Kind != k {
+		p.errorf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.next()
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseProgram() (prog *ast.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(bail); ok {
+				prog, err = nil, b.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	prog = &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		switch p.tok.Kind {
+		case token.KwVar:
+			decls := p.parseVarDecl(true)
+			prog.Globals = append(prog.Globals, decls...)
+		case token.KwFunc:
+			prog.Funcs = append(prog.Funcs, p.parseFuncDecl())
+		default:
+			p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseType() ast.Type {
+	switch p.tok.Kind {
+	case token.KwInt:
+		p.next()
+		return ast.Int
+	case token.KwReal:
+		p.next()
+		return ast.Real
+	case token.KwBool:
+		p.next()
+		return ast.Bool
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+	return ast.Invalid
+}
+
+// parseVarDecl parses
+//
+//	var a, b: int;            (scalars, shared type)
+//	var x: int = 3;           (single scalar with initializer)
+//	var m[64, 64]: real;      (array — global scope only)
+//
+// and returns one VarDecl per declared name.
+func (p *parser) parseVarDecl(global bool) []*ast.VarDecl {
+	p.expect(token.KwVar)
+	type protoDecl struct {
+		pos  token.Pos
+		name string
+		dims []int
+	}
+	var protos []protoDecl
+	for {
+		nameTok := p.expect(token.IDENT)
+		proto := protoDecl{pos: nameTok.Pos, name: nameTok.Text}
+		if p.tok.Kind == token.LBracket {
+			if !global {
+				p.errorf(p.tok.Pos, "arrays may only be declared at file scope")
+			}
+			p.next()
+			for {
+				d := p.expect(token.INTLIT)
+				n, convErr := strconv.Atoi(d.Text)
+				if convErr != nil || n <= 0 {
+					p.errorf(d.Pos, "invalid array extent %q", d.Text)
+				}
+				proto.dims = append(proto.dims, n)
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			p.expect(token.RBracket)
+		}
+		protos = append(protos, proto)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.Colon)
+	typ := p.parseType()
+	var init ast.Expr
+	if p.accept(token.Assign) {
+		if len(protos) != 1 || len(protos[0].dims) > 0 {
+			p.errorf(p.tok.Pos, "initializer requires a single scalar declaration")
+		}
+		init = p.parseExpr()
+	}
+	p.expect(token.Semicolon)
+
+	out := make([]*ast.VarDecl, 0, len(protos))
+	for _, proto := range protos {
+		out = append(out, &ast.VarDecl{
+			NamePos: proto.pos,
+			Name:    proto.name,
+			Type:    typ,
+			Dims:    proto.dims,
+			Init:    init,
+			Global:  global,
+		})
+	}
+	return out
+}
+
+func (p *parser) parseFuncDecl() *ast.FuncDecl {
+	p.expect(token.KwFunc)
+	nameTok := p.expect(token.IDENT)
+	fn := &ast.FuncDecl{NamePos: nameTok.Pos, Name: nameTok.Text, Result: ast.Void}
+	p.expect(token.LParen)
+	if p.tok.Kind != token.RParen {
+		for {
+			// One group: a, b: type
+			var names []token.Token
+			for {
+				names = append(names, p.expect(token.IDENT))
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+			p.expect(token.Colon)
+			typ := p.parseType()
+			for _, n := range names {
+				fn.Params = append(fn.Params, ast.Param{NamePos: n.Pos, Name: n.Text, Type: typ})
+			}
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+	}
+	p.expect(token.RParen)
+	if p.accept(token.Colon) {
+		fn.Result = p.parseType()
+	}
+	fn.Body = p.parseBlock()
+	return fn
+}
+
+func (p *parser) parseBlock() *ast.Block {
+	lb := p.expect(token.LBrace)
+	b := &ast.Block{LBrace: lb.Pos}
+	for p.tok.Kind != token.RBrace {
+		if p.tok.Kind == token.EOF {
+			p.errorf(p.tok.Pos, "unexpected end of file in block")
+		}
+		b.Stmts = append(b.Stmts, p.parseStmt()...)
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+// parseStmt returns one or more statements (a multi-name var declaration
+// expands to several LocalDecls).
+func (p *parser) parseStmt() []ast.Stmt {
+	switch p.tok.Kind {
+	case token.KwVar:
+		decls := p.parseVarDecl(false)
+		out := make([]ast.Stmt, len(decls))
+		for i, d := range decls {
+			out[i] = &ast.LocalDecl{Decl: d}
+		}
+		return out
+	case token.KwIf:
+		return []ast.Stmt{p.parseIf()}
+	case token.KwWhile:
+		return []ast.Stmt{p.parseWhile()}
+	case token.KwFor:
+		return []ast.Stmt{p.parseFor()}
+	case token.KwReturn:
+		pos := p.tok.Pos
+		p.next()
+		var val ast.Expr
+		if p.tok.Kind != token.Semicolon {
+			val = p.parseExpr()
+		}
+		p.expect(token.Semicolon)
+		return []ast.Stmt{&ast.Return{RetPos: pos, Value: val}}
+	case token.KwBreak:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.Semicolon)
+		return []ast.Stmt{&ast.Break{BreakPos: pos}}
+	case token.KwPrint:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LParen)
+		val := p.parseExpr()
+		p.expect(token.RParen)
+		p.expect(token.Semicolon)
+		return []ast.Stmt{&ast.Print{PrintPos: pos, Value: val}}
+	case token.LBrace:
+		return []ast.Stmt{p.parseBlock()}
+	case token.IDENT:
+		return []ast.Stmt{p.parseSimpleStmt()}
+	}
+	p.errorf(p.tok.Pos, "expected statement, found %s", p.tok)
+	return nil
+}
+
+// parseSimpleStmt parses an assignment or a call statement.
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	nameTok := p.expect(token.IDENT)
+	switch p.tok.Kind {
+	case token.LParen:
+		call := p.parseCallRest(nameTok)
+		p.expect(token.Semicolon)
+		return &ast.ExprStmt{X: call}
+	case token.LBracket:
+		p.next()
+		idx := []ast.Expr{p.parseExpr()}
+		for p.accept(token.Comma) {
+			idx = append(idx, p.parseExpr())
+		}
+		p.expect(token.RBracket)
+		lhs := &ast.IndexRef{NamePos: nameTok.Pos, Name: nameTok.Text, Index: idx}
+		p.expect(token.Assign)
+		rhs := p.parseExpr()
+		p.expect(token.Semicolon)
+		return &ast.Assign{LHS: lhs, RHS: rhs}
+	case token.Assign:
+		p.next()
+		rhs := p.parseExpr()
+		p.expect(token.Semicolon)
+		lhs := &ast.VarRef{NamePos: nameTok.Pos, Name: nameTok.Text}
+		return &ast.Assign{LHS: lhs, RHS: rhs}
+	}
+	p.errorf(p.tok.Pos, "expected assignment or call after %q, found %s", nameTok.Text, p.tok)
+	return nil
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.expect(token.KwIf).Pos
+	cond := p.parseExpr()
+	then := p.parseBlock()
+	s := &ast.If{IfPos: pos, Cond: cond, Then: then}
+	if p.accept(token.KwElse) {
+		if p.tok.Kind == token.KwIf {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	pos := p.expect(token.KwWhile).Pos
+	cond := p.parseExpr()
+	body := p.parseBlock()
+	return &ast.While{WhilePos: pos, Cond: cond, Body: body}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.expect(token.KwFor).Pos
+	nameTok := p.expect(token.IDENT)
+	p.expect(token.Assign)
+	lo := p.parseExpr()
+	p.expect(token.KwTo)
+	hi := p.parseExpr()
+	step := int64(1)
+	if p.accept(token.KwBy) {
+		lit := p.expect(token.INTLIT)
+		n, err := strconv.ParseInt(lit.Text, 10, 64)
+		if err != nil || n < 1 {
+			p.errorf(lit.Pos, "loop step must be a positive integer constant, found %q", lit.Text)
+		}
+		step = n
+	}
+	body := p.parseBlock()
+	return &ast.For{
+		ForPos: pos,
+		Var:    &ast.VarRef{NamePos: nameTok.Pos, Name: nameTok.Text},
+		Lo:     lo, Hi: hi, Step: step,
+		Body: body,
+	}
+}
+
+// ---- Expressions ----
+
+func (p *parser) parseExpr() ast.Expr { return p.parseOr() }
+
+func (p *parser) parseOr() ast.Expr {
+	x := p.parseAnd()
+	for p.tok.Kind == token.OrOr {
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseAnd()
+		x = &ast.BinOp{OpPos: pos, Op: token.OrOr, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseAnd() ast.Expr {
+	x := p.parseCmp()
+	for p.tok.Kind == token.AndAnd {
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseCmp()
+		x = &ast.BinOp{OpPos: pos, Op: token.AndAnd, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseCmp() ast.Expr {
+	x := p.parseAdd()
+	switch p.tok.Kind {
+	case token.Eq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseAdd()
+		return &ast.BinOp{OpPos: pos, Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseAdd() ast.Expr {
+	x := p.parseMul()
+	for p.tok.Kind == token.Plus || p.tok.Kind == token.Minus {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseMul()
+		x = &ast.BinOp{OpPos: pos, Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseMul() ast.Expr {
+	x := p.parseUnary()
+	for p.tok.Kind == token.Star || p.tok.Kind == token.Slash || p.tok.Kind == token.Percent {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		y := p.parseUnary()
+		x = &ast.BinOp{OpPos: pos, Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.Minus:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.UnOp{OpPos: pos, Op: token.Minus, X: p.parseUnary()}
+	case token.Not:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.UnOp{OpPos: pos, Op: token.Not, X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	switch p.tok.Kind {
+	case token.INTLIT:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Text)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+	case token.REALLIT:
+		t := p.tok
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid real literal %q", t.Text)
+		}
+		return &ast.RealLit{LitPos: t.Pos, Value: v}
+	case token.KwTrue:
+		t := p.tok
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: true}
+	case token.KwFalse:
+		t := p.tok
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: false}
+	case token.LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	case token.IDENT:
+		nameTok := p.tok
+		p.next()
+		switch p.tok.Kind {
+		case token.LParen:
+			return p.parseCallRest(nameTok)
+		case token.LBracket:
+			p.next()
+			idx := []ast.Expr{p.parseExpr()}
+			for p.accept(token.Comma) {
+				idx = append(idx, p.parseExpr())
+			}
+			p.expect(token.RBracket)
+			return &ast.IndexRef{NamePos: nameTok.Pos, Name: nameTok.Text, Index: idx}
+		}
+		return &ast.VarRef{NamePos: nameTok.Pos, Name: nameTok.Text}
+	}
+	p.errorf(p.tok.Pos, "expected expression, found %s", p.tok)
+	return nil
+}
+
+func (p *parser) parseCallRest(nameTok token.Token) *ast.Call {
+	p.expect(token.LParen)
+	call := &ast.Call{NamePos: nameTok.Pos, Name: nameTok.Text}
+	if p.tok.Kind != token.RParen {
+		for {
+			call.Args = append(call.Args, p.parseExpr())
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+	}
+	p.expect(token.RParen)
+	return call
+}

@@ -1,0 +1,214 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return p
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	p := mustParse(t, `
+var x, y: int;
+var z: real = -1.5;
+var a[10]: int;
+var m[4, 8]: real;
+func main() {}
+`)
+	if len(p.Globals) != 5 {
+		t.Fatalf("globals = %d, want 5", len(p.Globals))
+	}
+	if p.Globals[0].Name != "x" || p.Globals[1].Name != "y" || p.Globals[0].Type != ast.Int {
+		t.Error("grouped scalar declaration wrong")
+	}
+	z := p.Globals[2]
+	if z.Init == nil || z.Type != ast.Real {
+		t.Error("initializer lost")
+	}
+	a := p.Globals[3]
+	if !a.IsArray() || len(a.Dims) != 1 || a.Dims[0] != 10 || a.Size() != 10 {
+		t.Errorf("array a wrong: %+v", a)
+	}
+	m := p.Globals[4]
+	if len(m.Dims) != 2 || m.Dims[0] != 4 || m.Dims[1] != 8 || m.Size() != 32 {
+		t.Errorf("array m wrong: %+v", m)
+	}
+}
+
+func TestFunctionSignatures(t *testing.T) {
+	p := mustParse(t, `
+func f(a, b: int, c: real): real { return c; }
+func main() {}
+`)
+	f := p.Funcs[0]
+	if f.Name != "f" || len(f.Params) != 3 || f.Result != ast.Real {
+		t.Fatalf("signature wrong: %+v", f)
+	}
+	if f.Params[0].Name != "a" || f.Params[0].Type != ast.Int || f.Params[2].Type != ast.Real {
+		t.Error("params wrong")
+	}
+}
+
+func TestStatements(t *testing.T) {
+	p := mustParse(t, `
+var g[5]: int;
+func main() {
+	var i: int = 0;
+	var s: int;
+	s = 0;
+	for i = 0 to 4 by 2 { s = s + g[i]; }
+	while s > 0 { s = s - 1; if s == 3 { break; } else { print(s); } }
+	g[s] = 7;
+	helper(s);
+	return;
+}
+func helper(n: int) {}
+`)
+	body := p.Funcs[0].Body.Stmts
+	if len(body) != 8 {
+		t.Fatalf("main has %d statements, want 8", len(body))
+	}
+	f, ok := body[3].(*ast.For)
+	if !ok {
+		t.Fatalf("stmt 3 is %T, want For", body[3])
+	}
+	if f.Step != 2 || f.Var.Name != "i" {
+		t.Errorf("for loop: step %d var %q", f.Step, f.Var.Name)
+	}
+	w, ok := body[4].(*ast.While)
+	if !ok {
+		t.Fatalf("stmt 4 is %T, want While", body[4])
+	}
+	inner := w.Body.Stmts[1].(*ast.If)
+	if inner.Else == nil {
+		t.Error("else lost")
+	}
+	if _, ok := body[5].(*ast.Assign); !ok {
+		t.Errorf("stmt 5 is %T, want array assign", body[5])
+	}
+	if _, ok := body[6].(*ast.ExprStmt); !ok {
+		t.Errorf("stmt 6 is %T, want call stmt", body[6])
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	p := mustParse(t, `
+var r: bool;
+var a, b, c, d: int;
+func main() { r = a + b * c < d && !r || a == b; }
+`)
+	assign := p.Funcs[0].Body.Stmts[0].(*ast.Assign)
+	// ((a + (b*c) < d) && (!r)) || (a == b)
+	or, ok := assign.RHS.(*ast.BinOp)
+	if !ok || or.Op != token.OrOr {
+		t.Fatalf("top is %v, want ||", assign.RHS)
+	}
+	and, ok := or.X.(*ast.BinOp)
+	if !ok || and.Op != token.AndAnd {
+		t.Fatalf("left of || is %T, want &&", or.X)
+	}
+	lt, ok := and.X.(*ast.BinOp)
+	if !ok || lt.Op != token.Lt {
+		t.Fatalf("left of && is not <")
+	}
+	plus, ok := lt.X.(*ast.BinOp)
+	if !ok || plus.Op != token.Plus {
+		t.Fatal("left of < is not +")
+	}
+	if mul, ok := plus.Y.(*ast.BinOp); !ok || mul.Op != token.Star {
+		t.Fatal("* does not bind tighter than +")
+	}
+}
+
+func TestUnaryChain(t *testing.T) {
+	p := mustParse(t, `
+var x: int;
+func main() { x = --x; }
+`)
+	assign := p.Funcs[0].Body.Stmts[0].(*ast.Assign)
+	u1, ok := assign.RHS.(*ast.UnOp)
+	if !ok || u1.Op != token.Minus {
+		t.Fatal("outer negate missing")
+	}
+	if _, ok := u1.X.(*ast.UnOp); !ok {
+		t.Fatal("inner negate missing")
+	}
+}
+
+func TestCallsAndIndexInExpr(t *testing.T) {
+	p := mustParse(t, `
+var a[3]: real;
+func f(x: real): real { return x; }
+func main() { a[0] = f(a[1]) + sqrt(a[2]); }
+`)
+	assign := p.Funcs[1].Body.Stmts[0].(*ast.Assign)
+	add := assign.RHS.(*ast.BinOp)
+	if _, ok := add.X.(*ast.Call); !ok {
+		t.Error("call not parsed")
+	}
+	if c, ok := add.Y.(*ast.Call); !ok || c.Name != "sqrt" {
+		t.Error("builtin call not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{"func main() { x = ; }", "expected expression"},
+		{"func main() { if x { }", "unexpected end of file"},
+		{"var x int;", "expected :"},
+		{"func main() { for i = 0 to 10 by -1 {} }", "expected integer literal"},
+		{"func main() { for i = 0 to 10 by 0 {} }", "positive integer"},
+		{"func f() { var a[3]: int; }", "file scope"},
+		{"var x, y: int = 2;", "single scalar"},
+		{"garbage", "expected declaration"},
+		{"func main() { 3 = x; }", "expected statement"},
+		{"func main() { x; }", "expected assignment or call"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("func main() {\n  x = ;\n}")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error should carry line 2: %v", err)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	p := mustParse(t, `
+var x: int;
+func main() {
+	if x == 1 { x = 10; } else if x == 2 { x = 20; } else { x = 30; }
+}
+`)
+	s := p.Funcs[0].Body.Stmts[0].(*ast.If)
+	elif, ok := s.Else.(*ast.If)
+	if !ok {
+		t.Fatalf("else-if is %T", s.Else)
+	}
+	if _, ok := elif.Else.(*ast.Block); !ok {
+		t.Fatal("final else missing")
+	}
+}

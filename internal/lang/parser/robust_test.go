@@ -1,0 +1,61 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics: the parser must return errors, not panic, on
+// arbitrary garbage — random bytes, random token soup, and truncations of
+// a valid program.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+
+	// Random bytes.
+	for i := 0; i < 200; i++ {
+		n := r.Intn(200)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(r.Intn(128))
+		}
+		_, _ = Parse(string(b)) // must not panic
+	}
+
+	// Random token soup.
+	toks := []string{
+		"var", "func", "if", "else", "while", "for", "to", "by", "return",
+		"break", "print", "int", "real", "bool", "true", "false",
+		"x", "y", "main", "42", "3.5", "(", ")", "{", "}", "[", "]",
+		",", ";", ":", "=", "+", "-", "*", "/", "%", "==", "!=",
+		"<", "<=", ">", ">=", "&&", "||", "!",
+	}
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(40)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(toks[r.Intn(len(toks))])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String())
+	}
+
+	// Truncations of a valid program.
+	valid := `
+var a[8]: int;
+var x: real = 1.5;
+func f(n: int): int {
+	var i, s: int;
+	for i = 0 to n {
+		if i % 2 == 0 && i > 1 { s = s + a[i % 8]; } else { break; }
+	}
+	while s > 100 { s = s / 2; }
+	print(x);
+	return s;
+}
+func main() { print(f(10)); }
+`
+	for cut := 0; cut < len(valid); cut += 3 {
+		_, _ = Parse(valid[:cut])
+	}
+}

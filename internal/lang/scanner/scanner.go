@@ -1,0 +1,231 @@
+// Package scanner tokenizes TL source text.
+package scanner
+
+import (
+	"fmt"
+
+	"ilp/internal/lang/token"
+)
+
+// Error is a lexical error with its position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Scanner produces tokens from a source buffer.
+type Scanner struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a scanner over src.
+func New(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (s *Scanner) Errors() []*Error { return s.errs }
+
+func (s *Scanner) errorf(pos token.Pos, format string, args ...any) {
+	s.errs = append(s.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (s *Scanner) peek() byte {
+	if s.off < len(s.src) {
+		return s.src[s.off]
+	}
+	return 0
+}
+
+func (s *Scanner) peek2() byte {
+	if s.off+1 < len(s.src) {
+		return s.src[s.off+1]
+	}
+	return 0
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) pos() token.Pos { return token.Pos{Line: s.line, Col: s.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// skipSpace consumes whitespace and comments (// to end of line, /* */).
+func (s *Scanner) skipSpace() {
+	for s.off < len(s.src) {
+		c := s.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.advance()
+		case c == '/' && s.peek2() == '/':
+			for s.off < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		case c == '/' && s.peek2() == '*':
+			start := s.pos()
+			s.advance()
+			s.advance()
+			closed := false
+			for s.off < len(s.src) {
+				if s.peek() == '*' && s.peek2() == '/' {
+					s.advance()
+					s.advance()
+					closed = true
+					break
+				}
+				s.advance()
+			}
+			if !closed {
+				s.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (s *Scanner) Next() token.Token {
+	s.skipSpace()
+	pos := s.pos()
+	if s.off >= len(s.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := s.advance()
+
+	switch {
+	case isLetter(c):
+		start := s.off - 1
+		for s.off < len(s.src) && (isLetter(s.peek()) || isDigit(s.peek())) {
+			s.advance()
+		}
+		text := s.src[start:s.off]
+		if kw, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: kw, Pos: pos, Text: text}
+		}
+		return token.Token{Kind: token.IDENT, Pos: pos, Text: text}
+
+	case isDigit(c):
+		start := s.off - 1
+		kind := token.INTLIT
+		for s.off < len(s.src) && isDigit(s.peek()) {
+			s.advance()
+		}
+		if s.peek() == '.' && isDigit(s.peek2()) {
+			kind = token.REALLIT
+			s.advance()
+			for s.off < len(s.src) && isDigit(s.peek()) {
+				s.advance()
+			}
+		}
+		if s.peek() == 'e' || s.peek() == 'E' {
+			// Exponent: e[+-]?digits.
+			save := s.off
+			s.advance()
+			if s.peek() == '+' || s.peek() == '-' {
+				s.advance()
+			}
+			if isDigit(s.peek()) {
+				kind = token.REALLIT
+				for s.off < len(s.src) && isDigit(s.peek()) {
+					s.advance()
+				}
+			} else {
+				s.off = save // not an exponent; restore (col drift is fine: next token is illegal anyway)
+			}
+		}
+		return token.Token{Kind: kind, Pos: pos, Text: s.src[start:s.off]}
+	}
+
+	two := func(next byte, yes, no token.Kind) token.Token {
+		if s.peek() == next {
+			s.advance()
+			return token.Token{Kind: yes, Pos: pos}
+		}
+		return token.Token{Kind: no, Pos: pos}
+	}
+
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LParen, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RParen, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBrace, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBrace, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBracket, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBracket, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.Comma, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.Semicolon, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.Colon, Pos: pos}
+	case '+':
+		return token.Token{Kind: token.Plus, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.Minus, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.Star, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.Slash, Pos: pos}
+	case '%':
+		return token.Token{Kind: token.Percent, Pos: pos}
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '!':
+		return two('=', token.Ne, token.Not)
+	case '<':
+		return two('=', token.Le, token.Lt)
+	case '>':
+		return two('=', token.Ge, token.Gt)
+	case '&':
+		if s.peek() == '&' {
+			s.advance()
+			return token.Token{Kind: token.AndAnd, Pos: pos}
+		}
+	case '|':
+		if s.peek() == '|' {
+			s.advance()
+			return token.Token{Kind: token.OrOr, Pos: pos}
+		}
+	}
+	s.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Pos: pos, Text: string(c)}
+}
+
+// ScanAll tokenizes the whole buffer (excluding EOF), for tests.
+func ScanAll(src string) ([]token.Token, []*Error) {
+	s := New(src)
+	var out []token.Token
+	for {
+		t := s.Next()
+		if t.Kind == token.EOF {
+			break
+		}
+		out = append(out, t)
+	}
+	return out, s.Errors()
+}

@@ -1,0 +1,111 @@
+package scanner
+
+import (
+	"testing"
+
+	"ilp/internal/lang/token"
+)
+
+func kinds(ts []token.Token) []token.Kind {
+	out := make([]token.Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	src := `var x: int = 42; x = x + 3.5 * 1e3; // comment
+if x <= 10 && y != 2 { print(x); } /* block
+comment */ while !done || a >= b {}`
+	ts, errs := ScanAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.KwVar, token.IDENT, token.Colon, token.KwInt, token.Assign, token.INTLIT, token.Semicolon,
+		token.IDENT, token.Assign, token.IDENT, token.Plus, token.REALLIT, token.Star, token.REALLIT, token.Semicolon,
+		token.KwIf, token.IDENT, token.Le, token.INTLIT, token.AndAnd, token.IDENT, token.Ne, token.INTLIT,
+		token.LBrace, token.KwPrint, token.LParen, token.IDENT, token.RParen, token.Semicolon, token.RBrace,
+		token.KwWhile, token.Not, token.IDENT, token.OrOr, token.IDENT, token.Ge, token.IDENT, token.LBrace, token.RBrace,
+	}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumberForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+	}{
+		{"0", token.INTLIT},
+		{"1234", token.INTLIT},
+		{"3.25", token.REALLIT},
+		{"1e6", token.REALLIT},
+		{"2.5e-3", token.REALLIT},
+		{"7E+2", token.REALLIT},
+	}
+	for _, c := range cases {
+		ts, errs := ScanAll(c.src)
+		if len(errs) != 0 || len(ts) != 1 || ts[0].Kind != c.kind || ts[0].Text != c.src {
+			t.Errorf("scan %q = %v (errs %v), want one %v", c.src, ts, errs, c.kind)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	ts, _ := ScanAll("a\n  bb\n")
+	if ts[0].Pos.Line != 1 || ts[0].Pos.Col != 1 {
+		t.Errorf("a at %v", ts[0].Pos)
+	}
+	if ts[1].Pos.Line != 2 || ts[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", ts[1].Pos)
+	}
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	ts, _ := ScanAll("for forx xfor to toto")
+	want := []token.Kind{token.KwFor, token.IDENT, token.IDENT, token.KwTo, token.IDENT}
+	for i, k := range want {
+		if ts[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, ts[i].Kind, k)
+		}
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	ts, errs := ScanAll("a # b")
+	if len(errs) == 0 {
+		t.Error("expected error for #")
+	}
+	found := false
+	for _, tok := range ts {
+		if tok.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected ILLEGAL token")
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll("a /* never closed")
+	if len(errs) == 0 {
+		t.Error("expected unterminated-comment error")
+	}
+}
+
+func TestLoneAmpersand(t *testing.T) {
+	_, errs := ScanAll("a & b")
+	if len(errs) == 0 {
+		t.Error("expected error for single &")
+	}
+}

@@ -1,0 +1,559 @@
+// Package sem performs semantic analysis of TL programs: name resolution,
+// type checking, and the annotations later phases rely on (resolved symbols
+// on references, loop-variable mutation and break flags on counted loops).
+package sem
+
+import (
+	"fmt"
+
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/token"
+)
+
+// Error is a semantic error with its position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// FuncInfo aggregates the analyzer's per-function results.
+type FuncInfo struct {
+	Decl   *ast.FuncDecl
+	Sym    *ast.Symbol
+	Params []*ast.Symbol
+	// Locals are the function's local scalars in declaration order
+	// (excluding params).
+	Locals []*ast.Symbol
+}
+
+// Info is the result of analysis.
+type Info struct {
+	Program *ast.Program
+	// Globals are global scalar symbols in declaration order.
+	Globals []*ast.Symbol
+	// Arrays are global array symbols in declaration order.
+	Arrays []*ast.Symbol
+	// Funcs maps names to per-function info.
+	Funcs map[string]*FuncInfo
+	// Main is the entry point ("func main()", no params, no result).
+	Main *FuncInfo
+}
+
+// Analyze checks the program and returns the analysis info. The first
+// error aborts analysis.
+func Analyze(prog *ast.Program) (*Info, error) {
+	a := &analyzer{
+		info: &Info{
+			Program: prog,
+			Funcs:   map[string]*FuncInfo{},
+		},
+		globalScope: map[string]*ast.Symbol{},
+	}
+	err := a.run()
+	if err != nil {
+		return nil, err
+	}
+	return a.info, nil
+}
+
+type analyzer struct {
+	info        *Info
+	globalScope map[string]*ast.Symbol
+
+	// Per-function state.
+	cur    *FuncInfo
+	scopes []map[string]*ast.Symbol
+	loops  []ast.Stmt // innermost last: *ast.For or *ast.While
+}
+
+func (a *analyzer) errorf(pos token.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *analyzer) run() error {
+	prog := a.info.Program
+
+	// Pass 1: global variables and arrays.
+	for _, d := range prog.Globals {
+		if _, dup := a.globalScope[d.Name]; dup {
+			return a.errorf(d.NamePos, "%q redeclared at file scope", d.Name)
+		}
+		sym := &ast.Symbol{Name: d.Name, Type: d.Type, Decl: d, Dims: d.Dims}
+		if d.IsArray() {
+			if d.Type == ast.Bool {
+				return a.errorf(d.NamePos, "array %q: bool arrays are not supported", d.Name)
+			}
+			sym.Kind = ast.SymArray
+			sym.Index = len(a.info.Arrays)
+			a.info.Arrays = append(a.info.Arrays, sym)
+		} else {
+			sym.Kind = ast.SymGlobal
+			sym.Index = len(a.info.Globals)
+			a.info.Globals = append(a.info.Globals, sym)
+			if d.Init != nil {
+				t, err := a.constType(d.Init)
+				if err != nil {
+					return err
+				}
+				if t != d.Type {
+					return a.errorf(d.NamePos, "initializer for %q has type %s, want %s", d.Name, t, d.Type)
+				}
+			}
+		}
+		a.globalScope[d.Name] = sym
+	}
+
+	// Pass 2: function signatures (so calls can be forward).
+	for _, f := range prog.Funcs {
+		if _, dup := a.globalScope[f.Name]; dup {
+			return a.errorf(f.NamePos, "%q redeclared at file scope", f.Name)
+		}
+		if _, isB := ast.BuiltinByName[f.Name]; isB {
+			return a.errorf(f.NamePos, "%q shadows a builtin function", f.Name)
+		}
+		sym := &ast.Symbol{Name: f.Name, Kind: ast.SymFunc, Type: f.Result, Decl: f}
+		a.globalScope[f.Name] = sym
+		a.info.Funcs[f.Name] = &FuncInfo{Decl: f, Sym: sym}
+	}
+
+	// Pass 3: function bodies.
+	for _, f := range prog.Funcs {
+		if err := a.checkFunc(a.info.Funcs[f.Name]); err != nil {
+			return err
+		}
+	}
+
+	// Entry point.
+	mainFn, ok := a.info.Funcs["main"]
+	if !ok {
+		return a.errorf(token.Pos{Line: 1, Col: 1}, "program has no func main()")
+	}
+	if len(mainFn.Decl.Params) != 0 || mainFn.Decl.Result != ast.Void {
+		return a.errorf(mainFn.Decl.NamePos, "func main must take no parameters and return nothing")
+	}
+	a.info.Main = mainFn
+	return nil
+}
+
+// constType types a global initializer: a literal, optionally negated.
+func (a *analyzer) constType(e ast.Expr) (ast.Type, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		x.SetType(ast.Int)
+		return ast.Int, nil
+	case *ast.RealLit:
+		x.SetType(ast.Real)
+		return ast.Real, nil
+	case *ast.BoolLit:
+		x.SetType(ast.Bool)
+		return ast.Bool, nil
+	case *ast.UnOp:
+		if x.Op == token.Minus {
+			t, err := a.constType(x.X)
+			if err != nil {
+				return ast.Invalid, err
+			}
+			if t != ast.Int && t != ast.Real {
+				return ast.Invalid, a.errorf(x.OpPos, "cannot negate %s constant", t)
+			}
+			x.SetType(t)
+			return t, nil
+		}
+	}
+	return ast.Invalid, a.errorf(e.Pos(), "global initializer must be a constant literal")
+}
+
+func (a *analyzer) checkFunc(fi *FuncInfo) error {
+	a.cur = fi
+	a.scopes = []map[string]*ast.Symbol{{}}
+	a.loops = nil
+	for i := range fi.Decl.Params {
+		p := &fi.Decl.Params[i]
+		if _, dup := a.scopes[0][p.Name]; dup {
+			return a.errorf(p.NamePos, "parameter %q redeclared", p.Name)
+		}
+		sym := &ast.Symbol{Name: p.Name, Kind: ast.SymParam, Type: p.Type, Index: len(fi.Params)}
+		fi.Params = append(fi.Params, sym)
+		a.scopes[0][p.Name] = sym
+	}
+	return a.checkBlock(fi.Decl.Body)
+}
+
+func (a *analyzer) pushScope() { a.scopes = append(a.scopes, map[string]*ast.Symbol{}) }
+func (a *analyzer) popScope()  { a.scopes = a.scopes[:len(a.scopes)-1] }
+
+func (a *analyzer) lookup(name string) *ast.Symbol {
+	for i := len(a.scopes) - 1; i >= 0; i-- {
+		if s, ok := a.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return a.globalScope[name]
+}
+
+func (a *analyzer) checkBlock(b *ast.Block) error {
+	a.pushScope()
+	defer a.popScope()
+	for _, s := range b.Stmts {
+		if err := a.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) checkStmt(s ast.Stmt) error {
+	switch st := s.(type) {
+	case *ast.Block:
+		return a.checkBlock(st)
+
+	case *ast.LocalDecl:
+		d := st.Decl
+		if d.IsArray() {
+			return a.errorf(d.NamePos, "arrays may only be declared at file scope")
+		}
+		scope := a.scopes[len(a.scopes)-1]
+		if _, dup := scope[d.Name]; dup {
+			return a.errorf(d.NamePos, "%q redeclared in this scope", d.Name)
+		}
+		if d.Init != nil {
+			t, err := a.checkExpr(d.Init)
+			if err != nil {
+				return err
+			}
+			if t != d.Type {
+				return a.errorf(d.NamePos, "initializer for %q has type %s, want %s", d.Name, t, d.Type)
+			}
+		}
+		sym := &ast.Symbol{Name: d.Name, Kind: ast.SymLocal, Type: d.Type, Decl: d, Index: len(a.cur.Locals)}
+		a.cur.Locals = append(a.cur.Locals, sym)
+		scope[d.Name] = sym
+		return nil
+
+	case *ast.Assign:
+		lt, err := a.checkLValue(st.LHS)
+		if err != nil {
+			return err
+		}
+		rt, err := a.checkExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if lt != rt {
+			return a.errorf(st.Pos(), "cannot assign %s to %s", rt, lt)
+		}
+		// Record loop-variable mutation for enclosing counted loops.
+		if vr, ok := st.LHS.(*ast.VarRef); ok {
+			for _, l := range a.loops {
+				if f, ok := l.(*ast.For); ok && f.Var.Sym == vr.Sym {
+					f.VarMutated = true
+				}
+			}
+		}
+		return nil
+
+	case *ast.If:
+		t, err := a.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != ast.Bool {
+			return a.errorf(st.Cond.Pos(), "if condition must be bool, found %s", t)
+		}
+		if err := a.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return a.checkStmt(st.Else)
+		}
+		return nil
+
+	case *ast.While:
+		t, err := a.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != ast.Bool {
+			return a.errorf(st.Cond.Pos(), "while condition must be bool, found %s", t)
+		}
+		a.loops = append(a.loops, st)
+		err = a.checkBlock(st.Body)
+		a.loops = a.loops[:len(a.loops)-1]
+		return err
+
+	case *ast.For:
+		sym := a.lookup(st.Var.Name)
+		if sym == nil {
+			return a.errorf(st.Var.NamePos, "undefined loop variable %q", st.Var.Name)
+		}
+		if sym.Kind == ast.SymArray || sym.Kind == ast.SymFunc {
+			return a.errorf(st.Var.NamePos, "%q cannot be a loop variable", st.Var.Name)
+		}
+		if sym.Type != ast.Int {
+			return a.errorf(st.Var.NamePos, "loop variable %q must be int, is %s", st.Var.Name, sym.Type)
+		}
+		st.Var.Sym = sym
+		st.Var.SetType(ast.Int)
+		for _, bound := range []ast.Expr{st.Lo, st.Hi} {
+			t, err := a.checkExpr(bound)
+			if err != nil {
+				return err
+			}
+			if t != ast.Int {
+				return a.errorf(bound.Pos(), "loop bound must be int, found %s", t)
+			}
+		}
+		a.loops = append(a.loops, st)
+		err := a.checkBlock(st.Body)
+		a.loops = a.loops[:len(a.loops)-1]
+		return err
+
+	case *ast.Return:
+		want := a.cur.Decl.Result
+		if st.Value == nil {
+			if want != ast.Void {
+				return a.errorf(st.RetPos, "missing return value (%s expected)", want)
+			}
+			return nil
+		}
+		if want == ast.Void {
+			return a.errorf(st.RetPos, "unexpected return value in procedure %q", a.cur.Decl.Name)
+		}
+		t, err := a.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if t != want {
+			return a.errorf(st.RetPos, "return type %s, want %s", t, want)
+		}
+		return nil
+
+	case *ast.Break:
+		if len(a.loops) == 0 {
+			return a.errorf(st.BreakPos, "break outside loop")
+		}
+		if f, ok := a.loops[len(a.loops)-1].(*ast.For); ok {
+			f.HasBreak = true
+		}
+		return nil
+
+	case *ast.Print:
+		t, err := a.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if t == ast.Void || t == ast.Invalid {
+			return a.errorf(st.PrintPos, "cannot print %s", t)
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.Call)
+		if !ok {
+			return a.errorf(st.Pos(), "expression statement must be a call")
+		}
+		_, err := a.checkExpr(call)
+		return err
+	}
+	return a.errorf(s.Pos(), "unhandled statement %T", s)
+}
+
+func (a *analyzer) checkLValue(e ast.Expr) (ast.Type, error) {
+	switch x := e.(type) {
+	case *ast.VarRef:
+		sym := a.lookup(x.Name)
+		if sym == nil {
+			return ast.Invalid, a.errorf(x.NamePos, "undefined variable %q", x.Name)
+		}
+		switch sym.Kind {
+		case ast.SymGlobal, ast.SymLocal, ast.SymParam:
+		default:
+			return ast.Invalid, a.errorf(x.NamePos, "%q is not assignable", x.Name)
+		}
+		x.Sym = sym
+		x.SetType(sym.Type)
+		return sym.Type, nil
+	case *ast.IndexRef:
+		return a.checkIndexRef(x)
+	}
+	return ast.Invalid, a.errorf(e.Pos(), "invalid assignment target")
+}
+
+func (a *analyzer) checkIndexRef(x *ast.IndexRef) (ast.Type, error) {
+	sym := a.lookup(x.Name)
+	if sym == nil {
+		return ast.Invalid, a.errorf(x.NamePos, "undefined array %q", x.Name)
+	}
+	if sym.Kind != ast.SymArray {
+		return ast.Invalid, a.errorf(x.NamePos, "%q is not an array", x.Name)
+	}
+	if len(x.Index) != len(sym.Dims) {
+		return ast.Invalid, a.errorf(x.NamePos, "array %q has %d dimensions, %d indices given",
+			x.Name, len(sym.Dims), len(x.Index))
+	}
+	for _, ie := range x.Index {
+		t, err := a.checkExpr(ie)
+		if err != nil {
+			return ast.Invalid, err
+		}
+		if t != ast.Int {
+			return ast.Invalid, a.errorf(ie.Pos(), "array index must be int, found %s", t)
+		}
+	}
+	x.Sym = sym
+	x.SetType(sym.Type)
+	return sym.Type, nil
+}
+
+// builtinSig describes an intrinsic's signature.
+var builtinSig = map[ast.Builtin]struct {
+	arg ast.Type
+	res ast.Type
+}{
+	ast.BSqrt: {ast.Real, ast.Real}, ast.BSin: {ast.Real, ast.Real},
+	ast.BCos: {ast.Real, ast.Real}, ast.BAtan: {ast.Real, ast.Real},
+	ast.BExp: {ast.Real, ast.Real}, ast.BLog: {ast.Real, ast.Real},
+	ast.BAbs: {ast.Real, ast.Real}, ast.BIAbs: {ast.Int, ast.Int},
+	ast.BFloat: {ast.Int, ast.Real}, ast.BTrunc: {ast.Real, ast.Int},
+}
+
+func (a *analyzer) checkExpr(e ast.Expr) (ast.Type, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		x.SetType(ast.Int)
+		return ast.Int, nil
+	case *ast.RealLit:
+		x.SetType(ast.Real)
+		return ast.Real, nil
+	case *ast.BoolLit:
+		x.SetType(ast.Bool)
+		return ast.Bool, nil
+
+	case *ast.VarRef:
+		sym := a.lookup(x.Name)
+		if sym == nil {
+			return ast.Invalid, a.errorf(x.NamePos, "undefined variable %q", x.Name)
+		}
+		switch sym.Kind {
+		case ast.SymGlobal, ast.SymLocal, ast.SymParam:
+		case ast.SymArray:
+			return ast.Invalid, a.errorf(x.NamePos, "array %q used without index", x.Name)
+		default:
+			return ast.Invalid, a.errorf(x.NamePos, "%q is not a variable", x.Name)
+		}
+		x.Sym = sym
+		x.SetType(sym.Type)
+		return sym.Type, nil
+
+	case *ast.IndexRef:
+		return a.checkIndexRef(x)
+
+	case *ast.UnOp:
+		t, err := a.checkExpr(x.X)
+		if err != nil {
+			return ast.Invalid, err
+		}
+		switch x.Op {
+		case token.Minus:
+			if t != ast.Int && t != ast.Real {
+				return ast.Invalid, a.errorf(x.OpPos, "cannot negate %s", t)
+			}
+		case token.Not:
+			if t != ast.Bool {
+				return ast.Invalid, a.errorf(x.OpPos, "! requires bool, found %s", t)
+			}
+		default:
+			return ast.Invalid, a.errorf(x.OpPos, "invalid unary operator %s", x.Op)
+		}
+		x.SetType(t)
+		return t, nil
+
+	case *ast.BinOp:
+		lt, err := a.checkExpr(x.X)
+		if err != nil {
+			return ast.Invalid, err
+		}
+		rt, err := a.checkExpr(x.Y)
+		if err != nil {
+			return ast.Invalid, err
+		}
+		if lt != rt {
+			return ast.Invalid, a.errorf(x.OpPos, "operator %s: mismatched types %s and %s (use float()/trunc())", x.Op, lt, rt)
+		}
+		switch x.Op {
+		case token.Plus, token.Minus, token.Star, token.Slash:
+			if lt != ast.Int && lt != ast.Real {
+				return ast.Invalid, a.errorf(x.OpPos, "operator %s requires numeric operands, found %s", x.Op, lt)
+			}
+			x.SetType(lt)
+			return lt, nil
+		case token.Percent:
+			if lt != ast.Int {
+				return ast.Invalid, a.errorf(x.OpPos, "%% requires int operands, found %s", lt)
+			}
+			x.SetType(ast.Int)
+			return ast.Int, nil
+		case token.Lt, token.Le, token.Gt, token.Ge:
+			if lt != ast.Int && lt != ast.Real {
+				return ast.Invalid, a.errorf(x.OpPos, "operator %s requires numeric operands, found %s", x.Op, lt)
+			}
+			x.SetType(ast.Bool)
+			return ast.Bool, nil
+		case token.Eq, token.Ne:
+			if lt == ast.Void || lt == ast.Invalid {
+				return ast.Invalid, a.errorf(x.OpPos, "operator %s on %s", x.Op, lt)
+			}
+			x.SetType(ast.Bool)
+			return ast.Bool, nil
+		case token.AndAnd, token.OrOr:
+			if lt != ast.Bool {
+				return ast.Invalid, a.errorf(x.OpPos, "operator %s requires bool operands, found %s", x.Op, lt)
+			}
+			x.SetType(ast.Bool)
+			return ast.Bool, nil
+		}
+		return ast.Invalid, a.errorf(x.OpPos, "invalid binary operator %s", x.Op)
+
+	case *ast.Call:
+		if b, isB := ast.BuiltinByName[x.Name]; isB {
+			sig := builtinSig[b]
+			if len(x.Args) != 1 {
+				return ast.Invalid, a.errorf(x.NamePos, "%s takes exactly one argument", x.Name)
+			}
+			t, err := a.checkExpr(x.Args[0])
+			if err != nil {
+				return ast.Invalid, err
+			}
+			if t != sig.arg {
+				return ast.Invalid, a.errorf(x.NamePos, "%s requires %s argument, found %s", x.Name, sig.arg, t)
+			}
+			x.Builtin = b
+			x.SetType(sig.res)
+			return sig.res, nil
+		}
+		fi, ok := a.info.Funcs[x.Name]
+		if !ok {
+			return ast.Invalid, a.errorf(x.NamePos, "undefined function %q", x.Name)
+		}
+		if len(x.Args) != len(fi.Decl.Params) {
+			return ast.Invalid, a.errorf(x.NamePos, "%q takes %d arguments, %d given",
+				x.Name, len(fi.Decl.Params), len(x.Args))
+		}
+		for i, arg := range x.Args {
+			t, err := a.checkExpr(arg)
+			if err != nil {
+				return ast.Invalid, err
+			}
+			if t != fi.Decl.Params[i].Type {
+				return ast.Invalid, a.errorf(arg.Pos(), "argument %d of %q has type %s, want %s",
+					i+1, x.Name, t, fi.Decl.Params[i].Type)
+			}
+		}
+		x.Func = fi.Decl
+		x.SetType(fi.Decl.Result)
+		return fi.Decl.Result, nil
+	}
+	return ast.Invalid, a.errorf(e.Pos(), "unhandled expression %T", e)
+}

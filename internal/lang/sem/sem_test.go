@@ -1,0 +1,201 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"ilp/internal/lang/ast"
+	"ilp/internal/lang/parser"
+)
+
+func analyze(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(p)
+}
+
+func mustAnalyze(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := analyze(t, src)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+func TestSymbolsResolved(t *testing.T) {
+	info := mustAnalyze(t, `
+var g: int = 3;
+var a[8]: real;
+func f(p: int): int {
+	var l: int;
+	l = p + g;
+	return l;
+}
+func main() { g = f(1); a[0] = 2.0; }
+`)
+	if len(info.Globals) != 1 || info.Globals[0].Name != "g" || info.Globals[0].Kind != ast.SymGlobal {
+		t.Errorf("globals: %+v", info.Globals)
+	}
+	if len(info.Arrays) != 1 || info.Arrays[0].Size() != 8 {
+		t.Errorf("arrays: %+v", info.Arrays)
+	}
+	fi := info.Funcs["f"]
+	if fi == nil || len(fi.Params) != 1 || len(fi.Locals) != 1 {
+		t.Fatalf("func info: %+v", fi)
+	}
+	if info.Main == nil {
+		t.Fatal("main not found")
+	}
+	// The reference l = p + g must resolve to the right symbols.
+	assign := fi.Decl.Body.Stmts[1].(*ast.Assign)
+	lhs := assign.LHS.(*ast.VarRef)
+	if lhs.Sym != fi.Locals[0] {
+		t.Error("lhs not resolved to local")
+	}
+	add := assign.RHS.(*ast.BinOp)
+	if add.X.(*ast.VarRef).Sym != fi.Params[0] {
+		t.Error("p not resolved to param")
+	}
+	if add.Y.(*ast.VarRef).Sym != info.Globals[0] {
+		t.Error("g not resolved to global")
+	}
+	if add.Type() != ast.Int {
+		t.Error("p+g not typed int")
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	info := mustAnalyze(t, `
+var x: int;
+func main() {
+	var x: real;
+	x = 1.0;
+}
+`)
+	assign := info.Main.Decl.Body.Stmts[1].(*ast.Assign)
+	if assign.LHS.(*ast.VarRef).Sym.Kind != ast.SymLocal {
+		t.Error("local should shadow global")
+	}
+}
+
+func TestForLoopAnnotations(t *testing.T) {
+	info := mustAnalyze(t, `
+var s: int;
+func main() {
+	var i: int;
+	for i = 0 to 9 {
+		s = s + i;
+		if s > 100 { break; }
+	}
+	for i = 0 to 9 { i = i + 1; }
+}
+`)
+	loop1 := info.Main.Decl.Body.Stmts[1].(*ast.For)
+	if !loop1.HasBreak {
+		t.Error("HasBreak not set")
+	}
+	if loop1.VarMutated {
+		t.Error("VarMutated wrongly set on loop 1")
+	}
+	loop2 := info.Main.Decl.Body.Stmts[2].(*ast.For)
+	if !loop2.VarMutated {
+		t.Error("VarMutated not set on loop 2")
+	}
+}
+
+func TestBreakBindsInnermost(t *testing.T) {
+	info := mustAnalyze(t, `
+func main() {
+	var i, j: int;
+	for i = 0 to 3 {
+		while j < 5 { break; }
+	}
+}
+`)
+	outer := info.Main.Decl.Body.Stmts[2].(*ast.For)
+	if outer.HasBreak {
+		t.Error("break inside while marked the outer for")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct {
+		src    string
+		substr string
+	}{
+		{`func main() { x = 1; }`, "undefined variable"},
+		{`var x: int; func main() { x = 1.5; }`, "cannot assign real to int"},
+		{`var x: int; func main() { x = 1 + 2.0; }`, "mismatched types"},
+		{`var x: real; func main() { x = 1.0 % 2.0; }`, "requires int"},
+		{`var b: bool; func main() { b = 1 && 2; }`, "requires bool operands"},
+		{`func main() { if 1 { } }`, "must be bool"},
+		{`func main() { while 2.0 { } }`, "must be bool"},
+		{`var a[3]: int; func main() { a[1.0] = 1; }`, "index must be int"},
+		{`var a[3]: int; func main() { a[0, 1] = 1; }`, "1 dimensions"},
+		{`var x: int; func main() { x[0] = 1; }`, "not an array"},
+		{`var a[3]: int; func main() { a = 1; }`, "not assignable"},
+		{`var a[3]: int; var x: int; func main() { x = a; }`, "without index"},
+		{`func f(): int { return 1.0; } func main() {}`, "return type real"},
+		{`func f() { return 1; } func main() {}`, "unexpected return value"},
+		{`func f(): int { return; } func main() {}`, "missing return value"},
+		{`func main() { break; }`, "break outside loop"},
+		{`func f(a: int) {} func main() { f(1, 2); }`, "takes 1 arguments"},
+		{`func f(a: int) {} func main() { f(1.0); }`, "want int"},
+		{`func main() { g(); }`, "undefined function"},
+		{`func main() { sqrt(2); }`, "requires real"},
+		{`func main() { sqrt(1.0, 2.0); }`, "exactly one"},
+		{`var x: int; var x: real; func main() {}`, "redeclared"},
+		{`func f() {} func f() {} func main() {}`, "redeclared"},
+		{`func sqrt(x: real): real { return x; } func main() {}`, "shadows a builtin"},
+		{`func f(a: int, a: int) {} func main() {}`, "parameter \"a\" redeclared"},
+		{`func main() { var v: int; var v: int; }`, "redeclared in this scope"},
+		{`func notmain() {}`, "no func main"},
+		{`func main(x: int) {}`, "no parameters"},
+		{`var x: int = 1.5; func main() {}`, "has type real"},
+		{`var x: int; var y: int; func main() { var z: int = x + y; }`, ""},
+		{`var b[2]: bool; func main() {}`, "bool arrays"},
+		{`func main() { var r: real; for r = 0 to 3 {} }`, "must be int"},
+		{`func main() { var i: int; for i = 0 to 2.5 {} }`, "bound must be int"},
+		{`var g: int = 1 + 2; func main() {}`, "constant literal"},
+	}
+	for _, c := range cases {
+		_, err := analyze(t, c.src)
+		if c.substr == "" {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.substr)
+		}
+	}
+}
+
+func TestBuiltinTypes(t *testing.T) {
+	info := mustAnalyze(t, `
+var x: real;
+var n: int;
+func main() {
+	x = sqrt(2.0) + sin(x) + float(n);
+	n = trunc(x) + iabs(n);
+}
+`)
+	_ = info
+}
+
+func TestRecursionAndForwardCalls(t *testing.T) {
+	mustAnalyze(t, `
+func even(n: int): bool { if n == 0 { return true; } return odd(n - 1); }
+func odd(n: int): bool { if n == 0 { return false; } return even(n - 1); }
+func main() { print(even(4)); }
+`)
+}

@@ -1,0 +1,133 @@
+// Package token defines the lexical tokens of TL, the small imperative
+// language the benchmark suite is written in. TL stands in for the
+// Modula-2 and C sources of the paper's benchmarks: a statically typed
+// language with integers, reals, booleans, fixed-size global arrays,
+// procedures, and counted loops — enough to express every benchmark while
+// keeping the compiler honest (no pointers means the "interprocedural alias
+// analysis" the paper's careful unrolling needs reduces to array identity
+// plus index arithmetic, which we implement).
+package token
+
+import "fmt"
+
+// Kind is the lexical class of a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT
+	INTLIT
+	REALLIT
+
+	// Keywords.
+	KwVar
+	KwFunc
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwTo
+	KwBy
+	KwReturn
+	KwBreak
+	KwPrint
+	KwInt
+	KwReal
+	KwBool
+	KwTrue
+	KwFalse
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Colon
+
+	// Operators.
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq // ==
+	Ne // !=
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd // &&
+	OrOr   // ||
+	Not    // !
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", ILLEGAL: "illegal token",
+	IDENT: "identifier", INTLIT: "integer literal", REALLIT: "real literal",
+	KwVar: "var", KwFunc: "func", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwTo: "to", KwBy: "by",
+	KwReturn: "return", KwBreak: "break", KwPrint: "print",
+	KwInt: "int", KwReal: "real", KwBool: "bool",
+	KwTrue: "true", KwFalse: "false",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";", Colon: ":",
+	Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"var": KwVar, "func": KwFunc, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "to": KwTo, "by": KwBy,
+	"return": KwReturn, "break": KwBreak, "print": KwPrint,
+	"int": KwInt, "real": KwReal, "bool": KwBool,
+	"true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	// Text is the literal text for IDENT, INTLIT, REALLIT, ILLEGAL.
+	Text string
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, REALLIT, ILLEGAL:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

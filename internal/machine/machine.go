@@ -1,0 +1,240 @@
+// Package machine implements the paper's parameterizable machine
+// description: "This interface allows us to specify details about the
+// pipeline, functional units, cache, and register set" (§3).
+//
+// A Config captures, per §2's taxonomy and §3's evaluation environment:
+//
+//   - the superscalar degree n (instructions issued per cycle),
+//   - the superpipelining degree m (the cycle time is 1/m of the base
+//     machine's; simple operations then take m of these minor cycles),
+//   - an operation latency per instruction class,
+//   - functional units with an issue latency and a multiplicity,
+//   - an optional upper limit on instructions issued per cycle independent
+//     of functional-unit availability,
+//   - cache parameters, and
+//   - the division of the register file into expression temporaries and
+//     variable home locations.
+//
+// All latencies in a Config are expressed in minor cycles — the machine's
+// own clock. A base-machine cycle equals Degree minor cycles, so a simple
+// operation with a one-base-cycle latency has Latency[class] == Degree.
+package machine
+
+import (
+	"fmt"
+
+	"ilp/internal/cache"
+	"ilp/internal/isa"
+)
+
+// FUnit describes one functional-unit type, following §3: "we can also
+// group the operations into functional units, and specify an issue latency
+// and multiplicity for each."
+type FUnit struct {
+	Name string
+	// Classes lists the instruction classes issued to this unit.
+	Classes []isa.Class
+	// Multiplicity is the number of identical copies of the unit. With
+	// fewer copies than the issue width, class conflicts arise (§2.3.2).
+	Multiplicity int
+	// IssueLatency is the number of minor cycles between successive
+	// issues to the same copy of the unit. 1 means fully pipelined.
+	IssueLatency int
+}
+
+// Config is a complete machine description.
+type Config struct {
+	Name string
+
+	// IssueWidth is n: the maximum number of instructions issued per
+	// minor cycle ("superscalar machines may have an upper limit on the
+	// number of instructions that may be issued in the same cycle,
+	// independent of the availability of functional units", §3).
+	IssueWidth int
+
+	// Degree is m: the number of minor cycles per base-machine cycle.
+	// A base or superscalar machine has Degree 1; a superpipelined
+	// machine of degree m has Degree m.
+	Degree int
+
+	// Latency is the operation latency of each instruction class in
+	// minor cycles: "if an instruction requires the result of a previous
+	// instruction, the machine will stall unless the operation latency of
+	// the previous instruction has elapsed" (§3).
+	Latency [isa.NumClasses]int
+
+	// Units are the functional units. Every class must be served by
+	// exactly one unit type.
+	Units []FUnit
+
+	// BranchRedirect is the number of extra minor cycles before the
+	// instruction after a taken branch can issue. The paper assumes
+	// "perfect branch slot filling and/or branch prediction", i.e. zero;
+	// a taken branch still ends its issue group.
+	BranchRedirect int
+
+	// TakenBranchEndsGroup controls whether a taken branch terminates its
+	// issue group (the in-order, no-speculation discipline of the paper).
+	// It is true for every preset; switching it off is an ablation that
+	// lets the startup-transient effect of §4.1 be quantified.
+	TakenBranchEndsGroup bool
+
+	// ICache and DCache, when non-nil, model instruction and data caches.
+	// The paper's main simulations ignore cache misses (§4); §5.1 does
+	// not.
+	ICache *cache.Config
+	DCache *cache.Config
+
+	// Register-set division (§3): temporaries for short-term expressions
+	// and home locations for variables. Counts are per register file.
+	IntTemps, IntHomes int
+	FPTemps, FPHomes   int
+}
+
+// unitIndex maps class -> index into Units, built by Validate.
+func (c *Config) unitIndex() ([isa.NumClasses]int, error) {
+	var idx [isa.NumClasses]int
+	for i := range idx {
+		idx[i] = -1
+	}
+	for ui, u := range c.Units {
+		for _, cl := range u.Classes {
+			if int(cl) >= isa.NumClasses {
+				return idx, fmt.Errorf("machine %q: unit %q names invalid class %d", c.Name, u.Name, cl)
+			}
+			if idx[cl] != -1 {
+				return idx, fmt.Errorf("machine %q: class %v served by units %q and %q", c.Name, cl, c.Units[idx[cl]].Name, u.Name)
+			}
+			idx[cl] = ui
+		}
+	}
+	for cl, ui := range idx {
+		if ui == -1 {
+			return idx, fmt.Errorf("machine %q: class %v not served by any unit", c.Name, isa.Class(cl))
+		}
+	}
+	return idx, nil
+}
+
+// UnitForClass returns the index into Units of the unit serving the class.
+// The config must have passed Validate.
+func (c *Config) UnitForClass(cl isa.Class) int {
+	idx, err := c.unitIndex()
+	if err != nil {
+		panic(err)
+	}
+	return idx[cl]
+}
+
+// Validate checks the description for consistency.
+func (c *Config) Validate() error {
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("machine %q: issue width %d < 1", c.Name, c.IssueWidth)
+	}
+	if c.Degree < 1 {
+		return fmt.Errorf("machine %q: degree %d < 1", c.Name, c.Degree)
+	}
+	for cl, lat := range c.Latency {
+		if lat < 1 {
+			return fmt.Errorf("machine %q: class %v latency %d < 1", c.Name, isa.Class(cl), lat)
+		}
+	}
+	for _, u := range c.Units {
+		if u.Multiplicity < 1 {
+			return fmt.Errorf("machine %q: unit %q multiplicity %d < 1", c.Name, u.Name, u.Multiplicity)
+		}
+		if u.IssueLatency < 1 {
+			return fmt.Errorf("machine %q: unit %q issue latency %d < 1", c.Name, u.Name, u.IssueLatency)
+		}
+	}
+	if _, err := c.unitIndex(); err != nil {
+		return err
+	}
+	if c.BranchRedirect < 0 {
+		return fmt.Errorf("machine %q: negative branch redirect", c.Name)
+	}
+	for _, cc := range []*cache.Config{c.ICache, c.DCache} {
+		if cc != nil {
+			if err := cc.Validate(); err != nil {
+				return fmt.Errorf("machine %q: %w", c.Name, err)
+			}
+		}
+	}
+	if err := c.validateRegs(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AvailableRegs is the number of registers per file the register allocator
+// may divide between temporaries and homes (the rest are reserved by the
+// software conventions in package isa).
+const AvailableRegs = 50
+
+func (c *Config) validateRegs() error {
+	if c.IntTemps < 2 {
+		return fmt.Errorf("machine %q: need at least 2 integer temporaries, have %d", c.Name, c.IntTemps)
+	}
+	if c.FPTemps < 2 {
+		return fmt.Errorf("machine %q: need at least 2 fp temporaries, have %d", c.Name, c.FPTemps)
+	}
+	if c.IntTemps+c.IntHomes > AvailableRegs {
+		return fmt.Errorf("machine %q: %d integer temps + %d homes exceed the %d available registers",
+			c.Name, c.IntTemps, c.IntHomes, AvailableRegs)
+	}
+	if c.FPTemps+c.FPHomes > AvailableRegs {
+		return fmt.Errorf("machine %q: %d fp temps + %d homes exceed the %d available registers",
+			c.Name, c.FPTemps, c.FPHomes, AvailableRegs)
+	}
+	if c.IntHomes < 0 || c.FPHomes < 0 {
+		return fmt.Errorf("machine %q: negative home register count", c.Name)
+	}
+	return nil
+}
+
+// LatencyOf returns the operation latency of an opcode in minor cycles.
+func (c *Config) LatencyOf(op isa.Opcode) int {
+	return c.Latency[op.Class()]
+}
+
+// BaseCycles converts a minor-cycle count to base-machine cycles.
+func (c *Config) BaseCycles(minor int64) float64 {
+	return float64(minor) / float64(c.Degree)
+}
+
+// AverageDegreeOfSuperpipelining computes the paper's §2.7 metric: "if we
+// multiply the latency of each instruction class by the frequency we observe
+// for that instruction class when we perform our benchmark set, we get the
+// average degree of superpipelining." freq holds dynamic instruction counts
+// per class; latencies are converted to base cycles.
+func (c *Config) AverageDegreeOfSuperpipelining(freq [isa.NumClasses]int64) float64 {
+	var total, weighted float64
+	for cl, n := range freq {
+		total += float64(n)
+		weighted += float64(n) * float64(c.Latency[cl]) / float64(c.Degree)
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// Clone returns a deep copy of the configuration, so presets can be
+// modified without aliasing.
+func (c *Config) Clone() *Config {
+	out := *c
+	out.Units = make([]FUnit, len(c.Units))
+	for i, u := range c.Units {
+		out.Units[i] = u
+		out.Units[i].Classes = append([]isa.Class(nil), u.Classes...)
+	}
+	if c.ICache != nil {
+		ic := *c.ICache
+		out.ICache = &ic
+	}
+	if c.DCache != nil {
+		dc := *c.DCache
+		out.DCache = &dc
+	}
+	return &out
+}

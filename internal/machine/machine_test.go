@@ -1,0 +1,163 @@
+package machine
+
+import (
+	"testing"
+
+	"ilp/internal/isa"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	presets := []*Config{
+		Base(), Underpipelined(), MultiTitan(), CRAY1(),
+		IdealSuperscalar(1), IdealSuperscalar(4), IdealSuperscalar(8),
+		Superpipelined(1), Superpipelined(3), Superpipelined(8),
+		SuperpipelinedSuperscalar(2, 2), SuperpipelinedSuperscalar(3, 3),
+		CRAY1Issue(4, false), CRAY1Issue(4, true),
+	}
+	for _, c := range presets {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestBaseMachineDefinition(t *testing.T) {
+	// §2.1: instructions issued per cycle = 1, simple operation latency =
+	// 1, parallelism required to fully utilize = 1.
+	b := Base()
+	if b.IssueWidth != 1 || b.Degree != 1 {
+		t.Fatalf("base machine: width %d degree %d", b.IssueWidth, b.Degree)
+	}
+	for cl, lat := range b.Latency {
+		if lat != 1 {
+			t.Errorf("base machine: class %v latency %d", isa.Class(cl), lat)
+		}
+	}
+}
+
+func TestSuperscalarDefinition(t *testing.T) {
+	// §2.3: n instructions per cycle, simple operation latency one cycle.
+	c := IdealSuperscalar(3)
+	if c.IssueWidth != 3 || c.Degree != 1 {
+		t.Fatalf("superscalar-3: width %d degree %d", c.IssueWidth, c.Degree)
+	}
+	for _, u := range c.Units {
+		if u.Multiplicity != 3 {
+			t.Errorf("unit %s multiplicity %d, want 3 (ideal: no class conflicts)", u.Name, u.Multiplicity)
+		}
+	}
+}
+
+func TestSuperpipelinedDefinition(t *testing.T) {
+	// §2.4: 1 instruction per (minor) cycle, cycle time 1/m, simple
+	// operation latency m minor cycles.
+	c := Superpipelined(3)
+	if c.IssueWidth != 1 || c.Degree != 3 {
+		t.Fatalf("superpipelined-3: width %d degree %d", c.IssueWidth, c.Degree)
+	}
+	if c.Latency[isa.ClassAddSub] != 3 {
+		t.Errorf("addsub latency %d, want 3 minor cycles (= 1 base cycle)", c.Latency[isa.ClassAddSub])
+	}
+	if got := c.BaseCycles(6); got != 2.0 {
+		t.Errorf("BaseCycles(6) = %v, want 2", got)
+	}
+}
+
+func TestSuperpipelinedSuperscalarNeedsNM(t *testing.T) {
+	c := SuperpipelinedSuperscalar(3, 3)
+	if c.IssueWidth*c.Latency[isa.ClassAddSub] != 9 {
+		t.Errorf("(3,3) machine should need ILP 9 to fill: width %d x latency %d",
+			c.IssueWidth, c.Latency[isa.ClassAddSub])
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := Base()
+	c.IssueWidth = 0
+	if err := c.Validate(); err == nil {
+		t.Error("width 0 accepted")
+	}
+	c = Base()
+	c.Latency[isa.ClassLoad] = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero latency accepted")
+	}
+	c = Base()
+	c.Units = c.Units[1:] // drop a class's unit
+	if err := c.Validate(); err == nil {
+		t.Error("uncovered class accepted")
+	}
+	c = Base()
+	c.Units = append(c.Units, FUnit{Name: "dup", Classes: []isa.Class{isa.ClassLoad}, Multiplicity: 1, IssueLatency: 1})
+	if err := c.Validate(); err == nil {
+		t.Error("doubly covered class accepted")
+	}
+	c = Base()
+	c.IntTemps, c.IntHomes = 40, 40
+	if err := c.Validate(); err == nil {
+		t.Error("register oversubscription accepted")
+	}
+}
+
+func TestAverageDegreeOfSuperpipelining(t *testing.T) {
+	// Reproduce Table 2-1 exactly using the paper's frequencies as
+	// synthetic class counts (out of 100 instructions):
+	// logical 10, shift 10, add/sub 20, load 20, store 15, branch 15, FP 10.
+	var freq [isa.NumClasses]int64
+	freq[isa.ClassLogical] = 10
+	freq[isa.ClassShift] = 10
+	freq[isa.ClassAddSub] = 20
+	freq[isa.ClassLoad] = 20
+	freq[isa.ClassStore] = 15
+	freq[isa.ClassBranch] = 15
+	freq[isa.ClassFPAddSub] = 10
+
+	mt := MultiTitan().AverageDegreeOfSuperpipelining(freq)
+	if mt < 1.69 || mt > 1.71 {
+		t.Errorf("MultiTitan average degree of superpipelining = %.3f, want 1.7 (Table 2-1)", mt)
+	}
+	cray := CRAY1().AverageDegreeOfSuperpipelining(freq)
+	if cray < 4.39 || cray > 4.41 {
+		t.Errorf("CRAY-1 average degree of superpipelining = %.3f, want 4.4 (Table 2-1)", cray)
+	}
+	base := Base().AverageDegreeOfSuperpipelining(freq)
+	if base != 1.0 {
+		t.Errorf("base machine degree = %v, want 1", base)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := MultiTitan()
+	d := c.Clone()
+	d.Units[0].Multiplicity = 99
+	d.Latency[0] = 99
+	if c.Units[0].Multiplicity == 99 || c.Latency[0] == 99 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestUnitForClass(t *testing.T) {
+	c := Base()
+	for _, cl := range isa.Classes() {
+		ui := c.UnitForClass(cl)
+		found := false
+		for _, have := range c.Units[ui].Classes {
+			if have == cl {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("UnitForClass(%v) = %d which does not serve it", cl, ui)
+		}
+	}
+}
+
+func TestLatencyOf(t *testing.T) {
+	mt := MultiTitan()
+	if mt.LatencyOf(isa.OpLw) != 2 {
+		t.Errorf("MultiTitan load latency = %d, want 2", mt.LatencyOf(isa.OpLw))
+	}
+	if mt.LatencyOf(isa.OpFadd) != 3 {
+		t.Errorf("MultiTitan FP latency = %d, want 3", mt.LatencyOf(isa.OpFadd))
+	}
+}

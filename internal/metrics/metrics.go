@@ -1,0 +1,130 @@
+// Package metrics holds the paper's summary statistics: speedups, harmonic
+// means (the paper aggregates benchmark speedups with the harmonic mean,
+// "so far we have been plotting a single curve for the harmonic mean of all
+// eight benchmarks"), the average degree of superpipelining, and the
+// parallelism of expression DAGs (Figure 4-7).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// HarmonicMean aggregates speedups the way the paper does. It returns 0
+// for an empty slice and panics on non-positive values (a speedup of zero
+// would be a measurement bug, not a datum).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: harmonic mean of non-positive value %v", x))
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// ArithmeticMean of a slice; 0 when empty.
+func ArithmeticMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeometricMean of positive values; 0 when empty.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("metrics: geometric mean of non-positive value %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Series is one labeled curve of an experiment.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// At returns the Y value for a given X, or NaN.
+func (s *Series) At(x float64) float64 {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i]
+		}
+	}
+	return math.NaN()
+}
+
+// ExprDAG is a small expression-graph model for the Figure 4-7 analysis:
+// the parallelism of a computation is its operation count divided by its
+// critical-path length.
+type ExprDAG struct {
+	nodes int
+	preds [][]int
+}
+
+// NewExprDAG creates an empty DAG.
+func NewExprDAG() *ExprDAG {
+	return &ExprDAG{}
+}
+
+// Node adds an operation whose inputs are the given earlier nodes (leaf
+// operands are implicit and free, as in the paper's figure, which counts
+// operations, not values). Returns the node id.
+func (d *ExprDAG) Node(preds ...int) int {
+	for _, p := range preds {
+		if p < 0 || p >= d.nodes {
+			panic(fmt.Sprintf("metrics: bad predecessor %d", p))
+		}
+	}
+	d.preds = append(d.preds, preds)
+	d.nodes++
+	return d.nodes - 1
+}
+
+// Ops returns the operation count.
+func (d *ExprDAG) Ops() int { return d.nodes }
+
+// CriticalPath returns the longest chain length.
+func (d *ExprDAG) CriticalPath() int {
+	depth := make([]int, d.nodes)
+	best := 0
+	for i := 0; i < d.nodes; i++ {
+		dm := 0
+		for _, p := range d.preds[i] {
+			if depth[p] > dm {
+				dm = depth[p]
+			}
+		}
+		depth[i] = dm + 1
+		if depth[i] > best {
+			best = depth[i]
+		}
+	}
+	return best
+}
+
+// Parallelism is ops / critical path, the figure's metric.
+func (d *ExprDAG) Parallelism() float64 {
+	cp := d.CriticalPath()
+	if cp == 0 {
+		return 0
+	}
+	return float64(d.Ops()) / float64(cp)
+}

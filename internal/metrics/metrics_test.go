@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if hm := HarmonicMean(xs); !almost(hm, 3.0/(1+0.5+0.25)) {
+		t.Errorf("harmonic = %v", hm)
+	}
+	if am := ArithmeticMean(xs); !almost(am, 7.0/3) {
+		t.Errorf("arithmetic = %v", am)
+	}
+	if gm := GeometricMean(xs); !almost(gm, 2) {
+		t.Errorf("geometric = %v", gm)
+	}
+	if HarmonicMean(nil) != 0 || ArithmeticMean(nil) != 0 || GeometricMean(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+}
+
+func TestMeanInequality(t *testing.T) {
+	// Property: HM <= GM <= AM for positive values.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a%100) + 1, float64(b%100) + 1, float64(c%100) + 1}
+		hm, gm, am := HarmonicMean(xs), GeometricMean(xs), ArithmeticMean(xs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeansPanicOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive speedup")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{Name: "x", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}}
+	if s.At(2) != 20 {
+		t.Errorf("At(2) = %v", s.At(2))
+	}
+	if !math.IsNaN(s.At(9)) {
+		t.Error("missing X should be NaN")
+	}
+}
+
+func TestExprDAGFig47(t *testing.T) {
+	// The paper's left graph: 5 ops, critical path 3 -> 1.67.
+	d := NewExprDAG()
+	a1 := d.Node()
+	a2 := d.Node(a1)
+	b1 := d.Node()
+	b2 := d.Node(b1)
+	d.Node(a2, b2)
+	if d.Ops() != 5 || d.CriticalPath() != 3 {
+		t.Fatalf("ops=%d path=%d", d.Ops(), d.CriticalPath())
+	}
+	if p := d.Parallelism(); !almost(p, 5.0/3) {
+		t.Errorf("parallelism = %v", p)
+	}
+}
+
+func TestExprDAGChainAndFlat(t *testing.T) {
+	chain := NewExprDAG()
+	prev := chain.Node()
+	for i := 0; i < 9; i++ {
+		prev = chain.Node(prev)
+	}
+	if !almost(chain.Parallelism(), 1) {
+		t.Errorf("chain parallelism = %v", chain.Parallelism())
+	}
+	flat := NewExprDAG()
+	for i := 0; i < 10; i++ {
+		flat.Node()
+	}
+	if !almost(flat.Parallelism(), 10) {
+		t.Errorf("flat parallelism = %v", flat.Parallelism())
+	}
+	empty := NewExprDAG()
+	if empty.Parallelism() != 0 {
+		t.Error("empty DAG parallelism should be 0")
+	}
+}
+
+func TestExprDAGBadPredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for forward reference")
+		}
+	}()
+	d := NewExprDAG()
+	d.Node(3)
+}

@@ -1,0 +1,203 @@
+// Package pipeviz renders the paper's pipeline-execution diagrams
+// (Figures 2-1 through 2-8 and 4-2) as ASCII timelines: one row per
+// instruction, one column per minor cycle, with the execute stage drawn as
+// '#' (the paper's crosshatch) and fetch/decode/writeback as F, D, W.
+package pipeviz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one instruction's timeline.
+type Row struct {
+	Label string
+	// Start is the issue time in minor cycles; Stages is the per-stage
+	// cell pattern from issue onward.
+	Start  int
+	Stages string
+}
+
+// Diagram is a renderable figure.
+type Diagram struct {
+	Title string
+	// MinorPerBase is how many columns make one base cycle (for the
+	// axis annotation).
+	MinorPerBase int
+	Rows         []Row
+}
+
+// Render draws the diagram.
+func (d *Diagram) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", d.Title)
+	width := 0
+	for _, r := range d.Rows {
+		if w := r.Start + len(r.Stages); w > width {
+			width = w
+		}
+	}
+	labelW := 0
+	for _, r := range d.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "  %-*s |%s%s|\n", labelW, r.Label,
+			strings.Repeat(" ", r.Start), r.Stages+strings.Repeat(" ", width-r.Start-len(r.Stages)))
+	}
+	// Time axis in base cycles.
+	fmt.Fprintf(&b, "  %-*s  ", labelW, "")
+	for c := 0; c*d.MinorPerBase <= width; c++ {
+		fmt.Fprintf(&b, "%-*d", d.MinorPerBase, c)
+	}
+	b.WriteString("\n  ")
+	fmt.Fprintf(&b, "%-*s  (time in base cycles; # = execute)\n", labelW, "")
+	return b.String()
+}
+
+// stages builds the F D # W pattern with each stage occupying stageMinor
+// columns.
+func stages(stageMinor int) string {
+	return strings.Repeat("F", stageMinor) +
+		strings.Repeat("D", stageMinor) +
+		strings.Repeat("#", stageMinor) +
+		strings.Repeat("W", stageMinor)
+}
+
+// Base renders Figure 2-1: the base machine, one instruction per cycle,
+// one-cycle execute.
+func Base(n int) *Diagram {
+	d := &Diagram{Title: "Figure 2-1: execution in a base machine", MinorPerBase: 1}
+	for i := 0; i < n; i++ {
+		d.Rows = append(d.Rows, Row{Label: fmt.Sprintf("instr %d", i), Start: i, Stages: stages(1)})
+	}
+	return d
+}
+
+// UnderpipelinedLatency renders Figure 2-2: cycle time twice the simple
+// operation latency (each stage spans two base cycles; operation and
+// writeback share a stage in the paper's figure).
+func UnderpipelinedLatency(n int) *Diagram {
+	d := &Diagram{Title: "Figure 2-2: underpipelined, cycle >= 2x operation latency", MinorPerBase: 1}
+	for i := 0; i < n; i++ {
+		d.Rows = append(d.Rows, Row{Label: fmt.Sprintf("instr %d", i), Start: 2 * i, Stages: "FFDD##WW"})
+	}
+	return d
+}
+
+// UnderpipelinedIssue renders Figure 2-3: issue only every other cycle.
+func UnderpipelinedIssue(n int) *Diagram {
+	d := &Diagram{Title: "Figure 2-3: underpipelined, issues < 1 instruction per cycle", MinorPerBase: 1}
+	for i := 0; i < n; i++ {
+		d.Rows = append(d.Rows, Row{Label: fmt.Sprintf("instr %d", i), Start: 2 * i, Stages: stages(1)})
+	}
+	return d
+}
+
+// Superscalar renders Figure 2-4: n instructions issued per cycle.
+func Superscalar(degree, groups int) *Diagram {
+	d := &Diagram{Title: fmt.Sprintf("Figure 2-4: superscalar execution (n=%d)", degree), MinorPerBase: 1}
+	for g := 0; g < groups; g++ {
+		for j := 0; j < degree; j++ {
+			d.Rows = append(d.Rows, Row{Label: fmt.Sprintf("instr %d", g*degree+j), Start: g, Stages: stages(1)})
+		}
+	}
+	return d
+}
+
+// VLIW renders Figure 2-5: each instruction specifies several operations
+// (parallel execute stages within one row group).
+func VLIW(opsPerInstr, instrs int) *Diagram {
+	d := &Diagram{Title: fmt.Sprintf("Figure 2-5: VLIW execution (%d operations per instruction)", opsPerInstr), MinorPerBase: 1}
+	for i := 0; i < instrs; i++ {
+		for j := 0; j < opsPerInstr; j++ {
+			label := fmt.Sprintf("instr %d", i)
+			if j > 0 {
+				label = fmt.Sprintf("  op %d", j)
+			}
+			d.Rows = append(d.Rows, Row{Label: label, Start: i, Stages: stages(1)})
+		}
+	}
+	return d
+}
+
+// Superpipelined renders Figure 2-6: cycle time 1/m of the base machine,
+// one instruction per minor cycle, stages subdivided m ways.
+func Superpipelined(m, n int) *Diagram {
+	d := &Diagram{Title: fmt.Sprintf("Figure 2-6: superpipelined execution (m=%d)", m), MinorPerBase: m}
+	for i := 0; i < n; i++ {
+		d.Rows = append(d.Rows, Row{Label: fmt.Sprintf("instr %d", i), Start: i, Stages: stages(m)})
+	}
+	return d
+}
+
+// SuperpipelinedSuperscalar renders Figure 2-7.
+func SuperpipelinedSuperscalar(degree, m, groups int) *Diagram {
+	d := &Diagram{
+		Title:        fmt.Sprintf("Figure 2-7: superpipelined superscalar (n=%d, m=%d)", degree, m),
+		MinorPerBase: m,
+	}
+	for g := 0; g < groups; g++ {
+		for j := 0; j < degree; j++ {
+			d.Rows = append(d.Rows, Row{Label: fmt.Sprintf("instr %d", g*degree+j), Start: g, Stages: stages(m)})
+		}
+	}
+	return d
+}
+
+// Vector renders Figure 2-8: each vector instruction issues a string of
+// element operations.
+func Vector(elements, instrs int) *Diagram {
+	d := &Diagram{Title: fmt.Sprintf("Figure 2-8: vector execution (%d elements)", elements), MinorPerBase: 1}
+	for i := 0; i < instrs; i++ {
+		// Serial issue (for diagram readability, as the paper notes),
+		// one element op per cycle after the pipeline fills.
+		d.Rows = append(d.Rows, Row{
+			Label:  fmt.Sprintf("vinstr %d", i),
+			Start:  i,
+			Stages: "FD" + strings.Repeat("#", elements) + "W",
+		})
+	}
+	return d
+}
+
+// Startup renders Figure 4-2: a superscalar and a superpipelined machine,
+// both of degree m, issuing a basic block of k independent instructions —
+// "the superpipelined machine has a larger startup transient".
+func Startup(degree, k int) *Diagram {
+	d := &Diagram{
+		Title:        fmt.Sprintf("Figure 4-2: start-up in superscalar vs. superpipelined (degree %d, %d independent instructions)", degree, k),
+		MinorPerBase: degree,
+	}
+	for i := 0; i < k; i++ {
+		d.Rows = append(d.Rows, Row{
+			Label:  fmt.Sprintf("SS  instr %d", i),
+			Start:  (i / degree) * degree, // whole base cycles
+			Stages: strings.Repeat("#", degree),
+		})
+	}
+	for i := 0; i < k; i++ {
+		d.Rows = append(d.Rows, Row{
+			Label:  fmt.Sprintf("SP  instr %d", i),
+			Start:  i,
+			Stages: strings.Repeat("#", degree),
+		})
+	}
+	return d
+}
+
+// All returns every Section 2 figure at the paper's illustrative sizes.
+func All() []*Diagram {
+	return []*Diagram{
+		Base(8),
+		UnderpipelinedLatency(5),
+		UnderpipelinedIssue(5),
+		Superscalar(3, 3),
+		VLIW(3, 3),
+		Superpipelined(3, 8),
+		SuperpipelinedSuperscalar(3, 3, 2),
+		Vector(8, 3),
+	}
+}

@@ -1,0 +1,113 @@
+package pipeviz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaseDiagram(t *testing.T) {
+	d := Base(3)
+	s := d.Render()
+	if !strings.Contains(s, "Figure 2-1") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(s, "\n")
+	// Three instruction rows, each one column later than the last.
+	var starts []int
+	for _, l := range lines {
+		if strings.Contains(l, "|") && strings.Contains(l, "#") {
+			starts = append(starts, strings.Index(l, "F"))
+		}
+	}
+	if len(starts) != 3 {
+		t.Fatalf("rows = %d", len(starts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] != starts[i-1]+1 {
+			t.Errorf("base machine should issue one per cycle: starts %v", starts)
+		}
+	}
+}
+
+func TestSuperscalarGroups(t *testing.T) {
+	d := Superscalar(3, 2)
+	if len(d.Rows) != 6 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	// First three rows share a start; the next three start one later.
+	for i := 0; i < 3; i++ {
+		if d.Rows[i].Start != 0 {
+			t.Errorf("row %d starts at %d", i, d.Rows[i].Start)
+		}
+		if d.Rows[3+i].Start != 1 {
+			t.Errorf("row %d starts at %d", 3+i, d.Rows[3+i].Start)
+		}
+	}
+}
+
+func TestSuperpipelinedSubdivision(t *testing.T) {
+	d := Superpipelined(3, 4)
+	if d.MinorPerBase != 3 {
+		t.Errorf("minor per base = %d", d.MinorPerBase)
+	}
+	// Each stage occupies 3 minor columns; successive instructions start
+	// one minor cycle apart.
+	if len(d.Rows[0].Stages) != 12 {
+		t.Errorf("stage pattern %q", d.Rows[0].Stages)
+	}
+	if d.Rows[1].Start-d.Rows[0].Start != 1 {
+		t.Error("superpipelined issues once per minor cycle")
+	}
+}
+
+func TestUnderpipelinedVariants(t *testing.T) {
+	lat := UnderpipelinedLatency(3)
+	iss := UnderpipelinedIssue(3)
+	// Both issue every other base cycle.
+	if lat.Rows[1].Start != 2 || iss.Rows[1].Start != 2 {
+		t.Error("underpipelined machines must issue every other cycle")
+	}
+	if !strings.Contains(lat.Rows[0].Stages, "##") {
+		t.Error("latency variant should show a two-cycle execute")
+	}
+}
+
+func TestStartupFigure(t *testing.T) {
+	d := Startup(3, 6)
+	// Superscalar rows: two groups of three (starts 0,0,0,3,3,3 in minor
+	// cycles with 3 minors per base).
+	for i := 0; i < 3; i++ {
+		if d.Rows[i].Start != 0 {
+			t.Errorf("SS row %d start %d", i, d.Rows[i].Start)
+		}
+		if d.Rows[3+i].Start != 3 {
+			t.Errorf("SS row %d start %d", 3+i, d.Rows[3+i].Start)
+		}
+	}
+	// Superpipelined rows trail one minor cycle apart; the last issues at
+	// minor 5 = base 5/3, the paper's t(5/3).
+	sp := d.Rows[6:]
+	if sp[5].Start != 5 {
+		t.Errorf("SP last instruction issues at %d, want 5", sp[5].Start)
+	}
+}
+
+func TestAllRenders(t *testing.T) {
+	for _, d := range All() {
+		s := d.Render()
+		if !strings.Contains(s, "#") || !strings.Contains(s, "Figure") {
+			t.Errorf("%s: bad rendering", d.Title)
+		}
+	}
+}
+
+func TestVLIWAndVector(t *testing.T) {
+	v := VLIW(3, 2)
+	if len(v.Rows) != 6 {
+		t.Errorf("VLIW rows = %d", len(v.Rows))
+	}
+	vec := Vector(8, 2)
+	if !strings.Contains(vec.Rows[0].Stages, strings.Repeat("#", 8)) {
+		t.Error("vector instruction should execute an element string")
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"ilp/internal/cache"
+	"ilp/internal/isa"
+)
+
+// StallBreakdown attributes issue delay to causes, in minor cycles. A given
+// delayed issue is charged to the binding constraint with the highest
+// priority in the order: data, write-order, unit, width, branch, cache.
+// The breakdown is instrumentation; it does not affect timing.
+type StallBreakdown struct {
+	Data   int64 // waiting for a source operand (operation latency)
+	Write  int64 // waiting so a result is not written out of order (WAW)
+	Unit   int64 // functional-unit busy (class conflict, §2.3.2)
+	Width  int64 // per-cycle issue limit reached
+	Branch int64 // issue-group break at a taken branch (+ redirect)
+	ICache int64 // instruction fetch miss
+	DCache int64 // data store miss stalls
+}
+
+// Total sums all stall cycles.
+func (s StallBreakdown) Total() int64 {
+	return s.Data + s.Write + s.Unit + s.Width + s.Branch + s.ICache + s.DCache
+}
+
+// Result reports one simulation.
+type Result struct {
+	Machine string
+	// Instructions is the dynamic instruction count.
+	Instructions int64
+	// IssueGroups counts the distinct minor cycles in which at least one
+	// instruction issued — the number of issue packets, which is what a
+	// VLIW encoding of the same schedule would spend an instruction word
+	// on (§2.3.1 code density).
+	IssueGroups int64
+	// MinorCycles is the completion time of the last instruction in the
+	// machine's own (minor) cycles.
+	MinorCycles int64
+	// BaseCycles is MinorCycles converted to base-machine cycles
+	// (MinorCycles / Degree).
+	BaseCycles float64
+	// ClassCounts is the dynamic instruction mix.
+	ClassCounts [isa.NumClasses]int64
+	// Output is what the program printed.
+	Output []isa.Value
+	// Stalls attributes issue delays.
+	Stalls StallBreakdown
+	// ICacheStats and DCacheStats are populated when the machine
+	// description configures the respective cache.
+	ICacheStats *cache.Stats
+	DCacheStats *cache.Stats
+}
+
+// IPC returns instructions per minor cycle.
+func (r *Result) IPC() float64 {
+	if r.MinorCycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.MinorCycles)
+}
+
+// CPI returns minor cycles per instruction.
+func (r *Result) CPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.MinorCycles) / float64(r.Instructions)
+}
+
+// BaseCPI returns base cycles per instruction.
+func (r *Result) BaseCPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return r.BaseCycles / float64(r.Instructions)
+}
+
+// SpeedupOver returns how much faster this run was than base, measured in
+// base cycles — the paper's performance metric throughout §4.
+func (r *Result) SpeedupOver(base *Result) float64 {
+	if r.BaseCycles == 0 {
+		return 0
+	}
+	return base.BaseCycles / r.BaseCycles
+}
+
+// GroupCounts folds the class mix onto the seven Table 2-1 rows.
+func (r *Result) GroupCounts() [isa.NumTableGroups]int64 {
+	var g [isa.NumTableGroups]int64
+	for cl, n := range r.ClassCounts {
+		g[isa.Class(cl).Group()] += n
+	}
+	return g
+}
+
+// GroupFrequencies returns the Table 2-1 dynamic frequencies (fractions
+// summing to 1).
+func (r *Result) GroupFrequencies() [isa.NumTableGroups]float64 {
+	g := r.GroupCounts()
+	var out [isa.NumTableGroups]float64
+	if r.Instructions == 0 {
+		return out
+	}
+	for i, n := range g {
+		out[i] = float64(n) / float64(r.Instructions)
+	}
+	return out
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s: %d instructions, %d minor cycles (%.1f base), CPI %.3f",
+		r.Machine, r.Instructions, r.MinorCycles, r.BaseCycles, r.CPI())
+	if st := r.Stalls.Total(); st > 0 {
+		fmt.Fprintf(&b, ", stalls: data %d write %d unit %d width %d branch %d icache %d dcache %d",
+			r.Stalls.Data, r.Stalls.Write, r.Stalls.Unit, r.Stalls.Width, r.Stalls.Branch,
+			r.Stalls.ICache, r.Stalls.DCache)
+	}
+	return b.String()
+}

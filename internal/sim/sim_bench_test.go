@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"ilp/internal/cache"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+var machineCacheConfig = cache.Config{Name: "bench", Lines: 256, LineWords: 4, MissPenalty: 12}
+
+// tightLoop builds a program executing roughly n dynamic instructions.
+func tightLoop(n int64) *isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.R(10), n/6)
+	b.Li(isa.R(11), 0)
+	b.Label("loop")
+	b.Op(isa.OpAdd, isa.R(11), isa.R(11), isa.R(10))
+	b.Imm(isa.OpAddi, isa.R(12), isa.R(11), 3)
+	b.Op(isa.OpXor, isa.R(13), isa.R(12), isa.R(11))
+	b.Imm(isa.OpAddi, isa.R(10), isa.R(10), -1)
+	b.Branch(isa.OpBgt, isa.R(10), isa.RZero, "loop")
+	b.Print(isa.R(13))
+	b.Halt()
+	return b.MustFinish()
+}
+
+// BenchmarkSimulatorThroughput measures simulated instructions per second
+// on the base machine (the inner loop of every experiment in this repo).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := tightLoop(600_000)
+	cfg := machine.Base()
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(p, Options{Machine: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkSimulatorWideMachine: the superscalar path exercises the unit
+// and width bookkeeping harder.
+func BenchmarkSimulatorWideMachine(b *testing.B) {
+	p := tightLoop(600_000)
+	cfg := machine.IdealSuperscalar(8)
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(p, Options{Machine: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkSimulatorWithCaches adds I/D cache modeling.
+func BenchmarkSimulatorWithCaches(b *testing.B) {
+	p := tightLoop(600_000)
+	cfg := machine.MultiTitan()
+	cfg.ICache = &machineCacheConfig
+	dc := machineCacheConfig
+	cfg.DCache = &dc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, Options{Machine: cfg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
