@@ -26,25 +26,28 @@ import (
 	"ilp/internal/machine"
 )
 
-// Physical register pool layout. The 50 allocatable registers per file are
-// r10..r59 (f10..f59): first the temporaries, then the home locations.
-const poolBase = 10
+// PoolBase is the physical register pool layout: the 50 allocatable
+// registers per file are r10..r59 (f10..f59), first the temporaries, then
+// the home locations. Registers below PoolBase (and r60/r62) are fixed by
+// the software conventions in package isa; the machine-code verifier
+// rejects any register outside the conventions and the configured split.
+const PoolBase = 10
 
 // TempPhys returns the i'th temporary register of the class.
 func TempPhys(c ir.RegClass, i int) isa.Reg {
 	if c == ir.RFP {
-		return isa.F(poolBase + i)
+		return isa.F(PoolBase + i)
 	}
-	return isa.R(poolBase + i)
+	return isa.R(PoolBase + i)
 }
 
 // HomePhys returns the i'th home register of the class given the
 // temporary-pool size.
 func HomePhys(c ir.RegClass, temps, i int) isa.Reg {
 	if c == ir.RFP {
-		return isa.F(poolBase + temps + i)
+		return isa.F(PoolBase + temps + i)
 	}
-	return isa.R(poolBase + temps + i)
+	return isa.R(PoolBase + temps + i)
 }
 
 // loopWeight is the per-nesting-level multiplier for usage estimates.

@@ -17,37 +17,64 @@ type Options struct {
 // never crosses block leaders, branches, calls, or returns, so all branch
 // targets remain valid. The mem annotation array is permuted alongside.
 func Schedule(p *isa.Program, mem []ir.MemRef, blockStarts []int, cfg *machine.Config, opts Options) {
+	for _, r := range Regions(p.Instrs, blockStarts) {
+		start, end := r[0], r[1]
+		if end-start > 1 {
+			scheduleRegion(p.Instrs[start:end], mem[start:end], cfg, opts)
+		}
+	}
+}
+
+// isBarrier reports whether the instruction bounds a scheduling region:
+// branches, calls, returns and halt never move.
+func isBarrier(in *isa.Instr) bool {
+	info := in.Op.Info()
+	return info.Branch || in.Op == isa.OpHalt
+}
+
+// Regions returns the [start, end) bounds of every schedulable straight-line
+// region: a maximal run of non-barrier instructions that does not cross a
+// basic-block leader. Instructions outside all regions (branches, calls,
+// returns, halt) are never reordered by Schedule. The decomposition is also
+// used by internal/verify to re-derive exactly the regions the scheduler was
+// allowed to permute.
+func Regions(instrs []isa.Instr, blockStarts []int) [][2]int {
 	leader := make(map[int]bool, len(blockStarts))
 	for _, b := range blockStarts {
 		leader[b] = true
 	}
-	isBarrier := func(in *isa.Instr) bool {
-		info := in.Op.Info()
-		return info.Branch || in.Op == isa.OpHalt
-	}
-
-	n := len(p.Instrs)
+	var out [][2]int
+	n := len(instrs)
 	start := 0
 	for start < n {
-		if isBarrier(&p.Instrs[start]) {
+		if isBarrier(&instrs[start]) {
 			start++
 			continue
 		}
-		// A region is a maximal run of non-barrier instructions that
-		// does not cross a block leader.
 		end := start + 1
-		for end < n && !isBarrier(&p.Instrs[end]) && !leader[end] {
+		for end < n && !isBarrier(&instrs[end]) && !leader[end] {
 			end++
 		}
-		if end-start > 1 {
-			scheduleRegion(p.Instrs[start:end], mem[start:end], cfg, opts)
-		}
+		out = append(out, [2]int{start, end})
 		start = end
 	}
+	return out
 }
 
-// scheduleRegion list-schedules one straight-line region.
-func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, opts Options) {
+// edge is one dependence arc within a region: instruction `to` must issue
+// at least `w` minor cycles after its predecessor.
+type edge struct {
+	to int
+	w  int
+}
+
+// buildDeps constructs the dependence graph of one straight-line region in
+// its current order: RAW, WAR and WAW register edges plus memory-ordering
+// edges from the conservative or careful disambiguator. lat supplies RAW
+// edge weights (operation latencies); nil gives every edge unit weight,
+// which preserves the graph's structure and is all a legality check needs.
+// succ[i] holds (j, w) pairs with j > i; npred[j] counts predecessors.
+func buildDeps(instrs []isa.Instr, mem []ir.MemRef, careful bool, lat func(isa.Class) int) (succ [][]edge, npred []int) {
 	n := len(instrs)
 
 	// Memory footprints.
@@ -65,13 +92,8 @@ func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, op
 		}
 	}
 
-	// Dependence edges. succ[i] holds (j, weight) pairs with j > i.
-	type edge struct {
-		to int
-		w  int
-	}
-	succ := make([][]edge, n)
-	npred := make([]int, n)
+	succ = make([][]edge, n)
+	npred = make([]int, n)
 	addEdge := func(i, j, w int) {
 		succ[i] = append(succ[i], edge{j, w})
 		npred[j]++
@@ -95,7 +117,11 @@ func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, op
 		in := &instrs[j]
 		for _, u := range uses(in) {
 			if i, ok := lastDef[u]; ok {
-				addEdge(i, j, cfg.Latency[instrs[i].Op.Class()]) // RAW
+				w := 1
+				if lat != nil {
+					w = lat(instrs[i].Op.Class())
+				}
+				addEdge(i, j, w) // RAW
 			}
 		}
 		if d := in.Def(); d != isa.NoReg && d != isa.RZero {
@@ -119,12 +145,36 @@ func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, op
 				if acc[i].ref.Kind == ir.MemNone {
 					continue
 				}
-				if depends(acc[i], acc[j], opts.Careful) {
+				if depends(acc[i], acc[j], careful) {
 					addEdge(i, j, 1)
 				}
 			}
 		}
 	}
+	return succ, npred
+}
+
+// Dependences recomputes the dependence edges of one straight-line region
+// (in the order given) and returns them as (i, j) index pairs with i < j:
+// instruction j must stay after instruction i in any legal reordering. It is
+// the scheduler's own dependence analysis — identical register RAW/WAR/WAW
+// edges and memory-ordering edges in the chosen disambiguation mode — so a
+// schedule that preserves every returned pair is legal by construction.
+func Dependences(instrs []isa.Instr, mem []ir.MemRef, careful bool) [][2]int {
+	succ, _ := buildDeps(instrs, mem, careful, nil)
+	var out [][2]int
+	for i, es := range succ {
+		for _, e := range es {
+			out = append(out, [2]int{i, e.to})
+		}
+	}
+	return out
+}
+
+// scheduleRegion list-schedules one straight-line region.
+func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, opts Options) {
+	n := len(instrs)
+	succ, npred := buildDeps(instrs, mem, opts.Careful, func(cl isa.Class) int { return cfg.Latency[cl] })
 
 	// Priorities: critical-path height.
 	height := make([]int, n)
