@@ -133,7 +133,13 @@ func (g *emitter) emit(in isa.Instr, mr ir.MemRef) int {
 
 func (g *emitter) label(name string) {
 	g.labelPos[name] = len(g.instrs)
-	g.symbols[len(g.instrs)] = name
+	// When a function has an empty prologue its entry label and its first
+	// block label land on the same instruction; keep the first (function)
+	// label as the symbol so call targets still resolve to function
+	// entries in the disassembly.
+	if _, taken := g.symbols[len(g.instrs)]; !taken {
+		g.symbols[len(g.instrs)] = name
+	}
 	if n := len(g.blockStarts); n == 0 || g.blockStarts[n-1] != len(g.instrs) {
 		g.blockStarts = append(g.blockStarts, len(g.instrs))
 	}
