@@ -17,6 +17,7 @@ import (
 	"ilp/internal/lang/parser"
 	"ilp/internal/lang/sem"
 	"ilp/internal/machine"
+	"ilp/internal/verify"
 )
 
 // Level is the cumulative optimization level, matching the x-axis of
@@ -78,7 +79,22 @@ type Options struct {
 	// NoSchedule forces scheduling off regardless of level (used by the
 	// scheduling ablation).
 	NoSchedule bool
+	// Verify runs the internal/verify static checker after every pass:
+	// IR validation after each optimization, the machine-code verifier and
+	// dataflow lints after code generation, and full schedule legality
+	// (translation validation against the scheduler's own dependence
+	// analysis) after scheduling. The first violation aborts compilation
+	// with an error naming the pass that introduced it. Off by default:
+	// the verified pipeline is the debugging configuration, the unverified
+	// one the measurement configuration.
+	Verify bool
 }
+
+// testHook, when non-nil, runs after the named machine-level pass
+// ("codegen", "sched") completes and before its verification, so tests can
+// corrupt the program deliberately and prove that Verify attributes the
+// damage to the right pass.
+var testHook func(pass string, p *isa.Program, mem []ir.MemRef)
 
 // Compiled is a fully lowered program ready for simulation.
 type Compiled struct {
@@ -124,8 +140,13 @@ func Compile(src string, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := verifyIR(irProg, "irgen", opts); err != nil {
+		return nil, err
+	}
 
-	applyOptimizations(irProg, cfg, opts)
+	if err := applyOptimizations(irProg, cfg, opts); err != nil {
+		return nil, err
+	}
 
 	if err := irProg.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: optimizer produced invalid IR: %w", err)
@@ -135,9 +156,38 @@ func Compile(src string, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if testHook != nil {
+		testHook("codegen", res.Prog, res.Mem)
+	}
+	if opts.Verify {
+		if err := verify.AsError(verify.Check(res.Prog, verify.Options{
+			Machine: cfg, Mem: res.Mem, Pass: "codegen",
+		})); err != nil {
+			return nil, err
+		}
+	}
 
 	if opts.Level >= O1 && !opts.NoSchedule {
+		var preInstrs []isa.Instr
+		var preMem []ir.MemRef
+		if opts.Verify {
+			preInstrs = append([]isa.Instr(nil), res.Prog.Instrs...)
+			preMem = append([]ir.MemRef(nil), res.Mem...)
+		}
 		sched.Schedule(res.Prog, res.Mem, res.BlockStarts, cfg, sched.Options{Careful: opts.Careful})
+		if testHook != nil {
+			testHook("sched", res.Prog, res.Mem)
+		}
+		if opts.Verify {
+			diags := verify.CheckSchedule(preInstrs, res.Prog.Instrs, preMem, res.Mem,
+				res.BlockStarts, opts.Careful, "sched")
+			diags = append(diags, verify.Check(res.Prog, verify.Options{
+				Machine: cfg, Mem: res.Mem, Pass: "sched",
+			})...)
+			if err := verify.AsError(diags); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	return &Compiled{
@@ -150,47 +200,90 @@ func Compile(src string, opts Options) (*Compiled, error) {
 	}, nil
 }
 
-func applyOptimizations(irProg *ir.Program, cfg *machine.Config, opts Options) {
-	local := func() {
+// verifyIR validates the IR after the named pass when opts.Verify is set,
+// so a malformed module is attributed to the pass that produced it.
+func verifyIR(irProg *ir.Program, pass string, opts Options) error {
+	if !opts.Verify {
+		return nil
+	}
+	if err := irProg.Validate(); err != nil {
+		return fmt.Errorf("verify: after %s: %w", pass, err)
+	}
+	return nil
+}
+
+func applyOptimizations(irProg *ir.Program, cfg *machine.Config, opts Options) error {
+	check := func(pass string) error { return verifyIR(irProg, pass, opts) }
+	local := func() error {
 		for _, f := range irProg.Funcs {
 			for round := 0; round < 3; round++ {
 				changed := opt.ConstFold(f)
+				if err := check("opt/constfold"); err != nil {
+					return err
+				}
 				if opt.LocalCSE(f) {
 					changed = true
 				}
+				if err := check("opt/cse"); err != nil {
+					return err
+				}
 				if opt.DeadCode(f) {
 					changed = true
+				}
+				if err := check("opt/dce"); err != nil {
+					return err
 				}
 				if !changed {
 					break
 				}
 			}
 		}
+		return nil
 	}
 	if opts.Level >= O2 {
-		local()
+		if err := local(); err != nil {
+			return err
+		}
 	}
 	if opts.Level >= O3 {
 		for _, f := range irProg.Funcs {
 			opt.LoopInvariant(f)
 		}
-		local()
+		if err := check("opt/licm"); err != nil {
+			return err
+		}
+		if err := local(); err != nil {
+			return err
+		}
 	}
 	if opts.Careful {
 		// Reassociation needs store forwarding to expose reduction
 		// chains as register chains; ensure at least one local round
 		// even below O2.
 		if opts.Level < O2 {
-			local()
+			if err := local(); err != nil {
+				return err
+			}
 		}
 		for _, f := range irProg.Funcs {
 			opt.Reassociate(f)
 		}
-		local()
+		if err := check("opt/reassoc"); err != nil {
+			return err
+		}
+		if err := local(); err != nil {
+			return err
+		}
 	}
 	if opts.Level >= O4 {
 		regalloc.PromoteHomes(irProg, cfg)
+		if err := check("regalloc/promote"); err != nil {
+			return err
+		}
 		// Clean the promotion moves: uses read home registers directly.
-		local()
+		if err := local(); err != nil {
+			return err
+		}
 	}
+	return nil
 }

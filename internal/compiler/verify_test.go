@@ -1,0 +1,131 @@
+package compiler
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+	"ilp/internal/verify"
+)
+
+const injectSrc = `
+var x: int = 3;
+func main() {
+	var i, s: int;
+	for i = 0 to 9 { s = s + i * x; }
+	print(s);
+}
+`
+
+// corruptVerified compiles with Verify on and the test hook corrupting the
+// program after the named pass, and returns the resulting *verify.Error.
+func corruptVerified(t *testing.T, pass string, corrupt func(p *isa.Program, mem []ir.MemRef)) *verify.Error {
+	t.Helper()
+	testHook = func(got string, p *isa.Program, mem []ir.MemRef) {
+		if got == pass {
+			corrupt(p, mem)
+		}
+	}
+	defer func() { testHook = nil }()
+	_, err := Compile(injectSrc, Options{Machine: machine.Base(), Level: O4, Verify: true})
+	if err == nil {
+		t.Fatalf("corrupted %s pass was not caught", pass)
+	}
+	var verr *verify.Error
+	if !errors.As(err, &verr) {
+		t.Fatalf("corrupted %s pass failed with a non-verifier error: %v", pass, err)
+	}
+	return verr
+}
+
+// TestVerifyBlamesBrokenPass deliberately breaks the output of individual
+// passes and checks that Verify aborts the compile with diagnostics naming
+// that pass — the property that makes the verifier useful for debugging.
+func TestVerifyBlamesBrokenPass(t *testing.T) {
+	wantPass := func(t *testing.T, verr *verify.Error, pass string, code verify.Code) {
+		t.Helper()
+		errs := verify.Errors(verr.Diags)
+		if len(errs) == 0 {
+			t.Fatal("no error diagnostics")
+		}
+		for _, d := range errs {
+			if d.Pass != pass {
+				t.Errorf("diagnostic blames pass %q, want %q: %s", d.Pass, pass, d)
+			}
+		}
+		for _, d := range errs {
+			if d.Code == code {
+				return
+			}
+		}
+		t.Errorf("no %s diagnostic, got %v", code, errs)
+	}
+
+	t.Run("codegen emits a bad register", func(t *testing.T) {
+		verr := corruptVerified(t, "codegen", func(p *isa.Program, mem []ir.MemRef) {
+			for k := range p.Instrs {
+				if d := p.Instrs[k].Def(); d != isa.NoReg && !d.IsFP() {
+					p.Instrs[k].Dst = isa.R(61) // reserved: outside pool and conventions
+					return
+				}
+			}
+			t.Fatal("no integer-defining instruction to corrupt")
+		})
+		wantPass(t, verr, "codegen", verify.CodeBadRegSplit)
+	})
+
+	t.Run("scheduler inverts a dependence", func(t *testing.T) {
+		verr := corruptVerified(t, "sched", func(p *isa.Program, mem []ir.MemRef) {
+			// Swap a producer with a later consumer from the same scheduling
+			// region (no branch or label between them, else the corruption
+			// changes region contents and trips V301 instead of V302).
+			for k := 0; k < len(p.Instrs); k++ {
+				d := p.Instrs[k].Def()
+				if d == isa.NoReg || p.Instrs[k].Op.Info().Branch {
+					continue
+				}
+				for j := k + 1; j < len(p.Instrs); j++ {
+					if p.Instrs[j].Op.Info().Branch {
+						break
+					}
+					if _, labeled := p.Symbols[j]; labeled {
+						break
+					}
+					u1, u2 := p.Instrs[j].Uses()
+					if u1 == d || u2 == d {
+						p.Instrs[k], p.Instrs[j] = p.Instrs[j], p.Instrs[k]
+						mem[k], mem[j] = mem[j], mem[k]
+						return
+					}
+				}
+			}
+			t.Fatal("no same-region dependent pair to swap")
+		})
+		wantPass(t, verr, "sched", verify.CodeSchedDep)
+	})
+
+	t.Run("scheduler rewrites an instruction", func(t *testing.T) {
+		verr := corruptVerified(t, "sched", func(p *isa.Program, mem []ir.MemRef) {
+			for k := range p.Instrs {
+				if p.Instrs[k].Op == isa.OpLi {
+					p.Instrs[k].Imm++
+					return
+				}
+			}
+			t.Fatal("no li to corrupt")
+		})
+		wantPass(t, verr, "sched", verify.CodeSchedContent)
+	})
+
+	t.Run("error message names the pass", func(t *testing.T) {
+		verr := corruptVerified(t, "codegen", func(p *isa.Program, mem []ir.MemRef) {
+			p.Instrs[0].Dst = isa.R(63)
+		})
+		if msg := verr.Error(); !strings.Contains(msg, "codegen") {
+			t.Errorf("error message does not name the pass: %q", msg)
+		}
+	})
+}

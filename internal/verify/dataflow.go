@@ -1,0 +1,239 @@
+package verify
+
+import (
+	"math/bits"
+
+	"ilp/internal/compiler/regalloc"
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// regset is a bitset over the 128-entry combined register space.
+type regset [2]uint64
+
+func (s *regset) set(r isa.Reg)     { s[r>>6] |= 1 << (r & 63) }
+func (s regset) has(r isa.Reg) bool { return s[r>>6]&(1<<(r&63)) != 0 }
+func (s regset) union(o regset) regset {
+	return regset{s[0] | o[0], s[1] | o[1]}
+}
+func (s regset) intersect(o regset) regset {
+	return regset{s[0] & o[0], s[1] & o[1]}
+}
+func (s regset) minus(o regset) regset {
+	return regset{s[0] &^ o[0], s[1] &^ o[1]}
+}
+
+// fullRegset has every register defined (the dataflow lattice top).
+var fullRegset = regset{^uint64(0), ^uint64(0)}
+
+// flow is the per-instruction dataflow model of one function span.
+type flow struct {
+	n     int
+	succs [][]int
+	preds [][]int
+	uses  []regset // real operand reads (checked for reaching defs)
+	live  []regset // uses plus synthetic reads (liveness only)
+	defs  []regset // registers written (calls: ra and return-value regs)
+	clob  []regset // registers invalidated (calls: temps and argument regs)
+
+	temps regset // the caller-save temporary pool of the machine
+}
+
+// buildFlow models the span's instructions. Calls (jal) define ra and the
+// return-value registers, clobber every temporary and argument register
+// (the callee is free to use them), and synthetically read the argument
+// registers so argument moves are not dead. Returns (jr) synthetically
+// read the return-value registers and sp, which stay live into the caller.
+func buildFlow(instrs []isa.Instr, cfg *machine.Config) *flow {
+	n := len(instrs)
+	f := &flow{
+		n:     n,
+		succs: make([][]int, n),
+		preds: make([][]int, n),
+		uses:  make([]regset, n),
+		live:  make([]regset, n),
+		defs:  make([]regset, n),
+		clob:  make([]regset, n),
+	}
+	for i := 0; i < cfg.IntTemps; i++ {
+		f.temps.set(regalloc.TempPhys(ir.RInt, i))
+	}
+	for i := 0; i < cfg.FPTemps; i++ {
+		f.temps.set(regalloc.TempPhys(ir.RFP, i))
+	}
+	var args regset
+	for i := 0; i < isa.NArgs; i++ {
+		args.set(isa.R(int(isa.RArg0) + i))
+		args.set(isa.F(isa.FArg0.Index() + i))
+	}
+	for k := range instrs {
+		in := &instrs[k]
+		info := in.Op.Info()
+		u1, u2 := in.Uses()
+		if u1 != isa.NoReg {
+			f.uses[k].set(u1)
+		}
+		if u2 != isa.NoReg {
+			f.uses[k].set(u2)
+		}
+		if d := in.Def(); d != isa.NoReg {
+			f.defs[k].set(d)
+		}
+		f.live[k] = f.uses[k]
+		edge := func(to int) {
+			if to >= 0 && to < n {
+				f.succs[k] = append(f.succs[k], to)
+				f.preds[to] = append(f.preds[to], k)
+			}
+		}
+		switch {
+		case in.Op == isa.OpHalt:
+			// Program exit: no successors.
+		case in.Op == isa.OpJr:
+			// Function exit: the caller resumes with the return values.
+			f.live[k].set(isa.RRet)
+			f.live[k].set(isa.FRet)
+			f.live[k].set(isa.RSP)
+		case in.Op == isa.OpJal:
+			f.defs[k].set(isa.RRet)
+			f.defs[k].set(isa.FRet)
+			f.clob[k] = f.temps.union(args)
+			f.live[k] = f.live[k].union(args)
+			edge(k + 1)
+		case info.Branch:
+			if info.Cond {
+				edge(k + 1)
+			}
+			edge(in.Target) // Target is span-relative after rebasing below
+		default:
+			edge(k + 1)
+		}
+	}
+	return f
+}
+
+// dataflow runs the lints over one function: must-reach definitions (with
+// and without call clobbering) to flag use-before-def and call-clobbered
+// reads, then liveness to flag dead stores to temporaries.
+func (c *checker) dataflow(span funcSpan) {
+	n := span.end - span.start
+	if n == 0 {
+		return
+	}
+	instrs := make([]isa.Instr, n)
+	copy(instrs, c.p.Instrs[span.start:span.end])
+	// Rebase branch targets to span-relative indices; structural checks
+	// already guaranteed they land inside the span.
+	for k := range instrs {
+		info := instrs[k].Op.Info()
+		if info.Branch && instrs[k].Op != isa.OpJr && instrs[k].Op != isa.OpJal {
+			instrs[k].Target -= span.start
+		}
+	}
+	f := buildFlow(instrs, c.opts.Machine)
+
+	// At function entry every register except the temporaries holds a
+	// defined value: the conventions (zero, sp, ra, arguments, return
+	// slots) are set by the caller and home registers are zero-initialized
+	// by the machine ("registers reset to zero, like memory").
+	entry := fullRegset.minus(f.temps)
+	definedNC := mustDefined(f, entry, false) // ignoring call clobbers
+	definedC := mustDefined(f, entry, true)   // honoring call clobbers
+
+	for k := 0; k < n; k++ {
+		idx := span.start + k
+		for _, r := range regsOf(f.uses[k]) {
+			if r == isa.RZero {
+				continue
+			}
+			switch {
+			case !definedNC[k].has(r):
+				c.add(CodeUseBeforeDef, SevError, idx, "%s read with no reaching definition in %s", r, span.name)
+			case !definedC[k].has(r):
+				c.add(CodeCallClobber, SevError, idx, "%s read after a call clobbered it (caller-save temporaries must be spilled across calls)", r)
+			}
+		}
+	}
+
+	liveOut := liveness(f)
+	for k := 0; k < n; k++ {
+		d := instrs[k].Def()
+		if d == isa.NoReg || !f.temps.has(d) {
+			continue
+		}
+		if !liveOut[k].has(d) {
+			c.add(CodeDeadStore, SevWarning, span.start+k, "%s written but never read", d)
+		}
+	}
+}
+
+// mustDefined computes, per instruction, the set of registers defined on
+// every path from function entry. When clobber is true, calls invalidate
+// their clobber set. Unreachable instructions converge to the full set and
+// are therefore never flagged.
+func mustDefined(f *flow, entry regset, clobber bool) []regset {
+	in := make([]regset, f.n)
+	for k := range in {
+		in[k] = fullRegset
+	}
+	in[0] = entry
+	out := func(k int) regset {
+		o := in[k].union(f.defs[k])
+		if clobber {
+			o = o.minus(f.clob[k])
+		}
+		return o
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := 0; k < f.n; k++ {
+			v := fullRegset
+			if k == 0 {
+				v = entry
+			}
+			for _, p := range f.preds[k] {
+				v = v.intersect(out(p))
+			}
+			if v != in[k] {
+				in[k] = v
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// liveness computes per-instruction live-out sets (backward may-analysis).
+// Calls kill their clobber set: a temporary's value never survives a call,
+// so a definition whose only "uses" are beyond a call is still dead.
+func liveness(f *flow) []regset {
+	liveIn := make([]regset, f.n)
+	liveOut := make([]regset, f.n)
+	for changed := true; changed; {
+		changed = false
+		for k := f.n - 1; k >= 0; k-- {
+			var o regset
+			for _, s := range f.succs[k] {
+				o = o.union(liveIn[s])
+			}
+			i := f.live[k].union(o.minus(f.defs[k].union(f.clob[k])))
+			if o != liveOut[k] || i != liveIn[k] {
+				liveOut[k], liveIn[k] = o, i
+				changed = true
+			}
+		}
+	}
+	return liveOut
+}
+
+// regsOf expands a regset into registers.
+func regsOf(s regset) []isa.Reg {
+	var out []isa.Reg
+	for w := 0; w < 2; w++ {
+		for word := s[w]; word != 0; word &= word - 1 {
+			out = append(out, isa.Reg(w*64+bits.TrailingZeros64(word)))
+		}
+	}
+	return out
+}

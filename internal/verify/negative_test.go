@@ -1,0 +1,298 @@
+// Negative tests: hand-corrupted programs the verifier must reject, each
+// with the expected diagnostic code. The corruptions mirror real
+// miscompilation modes: a scheduler that swaps dependent instructions, a
+// register allocator that invents registers or lets a call clobber a live
+// temporary, a code generator that drops a label or falls off a function.
+package verify_test
+
+import (
+	"testing"
+
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/lang/ast"
+	"ilp/internal/machine"
+	"ilp/internal/verify"
+)
+
+// prog assembles a minimal program: the given instructions under a single
+// "_start" entry label, with optional extra labels.
+func prog(instrs []isa.Instr, labels map[int]string) *isa.Program {
+	symbols := map[int]string{0: "_start"}
+	for i, l := range labels {
+		symbols[i] = l
+	}
+	return &isa.Program{Instrs: instrs, Symbols: symbols}
+}
+
+// i is shorthand for building instructions with unused operands marked.
+func i(op isa.Opcode, dst, src1, src2 isa.Reg, imm int64) isa.Instr {
+	return isa.Instr{Op: op, Dst: dst, Src1: src1, Src2: src2, Imm: imm}
+}
+
+const no = isa.NoReg
+
+func TestNegativeStructuralAndDataflow(t *testing.T) {
+	cfg := machine.Base() // 16 temps + 26 homes per file: pool r10..r51
+	halt := i(isa.OpHalt, no, no, no, 0)
+
+	cases := []struct {
+		name string
+		p    *isa.Program
+		mem  []ir.MemRef // nil: skip annotation checks
+		want verify.Code
+	}{
+		{
+			name: "out-of-range register (outside temp/home split)",
+			p: prog([]isa.Instr{
+				i(isa.OpLi, isa.R(55), no, no, 1), // r55 > r51, not a convention
+				halt,
+			}, nil),
+			want: verify.CodeBadRegSplit,
+		},
+		{
+			name: "reserved register r61",
+			p: prog([]isa.Instr{
+				i(isa.OpLi, isa.R(61), no, no, 1),
+				halt,
+			}, nil),
+			want: verify.CodeBadRegSplit,
+		},
+		{
+			name: "dangling branch target",
+			p: prog([]isa.Instr{
+				{Op: isa.OpJ, Dst: no, Src1: no, Src2: no, Target: 99},
+				halt,
+			}, nil),
+			want: verify.CodeBadTarget,
+		},
+		{
+			name: "branch to unlabeled instruction",
+			p: prog([]isa.Instr{
+				i(isa.OpLi, isa.R(10), no, no, 1),
+				{Op: isa.OpBeq, Dst: no, Src1: isa.R(10), Src2: isa.RZero, Target: 3},
+				halt,
+				i(isa.OpLi, isa.R(10), no, no, 2), // no label here
+				halt,
+			}, nil),
+			want: verify.CodeBadTarget,
+		},
+		{
+			name: "call into a basic block",
+			p: prog([]isa.Instr{
+				{Op: isa.OpJal, Dst: isa.RRA, Src1: no, Src2: no, Target: 2, Sym: "f"},
+				halt,
+				i(isa.OpJr, no, isa.RRA, no, 0),
+			}, map[int]string{2: "f.b0"}),
+			want: verify.CodeBadCall,
+		},
+		{
+			name: "missing operand",
+			p: prog([]isa.Instr{
+				i(isa.OpAdd, isa.R(10), isa.R(11), no, 0), // add needs two sources
+				halt,
+			}, nil),
+			want: verify.CodeBadOperand,
+		},
+		{
+			name: "operand in wrong register file",
+			p: prog([]isa.Instr{
+				i(isa.OpFadd, isa.F(10), isa.F(11), isa.R(11), 0),
+				halt,
+			}, nil),
+			want: verify.CodeBadOperand,
+		},
+		{
+			name: "bad opcode",
+			p: prog([]isa.Instr{
+				i(isa.Opcode(200), no, no, no, 0),
+				halt,
+			}, nil),
+			want: verify.CodeBadOpcode,
+		},
+		{
+			name: "fallthrough off the end of a function",
+			p: prog([]isa.Instr{
+				{Op: isa.OpJal, Dst: isa.RRA, Src1: no, Src2: no, Target: 2, Sym: "f"},
+				halt,
+				i(isa.OpAddi, isa.R(10), isa.RZero, no, 1), // f never returns
+			}, map[int]string{2: "f"}),
+			want: verify.CodeFallthrough,
+		},
+		{
+			name: "entry out of range",
+			p: &isa.Program{
+				Instrs: []isa.Instr{halt},
+				Entry:  7,
+			},
+			want: verify.CodeBadEntry,
+		},
+		{
+			name: "use before def",
+			p: prog([]isa.Instr{
+				i(isa.OpAdd, isa.R(11), isa.R(10), isa.R(10), 0), // r10 never written
+				halt,
+			}, nil),
+			want: verify.CodeUseBeforeDef,
+		},
+		{
+			name: "use before def on one path only",
+			p: prog([]isa.Instr{
+				{Op: isa.OpBeq, Dst: no, Src1: isa.RZero, Src2: isa.RZero, Target: 2},
+				i(isa.OpLi, isa.R(10), no, no, 1), // skipped when branch taken
+				i(isa.OpMov, isa.R(11), isa.R(10), no, 0),
+				halt,
+			}, map[int]string{2: "_start.b1"}),
+			want: verify.CodeUseBeforeDef,
+		},
+		{
+			name: "temporary clobbered across call",
+			p: prog([]isa.Instr{
+				i(isa.OpLi, isa.R(10), no, no, 5),
+				{Op: isa.OpJal, Dst: isa.RRA, Src1: no, Src2: no, Target: 4, Sym: "f"},
+				i(isa.OpPrinti, no, isa.R(10), no, 0), // r10 did not survive the call
+				halt,
+				i(isa.OpJr, no, isa.RRA, no, 0),
+			}, map[int]string{4: "f"}),
+			mem:  []ir.MemRef{{}, {}, {Kind: ir.MemOut}, {}, {}},
+			want: verify.CodeCallClobber,
+		},
+		{
+			name: "dead store to a temporary",
+			p: prog([]isa.Instr{
+				i(isa.OpLi, isa.R(10), no, no, 1), // overwritten unread
+				i(isa.OpLi, isa.R(10), no, no, 2),
+				i(isa.OpPrinti, no, isa.R(10), no, 0),
+				halt,
+			}, nil),
+			mem:  []ir.MemRef{{}, {}, {Kind: ir.MemOut}, {}},
+			want: verify.CodeDeadStore,
+		},
+		{
+			name: "memory instruction without annotation",
+			p: prog([]isa.Instr{
+				i(isa.OpLi, isa.R(10), no, no, 0),
+				i(isa.OpLw, isa.R(11), isa.R(10), no, 0),
+				halt,
+			}, nil),
+			mem:  []ir.MemRef{{}, {}, {}}, // lw missing its MemRef
+			want: verify.CodeBadMemAnnot,
+		},
+		{
+			name: "annotation array of the wrong length",
+			p: prog([]isa.Instr{
+				halt,
+			}, nil),
+			mem:  []ir.MemRef{{}, {}},
+			want: verify.CodeBadMemAnnot,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := verify.Check(tc.p, verify.Options{Machine: cfg, Mem: tc.mem})
+			for _, d := range diags {
+				if d.Code == tc.want {
+					return
+				}
+			}
+			t.Fatalf("want diagnostic %s, got %v", tc.want, diags)
+		})
+	}
+}
+
+// TestNegativeSchedule corrupts schedules and expects the legality checker
+// to reject them.
+func TestNegativeSchedule(t *testing.T) {
+	halt := i(isa.OpHalt, no, no, no, 0)
+	// A RAW-dependent pair followed by a store/load pair on the same
+	// scalar: both orderings matter.
+	sym := &ast.Symbol{Name: "x", Kind: ast.SymGlobal}
+	pre := []isa.Instr{
+		i(isa.OpLi, isa.R(10), no, no, 7),
+		i(isa.OpAddi, isa.R(11), isa.R(10), no, 1), // RAW on r10
+		i(isa.OpSw, no, isa.RZero, isa.R(11), 0),   // store x
+		i(isa.OpLw, isa.R(12), isa.RZero, no, 0),   // load x (must stay after)
+		i(isa.OpPrinti, no, isa.R(12), no, 0),
+		halt,
+	}
+	mem := []ir.MemRef{{}, {}, {Kind: ir.MemScalar, Sym: sym}, {Kind: ir.MemScalar, Sym: sym}, {Kind: ir.MemOut}, {}}
+	blockStarts := []int{0}
+
+	legal := func() ([]isa.Instr, []ir.MemRef) {
+		return append([]isa.Instr(nil), pre...), append([]ir.MemRef(nil), mem...)
+	}
+
+	t.Run("identity schedule is legal", func(t *testing.T) {
+		post, postMem := legal()
+		if diags := verify.CheckSchedule(pre, post, mem, postMem, blockStarts, false, "sched"); len(diags) != 0 {
+			t.Fatalf("unexpected diagnostics: %v", diags)
+		}
+	})
+
+	t.Run("independent reorder is legal", func(t *testing.T) {
+		pre2 := []isa.Instr{
+			i(isa.OpLi, isa.R(10), no, no, 1),
+			i(isa.OpLi, isa.R(11), no, no, 2),
+			halt,
+		}
+		mem2 := []ir.MemRef{{}, {}, {}}
+		post2 := []isa.Instr{pre2[1], pre2[0], pre2[2]}
+		postMem2 := []ir.MemRef{{}, {}, {}}
+		if diags := verify.CheckSchedule(pre2, post2, mem2, postMem2, []int{0}, false, "sched"); len(diags) != 0 {
+			t.Fatalf("unexpected diagnostics: %v", diags)
+		}
+	})
+
+	t.Run("swapped dependent instructions", func(t *testing.T) {
+		post, postMem := legal()
+		post[0], post[1] = post[1], post[0] // consumer before producer
+		postMem[0], postMem[1] = postMem[1], postMem[0]
+		wantCode(t, verify.CheckSchedule(pre, post, mem, postMem, blockStarts, false, "sched"), verify.CodeSchedDep)
+	})
+
+	t.Run("load hoisted above conflicting store", func(t *testing.T) {
+		post, postMem := legal()
+		post[2], post[3] = post[3], post[2]
+		postMem[2], postMem[3] = postMem[3], postMem[2]
+		wantCode(t, verify.CheckSchedule(pre, post, mem, postMem, blockStarts, false, "sched"), verify.CodeSchedDep)
+	})
+
+	t.Run("instruction rewritten", func(t *testing.T) {
+		post, postMem := legal()
+		post[0].Imm = 8 // same opcode, different constant
+		wantCode(t, verify.CheckSchedule(pre, post, mem, postMem, blockStarts, false, "sched"), verify.CodeSchedContent)
+	})
+
+	t.Run("barrier moved", func(t *testing.T) {
+		post, postMem := legal()
+		post[4], post[5] = post[5], post[4] // halt swapped with printi
+		postMem[4], postMem[5] = postMem[5], postMem[4]
+		wantCode(t, verify.CheckSchedule(pre, post, mem, postMem, blockStarts, false, "sched"), verify.CodeSchedShape)
+	})
+
+	t.Run("instruction dropped", func(t *testing.T) {
+		post, postMem := legal()
+		wantCode(t, verify.CheckSchedule(pre, post[:5], mem, postMem[:5], blockStarts, false, "sched"), verify.CodeSchedShape)
+	})
+
+	t.Run("pass provenance is stamped", func(t *testing.T) {
+		post, postMem := legal()
+		post[0], post[1] = post[1], post[0]
+		postMem[0], postMem[1] = postMem[1], postMem[0]
+		diags := verify.CheckSchedule(pre, post, mem, postMem, blockStarts, false, "sched")
+		if len(diags) == 0 || diags[0].Pass != "sched" {
+			t.Fatalf("want pass \"sched\" on diagnostics, got %v", diags)
+		}
+	})
+}
+
+func wantCode(t *testing.T, diags []verify.Diagnostic, want verify.Code) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code == want {
+			return
+		}
+	}
+	t.Fatalf("want diagnostic %s, got %v", want, diags)
+}

@@ -1,0 +1,254 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ilp/internal/compiler/regalloc"
+	"ilp/internal/ir"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// Options configures a Check run.
+type Options struct {
+	// Machine, when set, enables the checks that depend on the machine
+	// description: the temporary/home register split and the dataflow
+	// lints (which need to know which registers are caller-save
+	// temporaries).
+	Machine *machine.Config
+	// Mem, when set, is the memory-annotation array parallel to the
+	// program's instructions; annotation consistency is then checked and
+	// used by callers for schedule legality.
+	Mem []ir.MemRef
+	// Pass is stamped on every diagnostic as provenance (the compiler
+	// pass after which the check runs).
+	Pass string
+}
+
+// Check runs the machine-code verifier — structural well-formedness first,
+// then, if the program is structurally sound and a machine description is
+// available, the dataflow lints. It returns every finding; use AsError to
+// convert error-severity findings into an error.
+func Check(p *isa.Program, opts Options) []Diagnostic {
+	c := &checker{p: p, opts: opts, spans: functionSpans(p)}
+	c.structural()
+	if c.errors == 0 && opts.Machine != nil {
+		for _, span := range c.spans {
+			c.dataflow(span)
+		}
+	}
+	return c.diags
+}
+
+// funcSpan is one function's extent in the instruction stream.
+type funcSpan struct {
+	name       string
+	start, end int
+}
+
+// functionSpans partitions the instruction stream by function-entry labels.
+// The code generator labels function entries with bare names ("_start",
+// "main") and basic blocks with dotted names ("main.b3"), so a label
+// without a dot starts a new function. A program without symbols is one
+// anonymous span.
+func functionSpans(p *isa.Program) []funcSpan {
+	var starts []int
+	for idx, name := range p.Symbols {
+		if !strings.Contains(name, ".") && idx >= 0 && idx <= len(p.Instrs) {
+			starts = append(starts, idx)
+		}
+	}
+	if len(starts) == 0 {
+		return []funcSpan{{name: "", start: 0, end: len(p.Instrs)}}
+	}
+	sort.Ints(starts)
+	var spans []funcSpan
+	for i, s := range starts {
+		end := len(p.Instrs)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		spans = append(spans, funcSpan{name: p.Symbols[s], start: s, end: end})
+	}
+	if starts[0] > 0 {
+		// Instructions before the first label belong to an anonymous
+		// prologue span.
+		spans = append([]funcSpan{{name: "", start: 0, end: starts[0]}}, spans...)
+	}
+	return spans
+}
+
+// checker accumulates diagnostics over one program.
+type checker struct {
+	p      *isa.Program
+	opts   Options
+	spans  []funcSpan
+	diags  []Diagnostic
+	errors int
+}
+
+// add records a diagnostic at instruction index idx (-1 for program-level).
+func (c *checker) add(code Code, sev Severity, idx int, format string, args ...any) {
+	d := Diagnostic{
+		Code:     code,
+		Severity: sev,
+		Pass:     c.opts.Pass,
+		Index:    idx,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+	if idx >= 0 && idx < len(c.p.Instrs) {
+		d.Instr = c.p.Instrs[idx].String()
+		d.Func = c.funcOf(idx).name
+	}
+	if sev == SevError {
+		c.errors++
+	}
+	c.diags = append(c.diags, d)
+}
+
+// funcOf returns the span containing instruction idx.
+func (c *checker) funcOf(idx int) funcSpan {
+	i := sort.Search(len(c.spans), func(i int) bool { return c.spans[i].end > idx })
+	if i < len(c.spans) && c.spans[i].start <= idx {
+		return c.spans[i]
+	}
+	return funcSpan{start: 0, end: len(c.p.Instrs)}
+}
+
+// structural checks well-formedness of every instruction and the program's
+// control-flow skeleton.
+func (c *checker) structural() {
+	p := c.p
+	if p.Entry < 0 || p.Entry >= len(p.Instrs) {
+		c.add(CodeBadEntry, SevError, -1, "entry point %d out of range (%d instructions)", p.Entry, len(p.Instrs))
+		return
+	}
+	if c.opts.Mem != nil && len(c.opts.Mem) != len(p.Instrs) {
+		c.add(CodeBadMemAnnot, SevError, -1, "memory annotation length %d, want %d", len(c.opts.Mem), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		c.checkInstr(i)
+	}
+	for _, span := range c.spans {
+		c.checkFallthrough(span)
+	}
+}
+
+// checkInstr verifies one instruction's opcode, class, operands, register
+// split, target, and memory annotation.
+func (c *checker) checkInstr(i int) {
+	in := &c.p.Instrs[i]
+	if int(in.Op) >= isa.NumOpcodes {
+		c.add(CodeBadOpcode, SevError, i, "opcode %d outside the instruction set", in.Op)
+		return
+	}
+	info := in.Op.Info()
+	if int(info.Class) >= isa.NumClasses {
+		c.add(CodeBadClass, SevError, i, "class %d is not one of the %d instruction classes", info.Class, isa.NumClasses)
+	}
+	if err := in.Validate(); err != nil {
+		c.add(CodeBadOperand, SevError, i, "%v", err)
+	}
+	if c.opts.Machine != nil {
+		for _, opnd := range [...]struct {
+			what string
+			r    isa.Reg
+		}{{"dst", in.Dst}, {"src1", in.Src1}, {"src2", in.Src2}} {
+			if opnd.r == isa.NoReg || opnd.r >= isa.NumRegs {
+				continue // arity and range are CodeBadOperand's job
+			}
+			if !regAllowed(opnd.r, c.opts.Machine) {
+				c.add(CodeBadRegSplit, SevError, i, "%s register %s outside the conventions and the %s temp/home split",
+					opnd.what, opnd.r, c.opts.Machine.Name)
+			}
+		}
+	}
+	c.checkTarget(i)
+	if c.opts.Mem != nil && len(c.opts.Mem) == len(c.p.Instrs) {
+		isMem := info.Load || info.Store
+		hasAnnot := c.opts.Mem[i].Kind != ir.MemNone
+		switch {
+		case isMem && !hasAnnot:
+			c.add(CodeBadMemAnnot, SevError, i, "memory instruction has no memory annotation")
+		case !isMem && hasAnnot:
+			c.add(CodeBadMemAnnot, SevError, i, "non-memory instruction annotated with memory kind %d", c.opts.Mem[i].Kind)
+		}
+	}
+}
+
+// checkTarget verifies that a control transfer resolves to a real label:
+// calls to function entries, branches to labels inside the same function.
+func (c *checker) checkTarget(i int) {
+	in := &c.p.Instrs[i]
+	info := in.Op.Info()
+	if !info.Branch || in.Op == isa.OpJr {
+		return
+	}
+	if in.Target < 0 || in.Target >= len(c.p.Instrs) {
+		c.add(CodeBadTarget, SevError, i, "target %d out of range (%d instructions)", in.Target, len(c.p.Instrs))
+		return
+	}
+	if len(c.p.Symbols) == 0 {
+		return // hand-assembled program without labels: range check only
+	}
+	label, labeled := c.p.Symbols[in.Target]
+	if in.Op == isa.OpJal {
+		switch {
+		case !labeled:
+			c.add(CodeBadCall, SevError, i, "call target %d is not a label", in.Target)
+		case strings.Contains(label, "."):
+			c.add(CodeBadCall, SevError, i, "call target %d is the basic-block label %q, not a function entry", in.Target, label)
+		case in.Sym != "" && in.Sym != label:
+			c.add(CodeBadCall, SevError, i, "call claims callee %q but target %d is labeled %q", in.Sym, in.Target, label)
+		}
+		return
+	}
+	if !labeled {
+		c.add(CodeBadTarget, SevError, i, "branch target %d is not a label", in.Target)
+		return
+	}
+	span := c.funcOf(i)
+	if in.Target < span.start || in.Target >= span.end {
+		c.add(CodeBadTarget, SevError, i, "branch target %d (%s) is outside function %s", in.Target, label, span.name)
+	}
+}
+
+// checkFallthrough verifies control cannot run off the end of a function
+// into the next one (or off the end of the program): the last instruction
+// must be an unconditional transfer — a return, direct jump, or halt.
+func (c *checker) checkFallthrough(span funcSpan) {
+	if span.end <= span.start {
+		return
+	}
+	last := span.end - 1
+	in := &c.p.Instrs[last]
+	if int(in.Op) >= isa.NumOpcodes {
+		return // already CodeBadOpcode
+	}
+	switch in.Op {
+	case isa.OpJ, isa.OpJr, isa.OpHalt:
+		return
+	}
+	c.add(CodeFallthrough, SevError, last, "control falls off the end of %s", span.name)
+}
+
+// regAllowed reports whether the register is either fixed by software
+// convention or inside the machine description's temporary+home pool.
+// Integer file: r0 (zero), r1 (return), r2..r9 (arguments), r60 (sp),
+// r62 (ra), and the pool r10..r(10+temps+homes-1). Floating-point file:
+// f1 (return), f2..f9 (arguments), and the pool f10..f(10+temps+homes-1).
+func regAllowed(r isa.Reg, cfg *machine.Config) bool {
+	idx := r.Index()
+	if r.IsFP() {
+		if idx >= 1 && idx < int(isa.FArg0.Index())+isa.NArgs {
+			return true
+		}
+		return idx >= regalloc.PoolBase && idx < regalloc.PoolBase+cfg.FPTemps+cfg.FPHomes
+	}
+	if idx < int(isa.RArg0)+isa.NArgs || r == isa.RSP || r == isa.RRA {
+		return true
+	}
+	return idx >= regalloc.PoolBase && idx < regalloc.PoolBase+cfg.IntTemps+cfg.IntHomes
+}

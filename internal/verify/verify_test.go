@@ -1,0 +1,78 @@
+// Tests for the machine-code verifier: the positive direction (every paper
+// benchmark at every optimization level verifies cleanly) lives here;
+// negative_test.go holds the hand-corrupted programs the verifier must
+// reject.
+package verify_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+	"ilp/internal/verify"
+)
+
+// TestBenchmarksVerifyClean is the acceptance test of the verifier's
+// positive direction: all 8 paper benchmarks, at every optimization level
+// and with careful unrolling, must compile with Verify enabled (any
+// error-severity diagnostic fails the compile) and produce zero
+// error-severity diagnostics when the checker is re-run standalone.
+func TestBenchmarksVerifyClean(t *testing.T) {
+	levels := []compiler.Level{compiler.O0, compiler.O1, compiler.O2, compiler.O3, compiler.O4}
+	if testing.Short() {
+		levels = []compiler.Level{compiler.O0, compiler.O4}
+	}
+	for _, b := range benchmarks.All() {
+		for _, lvl := range levels {
+			name := fmt.Sprintf("%s/%v", b.Name, lvl)
+			t.Run(name, func(t *testing.T) {
+				cfg := machine.Base()
+				c, err := compiler.Compile(b.Source, compiler.Options{
+					Machine: cfg, Level: lvl, Verify: true,
+				})
+				if err != nil {
+					t.Fatalf("verified compile failed: %v", err)
+				}
+				diags := verify.Check(c.Prog, verify.Options{Machine: cfg, Mem: c.Mem})
+				if errs := verify.Errors(diags); len(errs) > 0 {
+					t.Fatalf("%d error diagnostics on verified output, first: %s", len(errs), errs[0])
+				}
+			})
+		}
+		// Careful unrolling exercises reassociation and the careful
+		// memory disambiguator, the most aggressive reordering the
+		// pipeline performs.
+		t.Run(b.Name+"/unroll4-careful", func(t *testing.T) {
+			cfg := machine.Base()
+			_, err := compiler.Compile(b.Source, compiler.Options{
+				Machine: cfg, Level: compiler.O4, Unroll: 4, Careful: true, Verify: true,
+			})
+			if err != nil {
+				t.Fatalf("verified compile failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyOtherMachines spot-checks the verifier against machine
+// descriptions with different register splits and latencies.
+func TestVerifyOtherMachines(t *testing.T) {
+	b, err := benchmarks.ByName("whet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []*machine.Config{
+		machine.MultiTitan(),
+		machine.CRAY1(),
+		machine.IdealSuperscalar(4),
+		machine.Superpipelined(3),
+	} {
+		if _, err := compiler.Compile(b.Source, compiler.Options{
+			Machine: cfg.Clone(), Level: compiler.O4, Verify: true,
+		}); err != nil {
+			t.Errorf("%s: verified compile failed: %v", cfg.Name, err)
+		}
+	}
+}
