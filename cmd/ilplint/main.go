@@ -1,0 +1,133 @@
+// Command ilplint runs the internal/verify static checks over compiled TL
+// programs and prints every diagnostic — warnings included — with pass
+// provenance and location. It is the standalone face of the -verify compile
+// mode: the compiler aborts on the first error, ilplint reports everything.
+//
+// Usage:
+//
+//	ilplint [-level 0..4] [-all-levels] [-unroll N] [-careful]
+//	        [-machine base|multititan|cray1] <file.tl|benchmark|all>
+//
+// The target may be a TL source file, the name of one of the paper's eight
+// benchmarks, or "all" for the whole suite. Exit status is 1 when any
+// error-severity diagnostic is found, 2 on usage errors, and 0 otherwise.
+//
+// Example diagnostic:
+//
+//	yacc: V302 error: @41 `addi r11, r10, 1`: scheduled before its producer `li r10, 7` [pass sched]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+	"ilp/internal/verify"
+)
+
+func main() {
+	level := flag.Int("level", 4, "optimization level 0..4")
+	allLevels := flag.Bool("all-levels", false, "check every optimization level 0..4")
+	unroll := flag.Int("unroll", 0, "loop unroll factor")
+	careful := flag.Bool("careful", false, "careful unrolling")
+	machineName := flag.String("machine", "base", "machine description: base, multititan, cray1")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ilplint [flags] <file.tl|benchmark|all>")
+		os.Exit(2)
+	}
+
+	var cfg *machine.Config
+	switch *machineName {
+	case "base":
+		cfg = machine.Base()
+	case "multititan":
+		cfg = machine.MultiTitan()
+	case "cray1":
+		cfg = machine.CRAY1()
+	default:
+		fmt.Fprintf(os.Stderr, "ilplint: unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+
+	type unit struct {
+		name string
+		src  string
+	}
+	var units []unit
+	target := flag.Arg(0)
+	switch {
+	case target == "all":
+		for _, b := range benchmarks.All() {
+			units = append(units, unit{b.Name, b.Source})
+		}
+	default:
+		if b, err := benchmarks.ByName(target); err == nil {
+			units = append(units, unit{b.Name, b.Source})
+		} else {
+			data, ferr := os.ReadFile(target)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "ilplint:", ferr)
+				os.Exit(2)
+			}
+			units = append(units, unit{target, string(data)})
+		}
+	}
+
+	levels := []compiler.Level{compiler.Level(*level)}
+	if *allLevels {
+		levels = []compiler.Level{compiler.O0, compiler.O1, compiler.O2, compiler.O3, compiler.O4}
+	}
+
+	failed := false
+	for _, u := range units {
+		for _, lvl := range levels {
+			where := u.name
+			if *allLevels {
+				where = fmt.Sprintf("%s[O%d]", u.name, int(lvl))
+			}
+			if lint(where, u.src, cfg, lvl, *unroll, *careful) {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// lint compiles one unit with in-pipeline verification on and prints every
+// diagnostic. Returns true if any error-severity diagnostic was found.
+func lint(where, src string, cfg *machine.Config, lvl compiler.Level, unroll int, careful bool) bool {
+	c, err := compiler.Compile(src, compiler.Options{
+		Machine: cfg, Level: lvl, Unroll: unroll, Careful: careful, Verify: true,
+	})
+	if err != nil {
+		// A verification failure carries the full diagnostic list; print it
+		// with provenance. Anything else (parse, type errors) prints as-is
+		// with its own line:col locations.
+		var verr *verify.Error
+		if errors.As(err, &verr) {
+			report(where, verr.Diags)
+			return true
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", where, err)
+		return true
+	}
+	// Clean compile: re-run the checker standalone so warnings (which do not
+	// abort compilation) are still reported.
+	diags := verify.Check(c.Prog, verify.Options{Machine: cfg, Mem: c.Mem})
+	report(where, diags)
+	return len(verify.Errors(diags)) > 0
+}
+
+func report(where string, diags []verify.Diagnostic) {
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", where, d)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tlc [-level 0..4] [-unroll N] [-careful] [-dump ir|asm] [-run] file.tl
+//	tlc [-level 0..4] [-unroll N] [-careful] [-verify] [-dump ir|asm] [-run] file.tl
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	level := flag.Int("level", 4, "optimization level 0..4")
 	unroll := flag.Int("unroll", 0, "loop unroll factor")
 	careful := flag.Bool("careful", false, "careful unrolling")
+	verifyFlag := flag.Bool("verify", false, "run the static verifier after every compiler pass")
 	dump := flag.String("dump", "asm", "what to dump: ir, asm, none")
 	run := flag.Bool("run", false, "run with the reference interpreter and print output")
 	flag.Parse()
@@ -73,6 +74,7 @@ func main() {
 		Level:   compiler.Level(*level),
 		Unroll:  *unroll,
 		Careful: *careful,
+		Verify:  *verifyFlag,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tlc:", err)

@@ -100,6 +100,10 @@ type Options struct {
 	Careful bool
 	// NoSchedule disables the pipeline scheduler regardless of level.
 	NoSchedule bool
+	// Verify runs the internal static verifier after every compiler pass
+	// (machine-code well-formedness, dataflow lints, schedule legality);
+	// a violation fails Compile with an error naming the offending pass.
+	Verify bool
 }
 
 // WithLevel returns Options at an explicit optimization level.
@@ -137,6 +141,7 @@ func Compile(source string, m *Machine, opts Options) (*Program, error) {
 		Unroll:     opts.Unroll,
 		Careful:    opts.Careful,
 		NoSchedule: opts.NoSchedule,
+		Verify:     opts.Verify,
 	})
 	if err != nil {
 		return nil, err
