@@ -1,0 +1,37 @@
+# Tier-1 gate: everything `make check` runs must stay green on every
+# commit. CI-equivalent for this repo; see README "Verification".
+GO ?= go
+
+.PHONY: check fmt vet build test race fuzz-smoke lint bench
+
+check: fmt vet build race fuzz-smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A quick pass of the randomized differential harness (with the static
+# verifier enabled in-pipeline) as a smoke test; the full 60-seed run is
+# part of `make test`.
+fuzz-smoke:
+	$(GO) test -short -run 'TestRandomPrograms' ./internal/compiler/
+
+# Run the static verifier over the whole suite at every level and print
+# every diagnostic, warnings included.
+lint:
+	$(GO) run ./cmd/ilplint -all-levels all
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

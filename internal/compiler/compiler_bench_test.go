@@ -42,6 +42,32 @@ func BenchmarkCompileLevels(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileVerify compares compile cost with the static verifier off
+// and on. The off case is the measurement configuration and must match the
+// pre-verifier pipeline exactly: Verify:false is a handful of branch tests,
+// so "off" and the historical baseline should be indistinguishable, while
+// "on" shows what the debugging configuration pays.
+func BenchmarkCompileVerify(b *testing.B) {
+	bm, err := benchmarks.ByName("livermore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []bool{false, true} {
+		name := "off"
+		if v {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := machine.Base()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(bm.Source, Options{Machine: m, Level: O4, Verify: v}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompileCarefulUnroll10 is the most expensive configuration the
 // experiments use.
 func BenchmarkCompileCarefulUnroll10(b *testing.B) {

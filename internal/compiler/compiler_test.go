@@ -31,8 +31,11 @@ func interpret(t *testing.T, src string) []isa.Value {
 }
 
 // simulate compiles with opts and runs on the machine embedded in opts.
+// Every compile in the test suite runs with the static verifier on: the
+// golden tests double as the verifier's regression corpus.
 func simulate(t *testing.T, src string, opts Options) (*Compiled, *sim.Result) {
 	t.Helper()
+	opts.Verify = true
 	c, err := Compile(src, opts)
 	if err != nil {
 		t.Fatalf("compile (%+v): %v", opts, err)

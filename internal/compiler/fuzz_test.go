@@ -185,7 +185,7 @@ func TestRandomProgramsDifferential(t *testing.T) {
 				if seed%3 == 0 {
 					unroll = 3
 				}
-				c, err := Compile(src, Options{Machine: m.Clone(), Level: lvl, Unroll: unroll})
+				c, err := Compile(src, Options{Machine: m.Clone(), Level: lvl, Unroll: unroll, Verify: true})
 				if err != nil {
 					t.Fatalf("seed %d %v/%s: compile: %v\n%s", seed, lvl, m.Name, err, src)
 				}
@@ -220,7 +220,7 @@ func TestRandomProgramsTimingSanity(t *testing.T) {
 		g := &progGen{r: rand.New(rand.NewSource(int64(seed)))}
 		src := g.generate(5)
 		cycles := func(m *machine.Config) float64 {
-			c, err := Compile(src, Options{Machine: m.Clone(), Level: O4})
+			c, err := Compile(src, Options{Machine: m.Clone(), Level: O4, Verify: true})
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
