@@ -2,9 +2,9 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke lint bench
+.PHONY: check fmt vet build test race fuzz-smoke lint bench bench-smoke
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build race fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -33,5 +33,17 @@ fuzz-smoke:
 lint:
 	$(GO) run ./cmd/ilplint -all-levels all
 
+# Full benchmark pass: simulator throughput + experiment wall times, written
+# to BENCH_sim.json (the baseline section of an existing file is preserved,
+# so the perf trajectory stays anchored at the first recorded engine).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -count 3 ./internal/sim/ | tee /tmp/ilp_bench_sim.txt
+	$(GO) test -run '^$$' -bench 'RunAllQuick|ExperimentCacheSharing' -benchmem -count 1 . | tee /tmp/ilp_bench_exp.txt
+	$(GO) run ./cmd/benchjson -out BENCH_sim.json /tmp/ilp_bench_sim.txt /tmp/ilp_bench_exp.txt
+	@echo "wrote BENCH_sim.json"
+
+# One-iteration smoke of the same benchmarks (no thresholds, no JSON): the
+# tier-1 gate just proves they still run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Simulator' -benchtime 1x ./internal/sim/
+	$(GO) test -run '^$$' -bench 'RunAllQuick|ExperimentCacheSharing' -benchtime 1x .

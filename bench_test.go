@@ -6,6 +6,7 @@
 package ilp_test
 
 import (
+	"io"
 	"testing"
 
 	"ilp/internal/experiments"
@@ -155,4 +156,39 @@ func BenchmarkExtTraceLimits(b *testing.B) {
 	runExperiment(b, "ext-limits", quickCfg(), func(res *experiments.Result) (string, float64) {
 		return "oracle-parallelism", lastY(res.Series[2])
 	})
+}
+
+// BenchmarkRunAllQuick is the end-to-end wall time of regenerating every
+// experiment on the reduced sweep with one shared runner — the number
+// BENCH_sim.json tracks as "RunAll wall time".
+func BenchmarkRunAllQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(quickCfg())
+		if err := r.RunAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentCacheSharing runs the three cache-geometry experiments
+// on one runner and reports how much work the two-level cache eliminated:
+// cache-only machine variants share compilations (compile-hits) and repeated
+// measurements share simulations (sim-hits).
+func BenchmarkExperimentCacheSharing(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Benchmarks = nil
+	var st experiments.RunnerStats
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(cfg)
+		for _, id := range []string{"tab5-1", "sec5-1", "ext-icache"} {
+			if _, err := r.Run(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st = r.Stats()
+	}
+	b.ReportMetric(float64(st.Compiles), "compiles")
+	b.ReportMetric(float64(st.CompileHits), "compile-hits")
+	b.ReportMetric(float64(st.Sims), "sims")
+	b.ReportMetric(float64(st.SimHits), "sim-hits")
 }

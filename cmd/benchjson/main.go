@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_sim.json, the machine-readable performance trajectory (simulator
+// Minstr/s, allocations per run, experiment wall times).
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... > bench.txt
+//	benchjson -out BENCH_sim.json bench.txt [more.txt ...]
+//
+// If the output file already exists, its "baseline" section is preserved
+// verbatim, so the first recorded baseline (the pre-optimization engine)
+// keeps anchoring later runs. With no prior file, the current run becomes
+// the baseline too.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is one recorded run of the benchmark set.
+type Snapshot struct {
+	Note       string               `json:"note,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// File is the BENCH_sim.json layout.
+type File struct {
+	Baseline Snapshot `json:"baseline"`
+	Current  Snapshot `json:"current"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output file")
+	note := flag.String("note", "", "note recorded with the current snapshot")
+	flag.Parse()
+
+	cur := Snapshot{Note: *note, Benchmarks: map[string]Benchmark{}}
+	if flag.NArg() == 0 {
+		parse(os.Stdin, cur.Benchmarks)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		parse(f, cur.Benchmarks)
+		f.Close()
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	file := File{Baseline: cur, Current: cur}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old File
+		if err := json.Unmarshal(prev, &old); err == nil && len(old.Baseline.Benchmarks) > 0 {
+			file.Baseline = old.Baseline
+		}
+	}
+
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse extracts benchmark result lines:
+//
+//	BenchmarkName-8   123   456.7 ns/op   89.0 Minstr/s   280 B/op   2 allocs/op
+//
+// Every "value unit" pair after ns/op is recorded as a metric. When -count
+// produced repeated samples of one benchmark, the fastest (lowest ns/op) is
+// kept — best-of-N is the stable statistic on a shared, noisy host.
+func parse(r io.Reader, into map[string]Benchmark) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.SplitN(fields[0], "-", 2)[0]
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		if prev, ok := into[name]; !ok || b.NsPerOp < prev.NsPerOp {
+			into[name] = b
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

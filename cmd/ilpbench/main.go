@@ -23,6 +23,7 @@ func main() {
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 	workers := flag.Int("workers", 0, "concurrent simulations (default: GOMAXPROCS)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	stats := flag.Bool("stats", false, "print compile/sim cache statistics after the run")
 	flag.Parse()
 
 	if *list {
@@ -57,5 +58,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("==== %s: %s ====  (%.1fs)\n\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+	}
+
+	if *stats {
+		st := runner.Stats()
+		fmt.Printf("cache stats: %d compiles (%d hits), %d simulations (%d hits)\n",
+			st.Compiles, st.CompileHits, st.Sims, st.SimHits)
 	}
 }

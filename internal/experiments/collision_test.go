@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"ilp/internal/cache"
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+)
+
+// TestMeasureCacheGeometryCollision is the regression test for the old
+// stringly measureKey, which collapsed cache configs to ic/dc booleans: two
+// machines with the same name whose caches differ only in geometry (here,
+// miss penalty) collided and the second Measure returned the first's cached
+// result. With fingerprint keying they must simulate to different cycle
+// counts — and still share a single compilation, since the compiler cannot
+// see the cache.
+func TestMeasureCacheGeometryCollision(t *testing.T) {
+	r := NewRunner(Config{Workers: 2})
+	opts := compiler.Options{Level: compiler.O4}
+
+	cheap := machine.MultiTitan() // both variants keep the preset name
+	cheap.DCache = &cache.Config{Name: "d", Lines: 8, LineWords: 4, MissPenalty: 2}
+	dear := machine.MultiTitan()
+	dear.DCache = &cache.Config{Name: "d", Lines: 8, LineWords: 4, MissPenalty: 50}
+
+	ra, err := r.Measure("whet", opts, cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := r.Measure("whet", opts, dear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.DCacheStats == nil || ra.DCacheStats.Misses == 0 {
+		t.Fatal("expected data-cache misses with an 8-line cache")
+	}
+	if ra.MinorCycles == rb.MinorCycles {
+		t.Errorf("MissPenalty 2 vs 50 returned identical MinorCycles (%d): cache key collision", ra.MinorCycles)
+	}
+	st := r.Stats()
+	if st.Sims != 2 {
+		t.Errorf("Sims = %d, want 2", st.Sims)
+	}
+	if st.Compiles != 1 {
+		t.Errorf("Compiles = %d, want 1 (cache-only variants must share a compilation)", st.Compiles)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"ilp/internal/benchmarks"
 	"ilp/internal/compiler"
+	"ilp/internal/isa"
 	"ilp/internal/machine"
 	"ilp/internal/metrics"
 	"ilp/internal/sim"
@@ -134,22 +135,67 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
 }
 
-// Runner caches compilations and simulations across experiments.
+// Runner caches compilations and simulations across experiments with two
+// fingerprint-keyed levels:
+//
+//   - The compile cache is keyed by (benchmark, compiler options,
+//     machine.ScheduleFingerprint) — everything the compiler can observe.
+//     Machine variants that differ only in name or cache geometry (the §5
+//     sweeps, ext-icache) share one compilation.
+//   - The sim cache is keyed by the compile key plus machine.Fingerprint,
+//     the canonical hash of the complete description including caches, so
+//     two configurations can never collide unless every simulated detail
+//     is identical.
+//
+// Both levels are singleflight: the first goroutine to request a key
+// becomes its leader and concurrent requesters block on the entry's ready
+// channel instead of duplicating the work.
 type Runner struct {
 	Cfg Config
 
-	mu    sync.Mutex
-	cache map[string]*sim.Result
-	sem   chan struct{}
+	mu       sync.Mutex
+	compiles map[string]*compileEntry
+	sims     map[string]*simEntry
+	stats    RunnerStats
+	sem      chan struct{}
+}
+
+type compileEntry struct {
+	ready chan struct{} // closed when prog/err are set
+	prog  *isa.Program
+	err   error
+}
+
+type simEntry struct {
+	ready chan struct{} // closed when res/err are set
+	res   *sim.Result
+	err   error
+}
+
+// RunnerStats counts cache traffic, mostly so tooling (ilpbench -stats) can
+// show how much work the two-level cache eliminated.
+type RunnerStats struct {
+	Compiles    int64 // compilations actually performed
+	CompileHits int64 // compile requests served from (or joined onto) the cache
+	Sims        int64 // simulations actually performed
+	SimHits     int64 // measure requests served from (or joined onto) the cache
 }
 
 // NewRunner builds a runner.
 func NewRunner(cfg Config) *Runner {
 	return &Runner{
-		Cfg:   cfg,
-		cache: map[string]*sim.Result{},
-		sem:   make(chan struct{}, cfg.workers()),
+		Cfg:      cfg,
+		compiles: map[string]*compileEntry{},
+		sims:     map[string]*simEntry{},
+		sem:      make(chan struct{}, cfg.workers()),
 	}
+}
+
+// Stats returns a snapshot of the runner's cache counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
 }
 
 // Run executes one experiment by id.
@@ -173,54 +219,85 @@ func (r *Runner) RunAll(w io.Writer) error {
 	return nil
 }
 
-// measureKey builds the cache key.
-func measureKey(bench string, copts compiler.Options, m *machine.Config) string {
-	return fmt.Sprintf("%s|L%d|u%d|c%v|ns%v|%s|w%d|d%d|t%d,%d|h%d,%d|br%d|tb%v|ic%v|dc%v",
+// compileKey builds the compile-cache key: the benchmark, every compiler
+// option, and the schedule-relevant machine fingerprint. Deliberately
+// excludes machine name and cache geometry — the compiler cannot see them.
+func compileKey(bench string, copts compiler.Options, m *machine.Config) string {
+	return fmt.Sprintf("%s|L%d|u%d|c%v|ns%v|%s",
 		bench, copts.Level, copts.Unroll, copts.Careful, copts.NoSchedule,
-		m.Name, m.IssueWidth, m.Degree,
-		m.IntTemps, m.FPTemps, m.IntHomes, m.FPHomes,
-		m.BranchRedirect, m.TakenBranchEndsGroup, m.ICache != nil, m.DCache != nil)
+		m.ScheduleFingerprint())
 }
 
 // Measure compiles the named benchmark for machine m with the given options
-// and simulates it, caching the result.
+// and simulates it, caching both levels of the work.
 func (r *Runner) Measure(bench string, copts compiler.Options, m *machine.Config) (*sim.Result, error) {
-	key := measureKey(bench, copts, m)
+	ckey := compileKey(bench, copts, m)
+	skey := ckey + "|" + m.Fingerprint()
+
 	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
+	if se, ok := r.sims[skey]; ok {
+		r.stats.SimHits++
 		r.mu.Unlock()
-		return res, nil
+		<-se.ready
+		return se.res, se.err
 	}
+	se := &simEntry{ready: make(chan struct{})}
+	r.sims[skey] = se
+	r.stats.Sims++
 	r.mu.Unlock()
 
+	se.res, se.err = r.measure(bench, copts, m, ckey)
+	close(se.ready)
+	return se.res, se.err
+}
+
+// measure is the sim-cache miss path: acquire a worker slot, obtain the
+// compiled program (cached across cache-geometry variants), and simulate.
+func (r *Runner) measure(bench string, copts compiler.Options, m *machine.Config, ckey string) (*sim.Result, error) {
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
 
-	// Re-check after acquiring the worker slot.
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res, nil
+	prog, err := r.compile(bench, copts, m, ckey)
+	if err != nil {
+		return nil, err
 	}
+	res, err := sim.Run(prog, sim.Options{Machine: m})
+	if err != nil {
+		return nil, fmt.Errorf("simulate %s on %s: %w", bench, m.Name, err)
+	}
+	return res, nil
+}
+
+// compile returns the compiled program for the key, compiling at most once.
+// The leader already holds a worker slot, so waiters (who hold their own
+// slots) can never starve it.
+func (r *Runner) compile(bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, error) {
+	r.mu.Lock()
+	if ce, ok := r.compiles[ckey]; ok {
+		r.stats.CompileHits++
+		r.mu.Unlock()
+		<-ce.ready
+		return ce.prog, ce.err
+	}
+	ce := &compileEntry{ready: make(chan struct{})}
+	r.compiles[ckey] = ce
+	r.stats.Compiles++
 	r.mu.Unlock()
 
 	b, err := benchmarks.ByName(bench)
 	if err != nil {
-		return nil, err
+		ce.err = err
+	} else {
+		copts.Machine = m
+		var c *compiler.Compiled
+		if c, err = compiler.Compile(b.Source, copts); err != nil {
+			ce.err = fmt.Errorf("compile %s for %s: %w", bench, m.Name, err)
+		} else {
+			ce.prog = c.Prog
+		}
 	}
-	copts.Machine = m
-	c, err := compiler.Compile(b.Source, copts)
-	if err != nil {
-		return nil, fmt.Errorf("compile %s for %s: %w", bench, m.Name, err)
-	}
-	res, err := sim.Run(c.Prog, sim.Options{Machine: m})
-	if err != nil {
-		return nil, fmt.Errorf("simulate %s on %s: %w", bench, m.Name, err)
-	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
-	return res, nil
+	close(ce.ready)
+	return ce.prog, ce.err
 }
 
 // MeasureMany runs a set of (bench, opts, machine) jobs concurrently.

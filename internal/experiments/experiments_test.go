@@ -273,14 +273,18 @@ func TestRunnerCache(t *testing.T) {
 	if _, err := r.Run("fig4-5"); err != nil {
 		t.Fatal(err)
 	}
-	n := len(r.cache)
-	if n == 0 {
-		t.Fatal("cache empty after run")
+	st := r.Stats()
+	if st.Sims == 0 || st.Compiles == 0 {
+		t.Fatalf("cache empty after run: %+v", st)
 	}
 	if _, err := r.Run("fig4-5"); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.cache) != n {
-		t.Errorf("second run grew the cache: %d -> %d", n, len(r.cache))
+	st2 := r.Stats()
+	if st2.Sims != st.Sims || st2.Compiles != st.Compiles {
+		t.Errorf("second run redid work: %+v -> %+v", st, st2)
+	}
+	if st2.SimHits <= st.SimHits {
+		t.Errorf("second run did not hit the sim cache: %+v -> %+v", st, st2)
 	}
 }

@@ -1,0 +1,81 @@
+package machine
+
+import (
+	"testing"
+
+	"ilp/internal/cache"
+)
+
+func TestFingerprintDistinguishesEveryField(t *testing.T) {
+	base := Base().Fingerprint()
+	mutations := map[string]func(*Config){
+		"name":        func(c *Config) { c.Name = "other" },
+		"width":       func(c *Config) { c.IssueWidth++ },
+		"degree":      func(c *Config) { c.Degree++ },
+		"latency":     func(c *Config) { c.Latency[3]++ },
+		"unit-mult":   func(c *Config) { c.Units[0].Multiplicity++ },
+		"unit-ilat":   func(c *Config) { c.Units[0].IssueLatency++ },
+		"redirect":    func(c *Config) { c.BranchRedirect++ },
+		"group-break": func(c *Config) { c.TakenBranchEndsGroup = !c.TakenBranchEndsGroup },
+		"int-temps":   func(c *Config) { c.IntTemps++ },
+		"fp-homes":    func(c *Config) { c.FPHomes++ },
+		"icache":      func(c *Config) { c.ICache = &cache.Config{Lines: 64, LineWords: 4, MissPenalty: 10} },
+		"dcache":      func(c *Config) { c.DCache = &cache.Config{Lines: 64, LineWords: 4, MissPenalty: 10} },
+	}
+	for name, mutate := range mutations {
+		c := Base()
+		mutate(c)
+		if c.Fingerprint() == base {
+			t.Errorf("mutation %q did not change Fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := Base(), Base()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical configs have different fingerprints")
+	}
+	if a.ScheduleFingerprint() != b.ScheduleFingerprint() {
+		t.Error("identical configs have different schedule fingerprints")
+	}
+	// A clone must fingerprint identically to its source.
+	titan := MultiTitan()
+	titan.ICache = &cache.Config{Lines: 256, LineWords: 4, MissPenalty: 12}
+	if titan.Fingerprint() != titan.Clone().Fingerprint() {
+		t.Error("clone fingerprint differs from source")
+	}
+}
+
+func TestScheduleFingerprintIgnoresCachesAndName(t *testing.T) {
+	plain := MultiTitan()
+	cached := MultiTitan()
+	cached.Name = "titan-cached"
+	cached.ICache = &cache.Config{Lines: 256, LineWords: 4, MissPenalty: 12}
+	cached.DCache = &cache.Config{Lines: 128, LineWords: 4, MissPenalty: 20}
+
+	if plain.ScheduleFingerprint() != cached.ScheduleFingerprint() {
+		t.Error("cache-only variants should share a schedule fingerprint")
+	}
+	if plain.Fingerprint() == cached.Fingerprint() {
+		t.Error("cache-only variants must not share a full fingerprint")
+	}
+	// But anything the scheduler sees must still show through.
+	slower := MultiTitan()
+	slower.Latency[5]++
+	if plain.ScheduleFingerprint() == slower.ScheduleFingerprint() {
+		t.Error("latency change did not alter schedule fingerprint")
+	}
+}
+
+func TestFingerprintCacheGeometry(t *testing.T) {
+	// The regression at the heart of the measureKey bug: two configs that
+	// differ only in miss penalty must have distinct fingerprints.
+	a := MultiTitan()
+	a.DCache = &cache.Config{Lines: 128, LineWords: 4, MissPenalty: 12}
+	b := MultiTitan()
+	b.DCache = &cache.Config{Lines: 128, LineWords: 4, MissPenalty: 20}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("differing MissPenalty produced colliding fingerprints")
+	}
+}

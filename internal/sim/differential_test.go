@@ -1,0 +1,126 @@
+package sim
+
+// Differential equivalence suite: every golden benchmark, compiled per
+// machine configuration, is simulated three ways — with the preserved seed
+// engine (reference_test.go), the predecoded fast path, and the instrumented
+// path (forced by installing a no-op OnIssue hook) — and all observable
+// results must be bit-identical. This is the proof that the performance
+// rewrite changed no semantics and no timing.
+
+import (
+	"testing"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/cache"
+	"ilp/internal/compiler"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// diffMachines is the machine matrix: scalar base, ideal superscalar at
+// three widths (unit multiplicity and width bookkeeping), a superpipeline
+// (latency scaling and branch barriers), and MultiTitan with both caches
+// (the fully instrumented path with fetch and data-miss modeling).
+func diffMachines() []*machine.Config {
+	titan := machine.MultiTitan()
+	titan.Name = "titan-cached"
+	titan.ICache = &cache.Config{Name: "diff-i", Lines: 256, LineWords: 4, MissPenalty: 12}
+	titan.DCache = &cache.Config{Name: "diff-d", Lines: 128, LineWords: 4, MissPenalty: 20}
+	return []*machine.Config{
+		machine.Base(),
+		machine.IdealSuperscalar(2),
+		machine.IdealSuperscalar(4),
+		machine.IdealSuperscalar(8),
+		machine.Superpipelined(4),
+		titan,
+	}
+}
+
+func compareResults(t *testing.T, path string, want, got *Result) {
+	t.Helper()
+	if got.Machine != want.Machine {
+		t.Errorf("%s: Machine = %q, want %q", path, got.Machine, want.Machine)
+	}
+	if got.Instructions != want.Instructions {
+		t.Errorf("%s: Instructions = %d, want %d", path, got.Instructions, want.Instructions)
+	}
+	if got.IssueGroups != want.IssueGroups {
+		t.Errorf("%s: IssueGroups = %d, want %d", path, got.IssueGroups, want.IssueGroups)
+	}
+	if got.MinorCycles != want.MinorCycles {
+		t.Errorf("%s: MinorCycles = %d, want %d", path, got.MinorCycles, want.MinorCycles)
+	}
+	if got.BaseCycles != want.BaseCycles {
+		t.Errorf("%s: BaseCycles = %g, want %g", path, got.BaseCycles, want.BaseCycles)
+	}
+	if got.ClassCounts != want.ClassCounts {
+		t.Errorf("%s: ClassCounts = %v, want %v", path, got.ClassCounts, want.ClassCounts)
+	}
+	if got.Stalls != want.Stalls {
+		t.Errorf("%s: Stalls = %+v, want %+v", path, got.Stalls, want.Stalls)
+	}
+	if len(got.Output) != len(want.Output) {
+		t.Errorf("%s: %d output values, want %d", path, len(got.Output), len(want.Output))
+	} else {
+		for i := range want.Output {
+			if got.Output[i] != want.Output[i] {
+				t.Errorf("%s: Output[%d] = %v, want %v", path, i, got.Output[i], want.Output[i])
+				break
+			}
+		}
+	}
+	switch {
+	case (got.ICacheStats == nil) != (want.ICacheStats == nil):
+		t.Errorf("%s: ICacheStats presence = %v, want %v", path, got.ICacheStats != nil, want.ICacheStats != nil)
+	case got.ICacheStats != nil && *got.ICacheStats != *want.ICacheStats:
+		t.Errorf("%s: ICacheStats = %+v, want %+v", path, *got.ICacheStats, *want.ICacheStats)
+	}
+	switch {
+	case (got.DCacheStats == nil) != (want.DCacheStats == nil):
+		t.Errorf("%s: DCacheStats presence = %v, want %v", path, got.DCacheStats != nil, want.DCacheStats != nil)
+	case got.DCacheStats != nil && *got.DCacheStats != *want.DCacheStats:
+		t.Errorf("%s: DCacheStats = %+v, want %+v", path, *got.DCacheStats, *want.DCacheStats)
+	}
+}
+
+func TestDifferentialEngines(t *testing.T) {
+	suite := benchmarks.All()
+	cfgs := diffMachines()
+	if testing.Short() {
+		cfgs = []*machine.Config{cfgs[0], cfgs[len(cfgs)-1]}
+	}
+	for _, b := range suite {
+		for _, cfg := range cfgs {
+			t.Run(b.Name+"/"+cfg.Name, func(t *testing.T) {
+				c, err := compiler.Compile(b.Source, compiler.Options{
+					Machine: cfg, Level: compiler.O4, Unroll: b.DefaultUnroll,
+				})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				opts := Options{Machine: cfg}
+				want, err := refRun(c.Prog, opts)
+				if err != nil {
+					t.Fatalf("reference engine: %v", err)
+				}
+
+				// Fast path (no caches configured means Run picks it;
+				// with caches the engine is instrumented regardless).
+				got, err := Run(c.Prog, opts)
+				if err != nil {
+					t.Fatalf("fast path: %v", err)
+				}
+				compareResults(t, "fast", want, got)
+
+				// Instrumented path, forced via a no-op hook.
+				iopts := opts
+				iopts.OnIssue = func(int, *isa.Instr, int64, int64) {}
+				got, err = Run(c.Prog, iopts)
+				if err != nil {
+					t.Fatalf("instrumented path: %v", err)
+				}
+				compareResults(t, "instrumented", want, got)
+			})
+		}
+	}
+}

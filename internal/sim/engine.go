@@ -1,0 +1,852 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ilp/internal/cache"
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// Engine is a reusable simulator instance. A fresh Engine is ready to use;
+// Reset re-arms it for another program/machine pair while recycling every
+// large allocation from the previous run: the memory image (zeroing only the
+// data segment and the store high-water region actually dirtied), the
+// predecoded instruction array, the functional-unit scoreboard, and the
+// output buffer. The package-level Run draws Engines from a sync.Pool, so
+// even callers that never see the type stop paying a 16 MB allocation and
+// full zeroing per simulation.
+//
+// An Engine is not safe for concurrent use; use one per goroutine (or just
+// call Run, which pools them).
+type Engine struct {
+	cfg  *machine.Config
+	prog *isa.Program
+	opts Options
+
+	dec []decoded
+
+	// regs and ready are sized 256 (not isa.NumRegs) so that indexing by
+	// a Reg (uint8) needs no bounds check in the inner loop.
+	regs [256]int64
+	mem  []int64
+	// dataLen and dirtyLo/dirtyHi record which words of mem the current
+	// run has made nonzero: the loaded data segment plus the store range.
+	// The next Reset zeroes only those, not the whole arena.
+	dataLen          int
+	dirtyLo, dirtyHi int
+
+	// Timing state.
+	ready        [256]int64 // minor cycle a register's value becomes available
+	unitFree     []int64    // per unit copy (flat; decoded holds offsets): next free minor cycle
+	cycle        int64      // current issue minor cycle
+	inCycle      int        // instructions already issued this minor cycle
+	barrier      int64      // earliest next issue after a group break
+	barrierIsBr  bool       // the barrier came from a taken branch
+	lastComplete int64
+
+	icache *cache.Cache
+	dcache *cache.Cache
+
+	pc     int
+	halted bool
+
+	instrs int64
+	groups int64
+	output []isa.Value
+	stalls StallBreakdown
+}
+
+// NewEngine returns an empty engine. Buffers are grown on first Reset.
+func NewEngine() *Engine { return &Engine{} }
+
+// Reset validates the program and machine, predecodes the program, and
+// re-arms all run state, reusing the engine's buffers.
+func (e *Engine) Reset(p *isa.Program, opts Options) error {
+	if opts.Machine == nil {
+		return fmt.Errorf("sim: no machine description")
+	}
+	cfg := opts.Machine
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	memWords := opts.MemWords
+	if memWords == 0 {
+		memWords = DefaultMemWords
+	}
+	if len(p.Data) > memWords {
+		return fmt.Errorf("sim: data segment (%d words) exceeds memory (%d words)", len(p.Data), memWords)
+	}
+	stackTop := p.StackTop
+	if stackTop == 0 {
+		stackTop = int64(memWords)
+	}
+	if stackTop > int64(memWords) || stackTop <= int64(len(p.Data)) {
+		return fmt.Errorf("sim: stack top %d outside memory", stackTop)
+	}
+
+	e.resetMemory(memWords)
+	copy(e.mem, p.Data)
+	e.dataLen = len(p.Data)
+	e.dirtyLo, e.dirtyHi = memWords, -1
+
+	e.regs = [256]int64{}
+	e.regs[isa.RSP] = stackTop
+	e.ready = [256]int64{}
+
+	total := 0
+	for _, u := range cfg.Units {
+		total += u.Multiplicity
+	}
+	if cap(e.unitFree) >= total {
+		e.unitFree = e.unitFree[:total]
+		clear(e.unitFree)
+	} else {
+		e.unitFree = make([]int64, total)
+	}
+
+	e.icache, e.dcache = nil, nil
+	var err error
+	if cfg.ICache != nil {
+		if e.icache, err = cache.New(*cfg.ICache); err != nil {
+			return err
+		}
+	}
+	if cfg.DCache != nil {
+		if e.dcache, err = cache.New(*cfg.DCache); err != nil {
+			return err
+		}
+	}
+
+	e.cfg, e.prog, e.opts = cfg, p, opts
+	e.predecode(p, cfg)
+
+	e.cycle, e.inCycle = 0, 0
+	e.barrier, e.barrierIsBr = 0, false
+	e.lastComplete = 0
+	e.pc = p.Entry
+	e.halted = false
+	e.instrs, e.groups = 0, 0
+	e.output = e.output[:0]
+	e.stalls = StallBreakdown{}
+	return nil
+}
+
+// resetMemory provides a zeroed memory image of memWords words, zeroing only
+// the region the previous run made nonzero.
+func (e *Engine) resetMemory(memWords int) {
+	if cap(e.mem) >= memWords {
+		all := e.mem[:cap(e.mem)]
+		if e.dataLen > 0 {
+			clear(all[:e.dataLen])
+		}
+		if e.dirtyHi >= e.dirtyLo {
+			clear(all[e.dirtyLo : e.dirtyHi+1])
+		}
+		e.mem = all[:memWords]
+		return
+	}
+	e.mem = make([]int64, memWords)
+}
+
+// Run simulates the program to completion on this engine and returns a
+// freshly allocated result.
+func (e *Engine) Run(p *isa.Program, opts Options) (*Result, error) {
+	res := new(Result)
+	if err := e.RunInto(p, opts, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is the zero-allocation variant of Run: it resets the engine, runs
+// the program, and fills res in place (reusing res.Output's capacity).
+func (e *Engine) RunInto(p *isa.Program, opts Options, res *Result) error {
+	if err := e.Reset(p, opts); err != nil {
+		return err
+	}
+	maxInstrs := opts.MaxInstructions
+	if maxInstrs == 0 {
+		maxInstrs = DefaultMaxInstructions
+	}
+	// The fast path covers the common case of every ideal-machine sweep:
+	// no caches and no instrumentation callbacks. The instrumented path
+	// carries the icache/dcache model and the OnIssue/OnTrace hooks.
+	var err error
+	if e.icache == nil && e.dcache == nil && opts.OnIssue == nil && opts.OnTrace == nil {
+		err = e.runFast(maxInstrs)
+	} else {
+		err = e.runInstrumented(maxInstrs)
+	}
+	if err != nil {
+		return err
+	}
+	e.fillResult(res)
+	return nil
+}
+
+// runFast is the uninstrumented inner loop: no caches, no callbacks.
+// Timing semantics are identical to runInstrumented with both caches and
+// both hooks absent, and the inlined semantic switch matches exec case for
+// case (the differential suite pins both paths to the reference engine).
+// All hot state lives in locals for the duration of the loop and is written
+// back once at the halt exit; error exits abandon the run, so only
+// dirty-memory tracking — updated on the engine at every store — must stay
+// accurate there.
+func (e *Engine) runFast(maxInstrs int64) error {
+	width := int64(e.cfg.IssueWidth)
+	takenEnds := e.cfg.TakenBranchEndsGroup
+	redirect := int64(e.cfg.BranchRedirect)
+	dec := e.dec
+	unitFree := e.unitFree
+	mem := e.mem
+	memLen := int64(len(mem))
+	regs := &e.regs
+	ready := &e.ready
+
+	cycle, barrier := e.cycle, e.barrier
+	inCycle := int64(e.inCycle)
+	barrierIsBr := e.barrierIsBr
+	lastComplete := e.lastComplete
+	instrs, groups := e.instrs, e.groups
+	stalls := e.stalls
+	pc := e.pc
+
+	for {
+		if instrs >= maxInstrs {
+			return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+		}
+		idx := pc
+		d := &dec[idx]
+		d.execs++
+
+		// 1. Earliest slot under the in-order, width-limited discipline.
+		// Stall accounting is written max-style rather than branching on
+		// t > issue: the comparisons are data-dependent and mispredict
+		// badly, while max compiles to a conditional move (adding zero to
+		// the stall counter when there is no stall).
+		var over int64
+		if inCycle >= width {
+			over = 1
+		}
+		slot := cycle + over
+		stalls.Width += over
+		if barrier > slot {
+			if barrierIsBr {
+				stalls.Branch += barrier - slot
+			}
+			slot = barrier
+		}
+		issue := slot
+
+		// 2. Operand availability (RAW through the scoreboard). The probes
+		// are unconditional: predecode remapped absent sources to r0, whose
+		// ready slot is never written and so can never look busy.
+		m := max(issue, ready[d.src1])
+		stalls.Data += m - issue
+		issue = m
+		m = max(issue, ready[d.src2])
+		stalls.Data += m - issue
+		issue = m
+
+		// 3. Operation latency and the data-memory address.
+		lat := d.lat
+		var memAddr int64
+		if d.flags&fMem != 0 {
+			memAddr = regs[d.src1] + d.imm
+			if memAddr < 0 || memAddr >= memLen {
+				return fmt.Errorf("sim: pc %d (%s): address %d out of range", idx, &e.prog.Instrs[idx], memAddr)
+			}
+		}
+
+		// 4. Write-order (WAW).
+		if d.flags&fDst != 0 {
+			m = max(issue, ready[d.dst]-lat)
+			stalls.Write += m - issue
+			issue = m
+		}
+
+		// 5. Functional-unit availability (class conflicts).
+		best := int(d.unitOff)
+		if d.unitLen > 1 {
+			for i := best + 1; i < int(d.unitOff)+int(d.unitLen); i++ {
+				if unitFree[i] < unitFree[best] {
+					best = i
+				}
+			}
+		}
+		m = max(issue, unitFree[best])
+		stalls.Unit += m - issue
+		issue = m
+
+		// Commit the issue slot.
+		if issue > cycle {
+			cycle = issue
+			inCycle = 1
+			groups++
+		} else {
+			if inCycle == 0 {
+				groups++ // very first issue slot
+			}
+			inCycle++
+		}
+		unitFree[best] = issue + d.issueLat
+		complete := issue + lat
+		if d.flags&fDst != 0 {
+			ready[d.dst] = complete
+		}
+		lastComplete = max(lastComplete, complete)
+
+		// 6. Execute (program order, at issue) — exec's switch, inlined to
+		// spare a function call (and the spill of all the locals above)
+		// per dynamic instruction.
+		next := idx + 1
+		var taken bool
+		switch d.op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			e.setReg(d.dst, regs[d.src1]+regs[d.src2])
+		case isa.OpAddi:
+			e.setReg(d.dst, regs[d.src1]+d.imm)
+		case isa.OpSub:
+			e.setReg(d.dst, regs[d.src1]-regs[d.src2])
+		case isa.OpMul:
+			e.setReg(d.dst, regs[d.src1]*regs[d.src2])
+		case isa.OpDiv:
+			dv := regs[d.src2]
+			if dv == 0 {
+				return fmt.Errorf("sim: pc %d (%s): integer division by zero", idx, &e.prog.Instrs[idx])
+			}
+			e.setReg(d.dst, regs[d.src1]/dv)
+		case isa.OpRem:
+			dv := regs[d.src2]
+			if dv == 0 {
+				return fmt.Errorf("sim: pc %d (%s): integer remainder by zero", idx, &e.prog.Instrs[idx])
+			}
+			e.setReg(d.dst, regs[d.src1]%dv)
+		case isa.OpSlt:
+			e.setReg(d.dst, b2i(regs[d.src1] < regs[d.src2]))
+		case isa.OpSle:
+			e.setReg(d.dst, b2i(regs[d.src1] <= regs[d.src2]))
+		case isa.OpSeq:
+			e.setReg(d.dst, b2i(regs[d.src1] == regs[d.src2]))
+		case isa.OpSne:
+			e.setReg(d.dst, b2i(regs[d.src1] != regs[d.src2]))
+		case isa.OpAnd:
+			e.setReg(d.dst, regs[d.src1]&regs[d.src2])
+		case isa.OpOr:
+			e.setReg(d.dst, regs[d.src1]|regs[d.src2])
+		case isa.OpXor:
+			e.setReg(d.dst, regs[d.src1]^regs[d.src2])
+		case isa.OpAndi:
+			e.setReg(d.dst, regs[d.src1]&d.imm)
+		case isa.OpOri:
+			e.setReg(d.dst, regs[d.src1]|d.imm)
+		case isa.OpXori:
+			e.setReg(d.dst, regs[d.src1]^d.imm)
+		case isa.OpSll:
+			e.setReg(d.dst, regs[d.src1]<<(uint64(regs[d.src2])&63))
+		case isa.OpSrl:
+			e.setReg(d.dst, int64(uint64(regs[d.src1])>>(uint64(regs[d.src2])&63)))
+		case isa.OpSra:
+			e.setReg(d.dst, regs[d.src1]>>(uint64(regs[d.src2])&63))
+		case isa.OpSlli:
+			e.setReg(d.dst, regs[d.src1]<<(uint64(d.imm)&63))
+		case isa.OpSrli:
+			e.setReg(d.dst, int64(uint64(regs[d.src1])>>(uint64(d.imm)&63)))
+		case isa.OpSrai:
+			e.setReg(d.dst, regs[d.src1]>>(uint64(d.imm)&63))
+		case isa.OpLi:
+			e.setReg(d.dst, d.imm)
+		case isa.OpMov:
+			e.setReg(d.dst, regs[d.src1])
+		case isa.OpFli:
+			e.setRegF(d.dst, d.fimm)
+		case isa.OpFmov:
+			e.setReg(d.dst, regs[d.src1])
+		case isa.OpLw, isa.OpLf:
+			e.setReg(d.dst, mem[memAddr])
+		case isa.OpSw, isa.OpSf:
+			mem[memAddr] = regs[d.src2]
+			if a := int(memAddr); a < e.dirtyLo {
+				e.dirtyLo = a
+			}
+			if a := int(memAddr); a > e.dirtyHi {
+				e.dirtyHi = a
+			}
+		case isa.OpBeq:
+			if regs[d.src1] == regs[d.src2] {
+				taken, next = true, int(d.target)
+			}
+		case isa.OpBne:
+			if regs[d.src1] != regs[d.src2] {
+				taken, next = true, int(d.target)
+			}
+		case isa.OpBlt:
+			if regs[d.src1] < regs[d.src2] {
+				taken, next = true, int(d.target)
+			}
+		case isa.OpBge:
+			if regs[d.src1] >= regs[d.src2] {
+				taken, next = true, int(d.target)
+			}
+		case isa.OpBle:
+			if regs[d.src1] <= regs[d.src2] {
+				taken, next = true, int(d.target)
+			}
+		case isa.OpBgt:
+			if regs[d.src1] > regs[d.src2] {
+				taken, next = true, int(d.target)
+			}
+		case isa.OpJ:
+			taken, next = true, int(d.target)
+		case isa.OpJal:
+			e.setReg(d.dst, int64(idx+1))
+			taken, next = true, int(d.target)
+		case isa.OpJr:
+			t := int(regs[d.src1])
+			// The only computed control transfer: check here (the
+			// sentinel covers t == len(dec)-1, i.e. one past the
+			// program, with the same error).
+			if uint(t) >= uint(len(dec)) {
+				return fmt.Errorf("sim: pc %d out of range", t)
+			}
+			taken, next = true, t
+		case isa.OpFadd:
+			e.setRegF(d.dst, e.regF(d.src1)+e.regF(d.src2))
+		case isa.OpFsub:
+			e.setRegF(d.dst, e.regF(d.src1)-e.regF(d.src2))
+		case isa.OpFneg:
+			e.setRegF(d.dst, -e.regF(d.src1))
+		case isa.OpFabs:
+			e.setRegF(d.dst, math.Abs(e.regF(d.src1)))
+		case isa.OpFmul:
+			e.setRegF(d.dst, e.regF(d.src1)*e.regF(d.src2))
+		case isa.OpFdiv:
+			e.setRegF(d.dst, e.regF(d.src1)/e.regF(d.src2))
+		case isa.OpCvtif:
+			e.setRegF(d.dst, float64(regs[d.src1]))
+		case isa.OpCvtfi:
+			f := e.regF(d.src1)
+			if math.IsNaN(f) || f >= 9.3e18 || f <= -9.3e18 {
+				return fmt.Errorf("sim: pc %d (%s): float-to-int overflow (%g)", idx, &e.prog.Instrs[idx], f)
+			}
+			e.setReg(d.dst, int64(f))
+		case isa.OpFslt:
+			e.setReg(d.dst, b2i(e.regF(d.src1) < e.regF(d.src2)))
+		case isa.OpFsle:
+			e.setReg(d.dst, b2i(e.regF(d.src1) <= e.regF(d.src2)))
+		case isa.OpFseq:
+			e.setReg(d.dst, b2i(e.regF(d.src1) == e.regF(d.src2)))
+		case isa.OpFsne:
+			e.setReg(d.dst, b2i(e.regF(d.src1) != e.regF(d.src2)))
+		case isa.OpFsqrt:
+			e.setRegF(d.dst, math.Sqrt(e.regF(d.src1)))
+		case isa.OpFsin:
+			e.setRegF(d.dst, math.Sin(e.regF(d.src1)))
+		case isa.OpFcos:
+			e.setRegF(d.dst, math.Cos(e.regF(d.src1)))
+		case isa.OpFatn:
+			e.setRegF(d.dst, math.Atan(e.regF(d.src1)))
+		case isa.OpFexp:
+			e.setRegF(d.dst, math.Exp(e.regF(d.src1)))
+		case isa.OpFlog:
+			e.setRegF(d.dst, math.Log(e.regF(d.src1)))
+		case isa.OpPrinti:
+			e.output = append(e.output, isa.IntValue(regs[d.src1]))
+		case isa.OpPrintf:
+			e.output = append(e.output, isa.FloatValue(e.regF(d.src1)))
+		case isa.OpHalt:
+			instrs++
+			e.halted = true
+			e.pc = idx
+			e.cycle, e.barrier = cycle, barrier
+			e.inCycle = int(inCycle)
+			e.barrierIsBr = barrierIsBr
+			e.lastComplete = lastComplete
+			e.instrs, e.groups = instrs, groups
+			e.stalls = stalls
+			return nil
+		case opOutOfRange:
+			return fmt.Errorf("sim: pc %d out of range", idx)
+		default:
+			return fmt.Errorf("sim: pc %d: unimplemented opcode %v", idx, d.op)
+		}
+		pc = next
+		instrs++
+		if taken && takenEnds {
+			if b := issue + lat + redirect; b > barrier {
+				barrier = b
+				barrierIsBr = true
+			}
+		}
+	}
+}
+
+// runInstrumented is the slow path: the same discipline as runFast plus
+// instruction/data cache modeling and the OnIssue/OnTrace callbacks. It is
+// selected once at RunInto, never per instruction.
+func (e *Engine) runInstrumented(maxInstrs int64) error {
+	width := int64(e.cfg.IssueWidth)
+	takenEnds := e.cfg.TakenBranchEndsGroup
+	redirect := int64(e.cfg.BranchRedirect)
+	onIssue, onTrace := e.opts.OnIssue, e.opts.OnTrace
+	dec := e.dec[:len(e.dec)-1] // drop the fast path's sentinel entry
+	memLen := int64(len(e.mem))
+	for !e.halted {
+		if e.pc < 0 || e.pc >= len(dec) {
+			return fmt.Errorf("sim: pc %d out of range", e.pc)
+		}
+		if e.instrs >= maxInstrs {
+			return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+		}
+		idx := e.pc
+		d := &dec[idx]
+		d.execs++
+
+		// 1. Earliest slot under the in-order, width-limited discipline.
+		slot := e.cycle
+		if int64(e.inCycle) >= width {
+			slot = e.cycle + 1
+			e.stalls.Width++
+		}
+		if e.barrier > slot {
+			if e.barrierIsBr {
+				e.stalls.Branch += e.barrier - slot
+			}
+			slot = e.barrier
+		}
+
+		// 2. Instruction fetch.
+		if e.icache != nil {
+			if !e.icache.Access(int64(idx)) {
+				pen := int64(e.icache.MissPenalty())
+				e.stalls.ICache += pen
+				slot += pen
+			}
+		}
+		issue := slot
+
+		// 3. Operand availability (RAW through the scoreboard).
+		if d.flags&fSrc1 != 0 {
+			if t := e.ready[d.src1]; t > issue {
+				e.stalls.Data += t - issue
+				issue = t
+			}
+		}
+		if d.flags&fSrc2 != 0 {
+			if t := e.ready[d.src2]; t > issue {
+				e.stalls.Data += t - issue
+				issue = t
+			}
+		}
+
+		// 4. Operation latency, including data-cache effects on loads.
+		lat := d.lat
+		var memAddr int64
+		if d.flags&fMem != 0 {
+			memAddr = e.regs[d.src1] + d.imm
+			if memAddr < 0 || memAddr >= memLen {
+				return fmt.Errorf("sim: pc %d (%s): address %d out of range", idx, &e.prog.Instrs[idx], memAddr)
+			}
+		}
+		var storeMissPenalty int64
+		if e.dcache != nil && d.flags&(fLoad|fStore) != 0 {
+			addr := memAddr
+			if d.flags&fPrint != 0 {
+				addr = 0 // output port; treat as uncached hit
+			} else if !e.dcache.Access(addr) {
+				pen := int64(e.dcache.MissPenalty())
+				if d.flags&fLoad != 0 {
+					lat += pen
+				} else {
+					storeMissPenalty = pen
+				}
+			}
+		}
+
+		// 5. Write-order (WAW).
+		if d.flags&fDst != 0 {
+			if t := e.ready[d.dst] - lat; t > issue {
+				e.stalls.Write += t - issue
+				issue = t
+			}
+		}
+
+		// 6. Functional-unit availability (class conflicts).
+		best := int(d.unitOff)
+		for i := best + 1; i < int(d.unitOff)+int(d.unitLen); i++ {
+			if e.unitFree[i] < e.unitFree[best] {
+				best = i
+			}
+		}
+		if t := e.unitFree[best]; t > issue {
+			e.stalls.Unit += t - issue
+			issue = t
+		}
+
+		// Commit the issue slot.
+		if issue > e.cycle {
+			e.cycle = issue
+			e.inCycle = 1
+			e.groups++
+		} else {
+			if e.inCycle == 0 {
+				e.groups++ // very first issue slot
+			}
+			e.inCycle++
+		}
+		e.unitFree[best] = issue + d.issueLat
+		complete := issue + lat
+		if d.flags&fDst != 0 {
+			e.ready[d.dst] = complete
+		}
+		if complete > e.lastComplete {
+			e.lastComplete = complete
+		}
+		if storeMissPenalty > 0 {
+			e.stalls.DCache += storeMissPenalty
+			if b := issue + storeMissPenalty; b > e.barrier {
+				e.barrier = b
+				e.barrierIsBr = false
+			}
+		}
+
+		// 7. Execute (program order, at issue).
+		taken, err := e.exec(idx, d, memAddr)
+		if err != nil {
+			return err
+		}
+		e.instrs++
+		if onIssue != nil {
+			onIssue(idx, &e.prog.Instrs[idx], issue, complete)
+		}
+		if onTrace != nil {
+			a := int64(-1)
+			if d.flags&fMem != 0 {
+				a = memAddr
+			}
+			onTrace(idx, &e.prog.Instrs[idx], a)
+		}
+		if taken && takenEnds {
+			// A taken branch ends its issue group, and the target may
+			// not issue until the branch's operation latency has
+			// elapsed — one base cycle on the ideal machines, so a
+			// degree-m superpipeline pays m minor cycles, which is the
+			// §4.1 startup transient at every branch target.
+			if b := issue + lat + redirect; b > e.barrier {
+				e.barrier = b
+				e.barrierIsBr = true
+			}
+		}
+	}
+	return nil
+}
+
+// setReg writes an integer-file result, honoring the hardwired zero.
+func (e *Engine) setReg(reg isa.Reg, v int64) {
+	if reg != isa.RZero {
+		e.regs[reg] = v
+	}
+}
+
+// setRegF writes a floating-point result (fp registers cannot alias r0).
+func (e *Engine) setRegF(reg isa.Reg, v float64) {
+	e.regs[reg] = int64(math.Float64bits(v))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// exec performs the semantic effect of the instruction and advances the pc.
+// It reports whether a control transfer was taken.
+func (e *Engine) exec(idx int, d *decoded, memAddr int64) (taken bool, err error) {
+	regs := &e.regs
+	next := idx + 1
+
+	switch d.op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		e.setReg(d.dst, regs[d.src1]+regs[d.src2])
+	case isa.OpAddi:
+		e.setReg(d.dst, regs[d.src1]+d.imm)
+	case isa.OpSub:
+		e.setReg(d.dst, regs[d.src1]-regs[d.src2])
+	case isa.OpMul:
+		e.setReg(d.dst, regs[d.src1]*regs[d.src2])
+	case isa.OpDiv:
+		dv := regs[d.src2]
+		if dv == 0 {
+			return false, fmt.Errorf("sim: pc %d (%s): integer division by zero", idx, &e.prog.Instrs[idx])
+		}
+		e.setReg(d.dst, regs[d.src1]/dv)
+	case isa.OpRem:
+		dv := regs[d.src2]
+		if dv == 0 {
+			return false, fmt.Errorf("sim: pc %d (%s): integer remainder by zero", idx, &e.prog.Instrs[idx])
+		}
+		e.setReg(d.dst, regs[d.src1]%dv)
+	case isa.OpSlt:
+		e.setReg(d.dst, b2i(regs[d.src1] < regs[d.src2]))
+	case isa.OpSle:
+		e.setReg(d.dst, b2i(regs[d.src1] <= regs[d.src2]))
+	case isa.OpSeq:
+		e.setReg(d.dst, b2i(regs[d.src1] == regs[d.src2]))
+	case isa.OpSne:
+		e.setReg(d.dst, b2i(regs[d.src1] != regs[d.src2]))
+	case isa.OpAnd:
+		e.setReg(d.dst, regs[d.src1]&regs[d.src2])
+	case isa.OpOr:
+		e.setReg(d.dst, regs[d.src1]|regs[d.src2])
+	case isa.OpXor:
+		e.setReg(d.dst, regs[d.src1]^regs[d.src2])
+	case isa.OpAndi:
+		e.setReg(d.dst, regs[d.src1]&d.imm)
+	case isa.OpOri:
+		e.setReg(d.dst, regs[d.src1]|d.imm)
+	case isa.OpXori:
+		e.setReg(d.dst, regs[d.src1]^d.imm)
+	case isa.OpSll:
+		e.setReg(d.dst, regs[d.src1]<<(uint64(regs[d.src2])&63))
+	case isa.OpSrl:
+		e.setReg(d.dst, int64(uint64(regs[d.src1])>>(uint64(regs[d.src2])&63)))
+	case isa.OpSra:
+		e.setReg(d.dst, regs[d.src1]>>(uint64(regs[d.src2])&63))
+	case isa.OpSlli:
+		e.setReg(d.dst, regs[d.src1]<<(uint64(d.imm)&63))
+	case isa.OpSrli:
+		e.setReg(d.dst, int64(uint64(regs[d.src1])>>(uint64(d.imm)&63)))
+	case isa.OpSrai:
+		e.setReg(d.dst, regs[d.src1]>>(uint64(d.imm)&63))
+	case isa.OpLi:
+		e.setReg(d.dst, d.imm)
+	case isa.OpMov:
+		e.setReg(d.dst, regs[d.src1])
+	case isa.OpFli:
+		e.setRegF(d.dst, d.fimm)
+	case isa.OpFmov:
+		e.setReg(d.dst, regs[d.src1])
+	case isa.OpLw, isa.OpLf:
+		e.setReg(d.dst, e.mem[memAddr])
+	case isa.OpSw, isa.OpSf:
+		e.mem[memAddr] = regs[d.src2]
+		if a := int(memAddr); a < e.dirtyLo {
+			e.dirtyLo = a
+		}
+		if a := int(memAddr); a > e.dirtyHi {
+			e.dirtyHi = a
+		}
+	case isa.OpBeq:
+		taken = regs[d.src1] == regs[d.src2]
+	case isa.OpBne:
+		taken = regs[d.src1] != regs[d.src2]
+	case isa.OpBlt:
+		taken = regs[d.src1] < regs[d.src2]
+	case isa.OpBge:
+		taken = regs[d.src1] >= regs[d.src2]
+	case isa.OpBle:
+		taken = regs[d.src1] <= regs[d.src2]
+	case isa.OpBgt:
+		taken = regs[d.src1] > regs[d.src2]
+	case isa.OpJ:
+		taken = true
+	case isa.OpJal:
+		e.setReg(d.dst, int64(idx+1))
+		taken = true
+	case isa.OpJr:
+		next = int(regs[d.src1])
+		taken = true
+	case isa.OpFadd:
+		e.setRegF(d.dst, e.regF(d.src1)+e.regF(d.src2))
+	case isa.OpFsub:
+		e.setRegF(d.dst, e.regF(d.src1)-e.regF(d.src2))
+	case isa.OpFneg:
+		e.setRegF(d.dst, -e.regF(d.src1))
+	case isa.OpFabs:
+		e.setRegF(d.dst, math.Abs(e.regF(d.src1)))
+	case isa.OpFmul:
+		e.setRegF(d.dst, e.regF(d.src1)*e.regF(d.src2))
+	case isa.OpFdiv:
+		e.setRegF(d.dst, e.regF(d.src1)/e.regF(d.src2))
+	case isa.OpCvtif:
+		e.setRegF(d.dst, float64(regs[d.src1]))
+	case isa.OpCvtfi:
+		f := e.regF(d.src1)
+		if math.IsNaN(f) || f >= 9.3e18 || f <= -9.3e18 {
+			return false, fmt.Errorf("sim: pc %d (%s): float-to-int overflow (%g)", idx, &e.prog.Instrs[idx], f)
+		}
+		e.setReg(d.dst, int64(f))
+	case isa.OpFslt:
+		e.setReg(d.dst, b2i(e.regF(d.src1) < e.regF(d.src2)))
+	case isa.OpFsle:
+		e.setReg(d.dst, b2i(e.regF(d.src1) <= e.regF(d.src2)))
+	case isa.OpFseq:
+		e.setReg(d.dst, b2i(e.regF(d.src1) == e.regF(d.src2)))
+	case isa.OpFsne:
+		e.setReg(d.dst, b2i(e.regF(d.src1) != e.regF(d.src2)))
+	case isa.OpFsqrt:
+		e.setRegF(d.dst, math.Sqrt(e.regF(d.src1)))
+	case isa.OpFsin:
+		e.setRegF(d.dst, math.Sin(e.regF(d.src1)))
+	case isa.OpFcos:
+		e.setRegF(d.dst, math.Cos(e.regF(d.src1)))
+	case isa.OpFatn:
+		e.setRegF(d.dst, math.Atan(e.regF(d.src1)))
+	case isa.OpFexp:
+		e.setRegF(d.dst, math.Exp(e.regF(d.src1)))
+	case isa.OpFlog:
+		e.setRegF(d.dst, math.Log(e.regF(d.src1)))
+	case isa.OpPrinti:
+		e.output = append(e.output, isa.IntValue(regs[d.src1]))
+	case isa.OpPrintf:
+		e.output = append(e.output, isa.FloatValue(e.regF(d.src1)))
+	case isa.OpHalt:
+		e.halted = true
+		return false, nil
+	default:
+		return false, fmt.Errorf("sim: pc %d: unimplemented opcode %v", idx, d.op)
+	}
+
+	if taken && d.op != isa.OpJr {
+		next = int(d.target)
+	}
+	e.pc = next
+	return taken, nil
+}
+
+// regF reads a register as a float64.
+func (e *Engine) regF(reg isa.Reg) float64 {
+	return math.Float64frombits(uint64(e.regs[reg]))
+}
+
+// fillResult writes the run's result into res, reusing res.Output.
+func (e *Engine) fillResult(res *Result) {
+	res.Machine = e.cfg.Name
+	res.Instructions = e.instrs
+	res.IssueGroups = e.groups
+	res.MinorCycles = e.lastComplete
+	res.BaseCycles = e.cfg.BaseCycles(e.lastComplete)
+	res.ClassCounts = [isa.NumClasses]int64{}
+	for i := range e.dec {
+		res.ClassCounts[e.dec[i].class] += e.dec[i].execs
+	}
+	res.Output = append(res.Output[:0], e.output...)
+	res.Stalls = e.stalls
+	res.ICacheStats, res.DCacheStats = nil, nil
+	if e.icache != nil {
+		st := e.icache.Stats()
+		res.ICacheStats = &st
+	}
+	if e.dcache != nil {
+		st := e.dcache.Stats()
+		res.DCacheStats = &st
+	}
+}

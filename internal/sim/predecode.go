@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// dflags are per-instruction facts the inner loop would otherwise re-derive
+// from isa.OpInfo on every dynamic instruction.
+type dflags uint8
+
+const (
+	// fSrc1 and fSrc2 mark register sources read through the scoreboard.
+	fSrc1 dflags = 1 << iota
+	fSrc2
+	// fDst marks a scoreboarded destination (HasDst, not r0).
+	fDst
+	// fMem marks instructions that compute a data-memory address
+	// (loads and real stores; prints ship through the output port).
+	fMem
+	// fLoad and fStore mirror OpInfo.Load / OpInfo.Store.
+	fLoad
+	fStore
+	// fPrint marks printi/printf, whose data-cache access is the
+	// uncached output port.
+	fPrint
+)
+
+// decoded is one predecoded instruction: everything the timing loop needs,
+// flattened so the hot path touches a single cache line per instruction and
+// never calls Op.Info(), Op.Class(), or the class→unit map. The layout is
+// built once per Reset from the program and the machine description, in the
+// spirit of Shade-style predecoded translation caching.
+type decoded struct {
+	op    isa.Opcode
+	class uint8
+	flags dflags
+	dst   isa.Reg // raw destination (may be r0; fDst already excludes it)
+	src1  isa.Reg
+	src2  isa.Reg
+
+	unitOff  int32 // offset of the unit's copies in engine.unitFree
+	unitLen  int32 // number of copies (multiplicity)
+	target   int32 // resolved branch/jump target
+	issueLat int64 // unit issue latency, minor cycles
+	lat      int64 // base operation latency, minor cycles
+	imm      int64
+	fimm     float64
+	// execs counts dynamic executions of this instruction. Bumping it
+	// here — on the cache line the loop just loaded — replaces a per-
+	// instruction store into a separate class-count table; the result's
+	// ClassCounts is folded from these at the end of the run. It also
+	// pads decoded to exactly 64 bytes, one cache line per instruction.
+	execs int64
+}
+
+// opOutOfRange is the opcode of the sentinel decoded entry appended after
+// the last real instruction. A validated program can only leave [0, n) by
+// falling off the end (pc == n, which lands on the sentinel and reports the
+// out-of-range error from inside the fast loop's switch) or through jr
+// (whose computed target is range-checked in its case) — so the fast loop
+// needs no per-instruction pc bounds check. The value extends the opcode
+// jump table by one slot, keeping it dense.
+const opOutOfRange = isa.Opcode(isa.NumOpcodes)
+
+// predecode translates the program against the machine description into
+// e.dec (plus the trailing sentinel), reusing the previous run's backing
+// array when possible.
+func (e *Engine) predecode(p *isa.Program, cfg *machine.Config) {
+	// Per-class unit facts, derived once (the seed engine derived the
+	// class→unit mapping per engine but still chased OpInfo per dynamic
+	// instruction).
+	var classOff, classLen [isa.NumClasses]int32
+	var classIssueLat [isa.NumClasses]int64
+	off := int32(0)
+	for _, u := range cfg.Units {
+		for _, cl := range u.Classes {
+			classOff[cl] = off
+			classLen[cl] = int32(u.Multiplicity)
+			classIssueLat[cl] = int64(u.IssueLatency)
+		}
+		off += int32(u.Multiplicity)
+	}
+
+	n := len(p.Instrs)
+	if cap(e.dec) >= n+1 {
+		e.dec = e.dec[:n+1]
+	} else {
+		e.dec = make([]decoded, n+1)
+	}
+	// The sentinel issues harmlessly (no operands, no memory, unit 0) and
+	// then errors from the semantic switch; the run is abandoned anyway.
+	e.dec[n] = decoded{op: opOutOfRange, unitLen: 1, issueLat: 1, lat: 1}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		info := in.Op.Info()
+		cl := in.Op.Class()
+		var f dflags
+		if info.NSrc >= 1 && in.Src1 != isa.NoReg {
+			f |= fSrc1
+		}
+		if info.NSrc >= 2 && in.Src2 != isa.NoReg {
+			f |= fSrc2
+		}
+		if info.HasDst && in.Dst != isa.NoReg && in.Dst != isa.RZero {
+			f |= fDst
+		}
+		// Unused source operands are remapped to r0 so the inner loop can
+		// probe the scoreboard unconditionally: fDst never covers r0, so
+		// ready[r0] is always zero and can never look busy. Instructions
+		// without fSrc1/fSrc2 never read the operand semantically either.
+		s1, s2 := in.Src1, in.Src2
+		if f&fSrc1 == 0 {
+			s1 = isa.RZero
+		}
+		if f&fSrc2 == 0 {
+			s2 = isa.RZero
+		}
+		isPrint := in.Op == isa.OpPrinti || in.Op == isa.OpPrintf
+		if isPrint {
+			f |= fPrint
+		}
+		if info.Load {
+			f |= fLoad
+		}
+		if info.Store {
+			f |= fStore
+		}
+		if info.Load || (info.Store && !isPrint) {
+			f |= fMem
+		}
+		e.dec[i] = decoded{
+			op:       in.Op,
+			class:    uint8(cl),
+			flags:    f,
+			dst:      in.Dst,
+			src1:     s1,
+			src2:     s2,
+			unitOff:  classOff[cl],
+			unitLen:  classLen[cl],
+			target:   int32(in.Target),
+			issueLat: classIssueLat[cl],
+			lat:      int64(cfg.Latency[cl]),
+			imm:      in.Imm,
+			fimm:     in.FImm,
+		}
+	}
+}

@@ -74,3 +74,22 @@ func BenchmarkSimulatorWithCaches(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSimulatorEngineReuse drives a dedicated Engine through RunInto
+// with a reused Result — the zero-allocation steady state a long measurement
+// sweep reaches once the pool is warm.
+func BenchmarkSimulatorEngineReuse(b *testing.B) {
+	p := tightLoop(600_000)
+	cfg := machine.Base()
+	e := NewEngine()
+	var res Result
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		if err := e.RunInto(p, Options{Machine: cfg}, &res); err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
