@@ -2,9 +2,9 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz-smoke lint bench bench-smoke
+.PHONY: check fmt vet build test race race-concurrency fuzz-smoke lint bench bench-smoke
 
-check: fmt vet build race fuzz-smoke bench-smoke
+check: fmt vet build race race-concurrency fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -21,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The concurrency-heavy packages — the runner's singleflight/cancellation
+# fan-out and the simulator's polled timing loops — always re-run under the
+# race detector, bypassing the test cache.
+race-concurrency:
+	$(GO) test -race -count=1 ./internal/experiments/ ./internal/sim/
 
 # A quick pass of the randomized differential harness (with the static
 # verifier enabled in-pipeline) as a smoke test; the full 60-seed run is

@@ -6,6 +6,7 @@
 package ilp_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -164,7 +165,7 @@ func BenchmarkExtTraceLimits(b *testing.B) {
 func BenchmarkRunAllQuick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(quickCfg())
-		if err := r.RunAll(io.Discard); err != nil {
+		if err := r.RunAll(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,16 +2,24 @@
 //
 // Usage:
 //
-//	ilpbench [-degree N] [-benchmarks a,b,c] [-workers N] [experiment ...]
+//	ilpbench [-degree N] [-benchmarks a,b,c] [-workers N] [-timeout D] [experiment ...]
 //
 // With no experiment arguments it runs everything in paper order. Use
 // -list to see the available experiment ids.
+//
+// The run is cancellable: Ctrl-C (SIGINT) or an elapsed -timeout cancels
+// in-flight and queued simulations gracefully — experiments already printed
+// stay valid partial output, and -stats still reports the cache counters
+// for the work that did happen. A second Ctrl-C kills the process
+// immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -19,9 +27,14 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	degree := flag.Int("degree", 8, "maximum superscalar/superpipelining degree to sweep")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 	workers := flag.Int("workers", 0, "concurrent simulations (default: GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this long, e.g. 30s (0 = no limit)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	stats := flag.Bool("stats", false, "print compile/sim cache statistics after the run")
 	flag.Parse()
@@ -30,7 +43,18 @@ func main() {
 		for _, e := range experiments.Experiments() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Once cancellation starts (first Ctrl-C or timeout), restore default
+	// signal handling so a second Ctrl-C terminates immediately.
+	context.AfterFunc(ctx, stop)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := experiments.Config{MaxDegree: *degree, Workers: *workers}
@@ -39,23 +63,17 @@ func main() {
 	}
 	runner := experiments.NewRunner(cfg)
 
-	ids := flag.Args()
-	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
-		for _, e := range experiments.Experiments() {
-			ids = append(ids[:0:0], append(ids, e.ID)...)
-		}
-		ids = nil
-		for _, e := range experiments.Experiments() {
-			ids = append(ids, e.ID)
-		}
-	}
-
-	for _, id := range ids {
+	exit := 0
+	for _, id := range expandIDs(flag.Args()) {
 		start := time.Now()
-		res, err := runner.Run(id)
+		res, err := runner.RunCtx(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ilpbench: %s: %v\n", id, err)
-			os.Exit(1)
+			exit = 1
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "ilpbench: run cancelled; results above are complete, the rest were skipped")
+			}
+			break
 		}
 		fmt.Printf("==== %s: %s ====  (%.1fs)\n\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
 	}
@@ -65,4 +83,19 @@ func main() {
 		fmt.Printf("cache stats: %d compiles (%d hits), %d simulations (%d hits)\n",
 			st.Compiles, st.CompileHits, st.Sims, st.SimHits)
 	}
+	return exit
+}
+
+// expandIDs resolves the experiment arguments: no arguments (or the single
+// word "all") means every registered experiment in the paper's order.
+func expandIDs(args []string) []string {
+	if len(args) > 0 && !(len(args) == 1 && args[0] == "all") {
+		return args
+	}
+	all := experiments.Experiments()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
 }

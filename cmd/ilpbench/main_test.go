@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"ilp/internal/experiments"
+)
+
+// TestExpandIDsDefault: no arguments and the single word "all" both expand
+// to every registered experiment in the paper's canonical order.
+func TestExpandIDsDefault(t *testing.T) {
+	want := experiments.Experiments()
+	for _, args := range [][]string{nil, {}, {"all"}} {
+		ids := expandIDs(args)
+		if len(ids) != len(want) {
+			t.Fatalf("expandIDs(%v) returned %d ids, want %d", args, len(ids), len(want))
+		}
+		for i, e := range want {
+			if ids[i] != e.ID {
+				t.Fatalf("expandIDs(%v)[%d] = %s, want %s (canonical order)", args, i, ids[i], e.ID)
+			}
+		}
+	}
+	if len(want) > 1 && (expandIDs(nil)[0] != "fig2") {
+		t.Fatalf("canonical order must start at fig2, got %s", expandIDs(nil)[0])
+	}
+}
+
+// TestExpandIDsExplicit: explicit experiment arguments pass through
+// untouched, including an "all" that is not alone.
+func TestExpandIDsExplicit(t *testing.T) {
+	got := expandIDs([]string{"tab5-1", "fig2"})
+	if len(got) != 2 || got[0] != "tab5-1" || got[1] != "fig2" {
+		t.Fatalf("explicit ids rewritten: %v", got)
+	}
+	got = expandIDs([]string{"all", "fig2"})
+	if len(got) != 2 || got[0] != "all" {
+		t.Fatalf(`"all" among other args must pass through: %v`, got)
+	}
+}

@@ -1,0 +1,86 @@
+package ilp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ilp"
+)
+
+// A program with an infinite loop, for cancellation tests.
+const endless = `
+var x: int;
+func main() {
+	x = 1;
+	while x > 0 { x = x + 1; x = x - 1; }
+	print(x);
+}
+`
+
+// TestCompileErrorStructured: a source error surfaces as *CompileError
+// carrying the machine coordinates, matchable with errors.As.
+func TestCompileErrorStructured(t *testing.T) {
+	m := ilp.Superscalar(4)
+	_, err := ilp.Compile("func main() { this is not TL; }", m, ilp.Options{})
+	if err == nil {
+		t.Fatal("invalid source compiled")
+	}
+	var ce *ilp.CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *ilp.CompileError, got %T: %v", err, err)
+	}
+	if ce.Machine != m.Name || ce.Fingerprint == "" || ce.Phase != "compile" {
+		t.Fatalf("CompileError missing coordinates: %+v", ce)
+	}
+}
+
+// TestRunBenchmarkErrorCarriesBenchmark: RunBenchmark stamps the benchmark
+// name onto structured errors built below where the name was known.
+func TestRunBenchmarkErrorCarriesBenchmark(t *testing.T) {
+	m := ilp.BaseMachine()
+	m.IssueWidth = -1 // invalid machine: compilation must fail
+	_, err := ilp.RunBenchmark("whet", m, ilp.Options{})
+	if err == nil {
+		t.Skip("invalid machine was accepted; nothing to assert")
+	}
+	var ce *ilp.CompileError
+	if errors.As(err, &ce) && ce.Benchmark != "whet" {
+		t.Fatalf("CompileError not stamped with benchmark: %+v", ce)
+	}
+}
+
+// TestRunCtxCancellable: Program.RunCtx abandons an endless simulation when
+// the context is cancelled, returning the context's error unwrapped.
+func TestRunCtxCancellable(t *testing.T) {
+	p, err := ilp.Compile(endless, ilp.BaseMachine(), ilp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := p.RunCtx(ctx)
+	if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got res=%v err=%v", res, err)
+	}
+	var se *ilp.SimError
+	if errors.As(err, &se) {
+		t.Fatalf("cancellation must not be wrapped as a SimError: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+// TestRunBenchmarkCtxPreCancelled: a done context stops RunBenchmarkCtx
+// before any simulation work.
+func TestRunBenchmarkCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ilp.RunBenchmarkCtx(ctx, "whet", ilp.BaseMachine(), ilp.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -17,10 +17,13 @@
 package ilp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"ilp/internal/benchmarks"
 	"ilp/internal/compiler"
+	"ilp/internal/ilperr"
 	"ilp/internal/isa"
 	"ilp/internal/lang/interp"
 	"ilp/internal/lang/parser"
@@ -30,6 +33,26 @@ import (
 	"ilp/internal/sim"
 	"ilp/internal/trace"
 )
+
+// Structured errors. Compilation and simulation failures carry the
+// benchmark, machine name, machine fingerprint, and pipeline phase, so
+// embedding callers can dispatch on the failure's coordinate:
+//
+//	var ce *ilp.CompileError
+//	if errors.As(err, &ce) { log.Printf("%s broke on %s", ce.Benchmark, ce.Machine) }
+//
+// The same types flow out of the experiment harness (internal/experiments)
+// and the CLIs.
+type (
+	// CompileError reports a failed (or panicked) compilation.
+	CompileError = ilperr.CompileError
+	// SimError reports a failed (or panicked) simulation.
+	SimError = ilperr.SimError
+)
+
+// ErrPanic marks errors recovered from a panicking measurement worker;
+// match with errors.Is.
+var ErrPanic = ilperr.ErrPanic
 
 // Machine is a machine description in the paper's §3 sense: issue width,
 // superpipelining degree, per-class operation latencies, functional units,
@@ -130,7 +153,8 @@ type Program struct {
 	machine  *Machine
 }
 
-// Compile compiles TL source text for the machine.
+// Compile compiles TL source text for the machine. Failures are reported
+// as a *CompileError naming the machine and its schedule fingerprint.
 func Compile(source string, m *Machine, opts Options) (*Program, error) {
 	if m == nil {
 		m = machine.Base()
@@ -144,7 +168,10 @@ func Compile(source string, m *Machine, opts Options) (*Program, error) {
 		Verify:     opts.Verify,
 	})
 	if err != nil {
-		return nil, err
+		return nil, &CompileError{
+			Machine: m.Name, Fingerprint: m.ScheduleFingerprint(),
+			Phase: ilperr.PhaseCompile, Err: err,
+		}
 	}
 	return &Program{compiled: c, machine: m}, nil
 }
@@ -155,9 +182,27 @@ func (p *Program) Disassemble() string { return p.compiled.Prog.Disassemble() }
 // StaticInstructions is the program's static instruction count.
 func (p *Program) StaticInstructions() int { return len(p.compiled.Prog.Instrs) }
 
-// Run simulates the compiled program on its machine.
+// Run simulates the compiled program on its machine. Failures are reported
+// as a *SimError naming the machine and its canonical fingerprint.
 func (p *Program) Run() (*Result, error) {
-	return sim.Run(p.compiled.Prog, sim.Options{Machine: p.machine})
+	return p.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cancellation: the simulator's timing loop polls ctx
+// and abandons the run with the context's cause error once ctx is done,
+// so a long simulation embedded in a service can be bounded or aborted.
+func (p *Program) RunCtx(ctx context.Context) (*Result, error) {
+	res, err := sim.RunCtx(ctx, p.compiled.Prog, sim.Options{Machine: p.machine})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err // cancellation, not a simulator fault
+		}
+		return nil, &SimError{
+			Machine: p.machine.Name, Fingerprint: p.machine.Fingerprint(),
+			Phase: ilperr.PhaseSimulate, Err: err,
+		}
+	}
+	return res, nil
 }
 
 // Interpret runs the program's source semantics through the reference
@@ -188,6 +233,12 @@ func BenchmarkSource(name string) (string, error) {
 
 // RunBenchmark compiles and simulates one suite benchmark on the machine.
 func RunBenchmark(name string, m *Machine, opts Options) (*Result, error) {
+	return RunBenchmarkCtx(context.Background(), name, m, opts)
+}
+
+// RunBenchmarkCtx is RunBenchmark with cancellation. Structured errors
+// (CompileError/SimError) carry the benchmark name.
+func RunBenchmarkCtx(ctx context.Context, name string, m *Machine, opts Options) (*Result, error) {
 	b, err := benchmarks.ByName(name)
 	if err != nil {
 		return nil, err
@@ -197,9 +248,27 @@ func RunBenchmark(name string, m *Machine, opts Options) (*Result, error) {
 	}
 	p, err := Compile(b.Source, m, opts)
 	if err != nil {
-		return nil, err
+		return nil, withBenchmark(err, name)
 	}
-	return p.Run()
+	res, err := p.RunCtx(ctx)
+	if err != nil {
+		return nil, withBenchmark(err, name)
+	}
+	return res, nil
+}
+
+// withBenchmark stamps the benchmark name onto a structured error built
+// below the point where the name was known.
+func withBenchmark(err error, name string) error {
+	var ce *CompileError
+	if errors.As(err, &ce) && ce.Benchmark == "" {
+		ce.Benchmark = name
+	}
+	var se *SimError
+	if errors.As(err, &se) && se.Benchmark == "" {
+		se.Benchmark = name
+	}
+	return err
 }
 
 // Parallelism measures the available instruction-level parallelism of a

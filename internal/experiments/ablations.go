@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -23,7 +25,7 @@ func init() {
 
 // runAblBranch quantifies §4.1's startup-transient argument by letting a
 // superscalar machine issue through taken branches.
-func runAblBranch(r *Runner) (*Result, error) {
+func runAblBranch(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -37,15 +39,15 @@ func runAblBranch(r *Runner) (*Result, error) {
 	var with, without []float64
 	t := &table{header: []string{"benchmark", "parallelism (group breaks)", "parallelism (issue through branches)"}}
 	for _, b := range suite {
-		rb, err := r.Measure(b.Name, defaultOpts(b), machine.Base())
+		rb, err := r.MeasureCtx(ctx, b.Name, defaultOpts(b), machine.Base())
 		if err != nil {
 			return nil, err
 		}
-		rn, err := r.Measure(b.Name, defaultOpts(b), normal)
+		rn, err := r.MeasureCtx(ctx, b.Name, defaultOpts(b), normal)
 		if err != nil {
 			return nil, err
 		}
-		rt, err := r.Measure(b.Name, defaultOpts(b), through)
+		rt, err := r.MeasureCtx(ctx, b.Name, defaultOpts(b), through)
 		if err != nil {
 			return nil, err
 		}
@@ -71,7 +73,7 @@ func runAblBranch(r *Runner) (*Result, error) {
 // runAblTemps reruns the careful-unrolling measurement with the paper's 16
 // temporaries instead of 40: "we have only forty temporary registers
 // available, which limits the amount of parallelism we can exploit."
-func runAblTemps(r *Runner) (*Result, error) {
+func runAblTemps(ctx context.Context, r *Runner) (*Result, error) {
 	factors := []int{1, 4, 10}
 	t := &table{header: []string{"config", "x1", "x4", "x10"}}
 	var series []metrics.Series
@@ -86,11 +88,11 @@ func runAblTemps(r *Runner) (*Result, error) {
 				m.IntHomes, m.FPHomes = 10, 10
 			}
 			copts := compiler.Options{Level: compiler.O4, Unroll: k, Careful: true}
-			rb, err := r.Measure("linpack", copts, base)
+			rb, err := r.MeasureCtx(ctx, "linpack", copts, base)
 			if err != nil {
 				return nil, err
 			}
-			rw, err := r.Measure("linpack", copts, wide)
+			rw, err := r.MeasureCtx(ctx, "linpack", copts, wide)
 			if err != nil {
 				return nil, err
 			}
@@ -111,7 +113,7 @@ func runAblTemps(r *Runner) (*Result, error) {
 
 // runAblSched isolates the scheduler at full optimization: O4 with and
 // without the final scheduling pass.
-func runAblSched(r *Runner) (*Result, error) {
+func runAblSched(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -123,19 +125,19 @@ func runAblSched(r *Runner) (*Result, error) {
 		on := defaultOpts(b)
 		off := defaultOpts(b)
 		off.NoSchedule = true
-		pb, err := r.Measure(b.Name, off, machine.Base())
+		pb, err := r.MeasureCtx(ctx, b.Name, off, machine.Base())
 		if err != nil {
 			return nil, err
 		}
-		pw, err := r.Measure(b.Name, off, wide)
+		pw, err := r.MeasureCtx(ctx, b.Name, off, wide)
 		if err != nil {
 			return nil, err
 		}
-		sb, err := r.Measure(b.Name, on, machine.Base())
+		sb, err := r.MeasureCtx(ctx, b.Name, on, machine.Base())
 		if err != nil {
 			return nil, err
 		}
-		sw, err := r.Measure(b.Name, on, wide)
+		sw, err := r.MeasureCtx(ctx, b.Name, on, wide)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +156,7 @@ func runAblSched(r *Runner) (*Result, error) {
 
 // runAblMemdep turns on careful memory disambiguation without unrolling,
 // separating the scheduler-analysis effect from the unrolling effect.
-func runAblMemdep(r *Runner) (*Result, error) {
+func runAblMemdep(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -166,19 +168,19 @@ func runAblMemdep(r *Runner) (*Result, error) {
 		cons := defaultOpts(b)
 		care := defaultOpts(b)
 		care.Careful = true
-		cb, err := r.Measure(b.Name, cons, machine.Base())
+		cb, err := r.MeasureCtx(ctx, b.Name, cons, machine.Base())
 		if err != nil {
 			return nil, err
 		}
-		cw, err := r.Measure(b.Name, cons, wide)
+		cw, err := r.MeasureCtx(ctx, b.Name, cons, wide)
 		if err != nil {
 			return nil, err
 		}
-		kb, err := r.Measure(b.Name, care, machine.Base())
+		kb, err := r.MeasureCtx(ctx, b.Name, care, machine.Base())
 		if err != nil {
 			return nil, err
 		}
-		kw, err := r.Measure(b.Name, care, wide)
+		kw, err := r.MeasureCtx(ctx, b.Name, care, wide)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,347 @@
+// cancel_test.go exercises the runner's concurrency contract: first error
+// cancels the sweep, cancellation does not leak goroutines or poison the
+// caches, panics surface as structured errors, and distinct root causes are
+// all reported. Run with -race (make check does).
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+)
+
+// hookTimeout bounds "block until cancelled" hooks so a broken cancellation
+// path fails the test instead of hanging the suite. Assertions on prompt
+// return use promptBound, far below it.
+const (
+	hookTimeout = 30 * time.Second
+	promptBound = 10 * time.Second
+)
+
+// blockUntilDone parks a hook until the sweep context is cancelled and
+// returns the recorded cause by identity (the contract cancelled jobs obey).
+func blockUntilDone(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-time.After(hookTimeout):
+		return errors.New("hook was never cancelled")
+	}
+}
+
+// sweepJobs builds one job per machine degree so every job has a distinct
+// sim-cache key but the whole sweep shares one compilation.
+func sweepJobs(bench string, n int) []job {
+	jobs := make([]job, n)
+	for i := range jobs {
+		jobs[i] = job{bench: bench, copts: compiler.Options{Level: compiler.O4}, m: machine.IdealSuperscalar(i + 1)}
+	}
+	return jobs
+}
+
+// checkNoGoroutineLeak polls until the goroutine count returns to (near) the
+// recorded baseline; the runner must not strand workers after cancellation.
+func checkNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := 0
+	for time.Now().Before(deadline) {
+		if n = runtime.NumGoroutine(); n <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after cancellation: %d live, baseline %d", n, base)
+}
+
+// TestMeasureManyFirstErrorCancelsSiblings: one job fails, every blocked
+// sibling is cancelled, the sweep returns promptly with the injected error
+// as the root cause, and no goroutines are stranded.
+func TestMeasureManyFirstErrorCancelsSiblings(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := NewRunner(Config{Workers: 8})
+	boom := errors.New("injected simulation fault")
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		if m.IssueWidth == 3 {
+			return boom
+		}
+		return blockUntilDone(ctx)
+	}
+
+	start := time.Now()
+	res, err := r.measureMany(context.Background(), sweepJobs("whet", 6))
+	elapsed := time.Since(start)
+
+	if res != nil || err == nil {
+		t.Fatalf("failed sweep returned res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("sweep error does not wrap the injected fault: %v", err)
+	}
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SimError, got %T: %v", err, err)
+	}
+	if se.Benchmark != "whet" || se.Machine == "" {
+		t.Fatalf("SimError missing coordinates: %+v", se)
+	}
+	// One distinct cause: siblings must have collapsed into it, not joined.
+	if n := strings.Count(err.Error(), "injected simulation fault"); n != 1 {
+		t.Fatalf("root cause reported %d times, want 1:\n%v", n, err)
+	}
+	if elapsed > promptBound {
+		t.Fatalf("sweep took %v to cancel; siblings did not observe the failure", elapsed)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// TestMeasureManyParentCancellation: cancelling the caller's context stops a
+// sweep whose jobs are all mid-flight, well before the hooks' own timeout.
+func TestMeasureManyParentCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := NewRunner(Config{Workers: 8})
+	entered := make(chan struct{}, 16)
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		entered <- struct{}{}
+		return blockUntilDone(ctx)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := r.measureMany(ctx, sweepJobs("whet", 4))
+		done <- err
+	}()
+	<-entered // at least one job is inside the pipeline
+	cancel()
+
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(promptBound):
+		t.Fatal("measureMany did not return after parent cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > promptBound {
+		t.Fatalf("cancellation took %v", d)
+	}
+	checkNoGoroutineLeak(t, base)
+}
+
+// TestMeasureManyPanicIsolation: a panicking worker surfaces as a *SimError
+// matching ErrPanic (process survives), and cancels its siblings.
+func TestMeasureManyPanicIsolation(t *testing.T) {
+	r := NewRunner(Config{Workers: 8})
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		if m.IssueWidth == 2 {
+			panic("simulated worker crash")
+		}
+		return blockUntilDone(ctx)
+	}
+	_, err := r.measureMany(context.Background(), sweepJobs("whet", 4))
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("want ErrPanic in chain, got %v", err)
+	}
+	var se *SimError
+	if !errors.As(err, &se) || se.Phase != "simulate" {
+		t.Fatalf("panic not wrapped as simulate-phase SimError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "simulated worker crash") {
+		t.Fatalf("panic value lost: %v", err)
+	}
+}
+
+// TestCompilePanicIsolation: a panic in the compile phase surfaces as a
+// *CompileError matching ErrPanic, carrying the schedule fingerprint.
+func TestCompilePanicIsolation(t *testing.T) {
+	r := NewRunner(Config{Workers: 2})
+	r.compileHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		panic("simulated compiler crash")
+	}
+	_, err := r.MeasureCtx(context.Background(), "whet", compiler.Options{Level: compiler.O4}, machine.Base())
+	var ce *CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CompileError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("CompileError does not match ErrPanic: %v", err)
+	}
+	if ce.Benchmark != "whet" || ce.Fingerprint == "" {
+		t.Fatalf("CompileError missing coordinates: %+v", ce)
+	}
+}
+
+// TestMeasureManyJoinsDistinctCauses: two genuine failures that race in
+// before cancellation lands are both reported, once each.
+func TestMeasureManyJoinsDistinctCauses(t *testing.T) {
+	r := NewRunner(Config{Workers: 8})
+	errA := errors.New("fault in degree-1 job")
+	errB := errors.New("fault in degree-2 job")
+	var barrier sync.WaitGroup
+	barrier.Add(2) // both jobs commit to failing before either cancels
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		barrier.Done()
+		barrier.Wait()
+		if m.IssueWidth == 1 {
+			return errA
+		}
+		return errB
+	}
+	_, err := r.measureMany(context.Background(), sweepJobs("whet", 2))
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error missing a distinct cause: %v", err)
+	}
+	for _, want := range []string{"degree-1", "degree-2"} {
+		if n := strings.Count(err.Error(), want); n != 1 {
+			t.Fatalf("cause %q reported %d times, want 1:\n%v", want, n, err)
+		}
+	}
+}
+
+// TestSingleflightWaiterObservesCancellation: a waiter joined onto a blocked
+// leader's cache entry returns the cancellation error instead of hanging,
+// the cancelled entry is evicted, and a later request with a live context
+// redoes (and completes) the work.
+func TestSingleflightWaiterObservesCancellation(t *testing.T) {
+	r := NewRunner(Config{Workers: 4})
+	leaderIn := make(chan struct{})
+	var once sync.Once
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		once.Do(func() { close(leaderIn) })
+		return blockUntilDone(ctx)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := compiler.Options{Level: compiler.O4}
+	m := machine.IdealSuperscalar(2)
+
+	errc := make(chan error, 2)
+	go func() { _, err := r.MeasureCtx(ctx, "whet", opts, m); errc <- err }()
+	<-leaderIn // leader owns the entry and is blocked in the hook
+	go func() { _, err := r.MeasureCtx(ctx, "whet", opts, m); errc <- err }()
+	time.Sleep(20 * time.Millisecond) // let the waiter join the entry
+	cancel()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("call %d: want context.Canceled, got %v", i, err)
+			}
+		case <-time.After(promptBound):
+			t.Fatalf("call %d never returned after cancellation", i)
+		}
+	}
+	if st := r.Stats(); st.SimHits != 1 {
+		t.Fatalf("waiter should have joined the leader's entry: %+v", st)
+	}
+
+	// The cancelled entry must be gone: a live-context retry redoes the
+	// simulation (a second cache miss) and succeeds.
+	r.measureHook = nil
+	res, err := r.MeasureCtx(context.Background(), "whet", opts, m)
+	if err != nil || res == nil {
+		t.Fatalf("retry after evicted cancellation failed: res=%v err=%v", res, err)
+	}
+	if st := r.Stats(); st.Sims != 2 {
+		t.Fatalf("retry did not redo the simulation (entry poisoned): %+v", st)
+	}
+}
+
+// TestMeasureCtxPreCancelled: a done context short-circuits before touching
+// caches or worker slots.
+func TestMeasureCtxPreCancelled(t *testing.T) {
+	r := NewRunner(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.MeasureCtx(ctx, "whet", compiler.Options{Level: compiler.O4}, machine.Base())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if st := r.Stats(); st.Sims != 0 && st.SimHits != 0 {
+		t.Fatalf("pre-cancelled call touched the cache: %+v", st)
+	}
+}
+
+// TestRunCtxPanicIsolated: a panic inside an experiment's own code (here via
+// the hook, reached through RunCtx) becomes an error, not a crash.
+func TestRunCtxPanicIsolated(t *testing.T) {
+	r := NewRunner(Config{MaxDegree: 2, Benchmarks: []string{"whet"}})
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		panic("crash inside experiment")
+	}
+	res, err := r.RunCtx(context.Background(), "fig4-1")
+	if res != nil || err == nil {
+		t.Fatalf("panicked experiment returned res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("want ErrPanic in chain, got %v", err)
+	}
+}
+
+// TestRunAllCanonicalOrder: RunAll renders experiments in the paper's
+// presentation order — fig2 (the §2 pipeline diagrams) must precede tab5-1
+// (the §5 cache study) regardless of file-init registration order.
+func TestRunAllCanonicalOrder(t *testing.T) {
+	r := NewRunner(Config{MaxDegree: 2, Benchmarks: []string{"whet"}})
+	var buf bytes.Buffer
+	if err := r.RunAll(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var banners []string
+	for _, e := range Experiments() {
+		banner := fmt.Sprintf("==== %s:", e.ID)
+		i := strings.Index(out, banner)
+		if i < 0 {
+			t.Fatalf("RunAll output missing experiment %s", e.ID)
+		}
+		banners = append(banners, banner)
+		if len(banners) > 1 {
+			prev := strings.Index(out, banners[len(banners)-2])
+			if prev > i {
+				t.Fatalf("experiment %s rendered before its predecessor %s", e.ID, banners[len(banners)-2])
+			}
+		}
+	}
+	fig2 := strings.Index(out, "==== fig2:")
+	tab51 := strings.Index(out, "==== tab5-1:")
+	if fig2 < 0 || tab51 < 0 || fig2 > tab51 {
+		t.Fatalf("fig2 (at %d) must precede tab5-1 (at %d)", fig2, tab51)
+	}
+}
+
+// TestRunAllStopsOnCancellation: RunAll under a cancelled context reports
+// the experiment that failed and leaves prior renditions intact.
+func TestRunAllStopsOnCancellation(t *testing.T) {
+	r := NewRunner(Config{MaxDegree: 2, Benchmarks: []string{"whet"}})
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	r.measureHook = func(hctx context.Context, bench string, m *machine.Config) error {
+		if ran.Add(1) > 3 {
+			cancel()
+		}
+		return nil
+	}
+	var buf bytes.Buffer
+	err := r.RunAll(ctx, &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "==== fig2:") {
+		t.Fatalf("renditions before the cancellation were lost:\n%s", buf.String())
+	}
+}

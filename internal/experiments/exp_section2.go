@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -16,7 +18,7 @@ func init() {
 	register("tab2-1", "Table 2-1: average degree of superpipelining", runTab21)
 }
 
-func runFig2(r *Runner) (*Result, error) {
+func runFig2(ctx context.Context, r *Runner) (*Result, error) {
 	var b strings.Builder
 	for _, d := range pipeviz.All() {
 		b.WriteString(d.Render())
@@ -29,7 +31,7 @@ func runFig2(r *Runner) (*Result, error) {
 // suite on the base machine and weights the Table 2-1 machine latencies by
 // it, reproducing the average degree of superpipelining (paper: MultiTitan
 // 1.7, CRAY-1 4.4 at their assumed frequencies).
-func runTab21(r *Runner) (*Result, error) {
+func runTab21(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -40,7 +42,7 @@ func runTab21(r *Runner) (*Result, error) {
 	for _, b := range suite {
 		jobs = append(jobs, job{b.Name, defaultOpts(b), base})
 	}
-	results, err := r.measureMany(jobs)
+	results, err := r.measureMany(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -20,7 +22,7 @@ func init() {
 // runFig41 sweeps ideal superscalar and superpipelined machines of degree 1
 // to MaxDegree over the whole suite and plots the harmonic-mean speedup
 // over the base machine — the supersymmetry result.
-func runFig41(r *Runner) (*Result, error) {
+func runFig41(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -47,7 +49,7 @@ func runFig41(r *Runner) (*Result, error) {
 			}{"superpipelined", deg})
 		}
 	}
-	results, err := r.measureMany(jobs)
+	results, err := r.measureMany(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +94,7 @@ func runFig41(r *Runner) (*Result, error) {
 		Series: []metrics.Series{ss, sp}}, nil
 }
 
-func runFig42(r *Runner) (*Result, error) {
+func runFig42(ctx context.Context, r *Runner) (*Result, error) {
 	d := pipeviz.Startup(3, 6)
 	text := d.Render() +
 		"\nThe superscalar machine issues the last of six independent instructions during base\n" +
@@ -103,7 +105,7 @@ func runFig42(r *Runner) (*Result, error) {
 
 // runFig43 prints the n*m grid of Figure 4-3 and marks the MultiTitan and
 // CRAY-1 on the superpipelining axis using their measured average degrees.
-func runFig43(r *Runner) (*Result, error) {
+func runFig43(ctx context.Context, r *Runner) (*Result, error) {
 	t := &table{header: []string{"cycles/op (m)", "n=1", "n=2", "n=3", "n=4", "n=5"}}
 	for m := 5; m >= 1; m-- {
 		row := []string{fmt.Sprintf("%d", m)}
@@ -125,7 +127,7 @@ func runFig43(r *Runner) (*Result, error) {
 // runFig44 reproduces the CRAY-1 study: issue multiplicity 1..MaxDegree,
 // once with all functional-unit latencies forced to one (the flawed
 // methodology the paper criticizes) and once with actual latencies.
-func runFig44(r *Runner) (*Result, error) {
+func runFig44(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -147,7 +149,7 @@ func runFig44(r *Runner) (*Result, error) {
 			}
 		}
 	}
-	results, err := r.measureMany(jobs)
+	results, err := r.measureMany(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +194,7 @@ func runFig44(r *Runner) (*Result, error) {
 
 // runFig45 sweeps issue multiplicity per benchmark on ideal superscalar
 // machines: the per-benchmark available parallelism.
-func runFig45(r *Runner) (*Result, error) {
+func runFig45(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -211,7 +213,7 @@ func runFig45(r *Runner) (*Result, error) {
 			meta = append(meta, m{b.Name, deg})
 		}
 	}
-	results, err := r.measureMany(jobs)
+	results, err := r.measureMany(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

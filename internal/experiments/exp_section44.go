@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -18,7 +20,7 @@ func init() {
 // parallelismOf measures a configuration's available parallelism: its
 // base-machine cycles divided by its ideal superscalar MaxDegree cycles,
 // both compiled for the machine they run on.
-func (r *Runner) parallelismOf(bench string, copts compiler.Options, wideTemps bool) (float64, error) {
+func (r *Runner) parallelismOf(ctx context.Context, bench string, copts compiler.Options, wideTemps bool) (float64, error) {
 	base := machine.Base()
 	wide := machine.IdealSuperscalar(r.Cfg.maxDegree())
 	if wideTemps {
@@ -27,11 +29,11 @@ func (r *Runner) parallelismOf(bench string, copts compiler.Options, wideTemps b
 		wide.IntTemps, wide.FPTemps = machine.WideTemps, machine.WideTemps
 		wide.IntHomes, wide.FPHomes = 10, 10
 	}
-	rb, err := r.Measure(bench, copts, base)
+	rb, err := r.MeasureCtx(ctx, bench, copts, base)
 	if err != nil {
 		return 0, err
 	}
-	rw, err := r.Measure(bench, copts, wide)
+	rw, err := r.MeasureCtx(ctx, bench, copts, wide)
 	if err != nil {
 		return 0, err
 	}
@@ -42,7 +44,7 @@ func (r *Runner) parallelismOf(bench string, copts compiler.Options, wideTemps b
 // carefully, and reports the available parallelism of each configuration.
 // The paper used forty temporary registers here ("we have only forty
 // temporary registers available, which limits the amount of parallelism").
-func runFig46(r *Runner) (*Result, error) {
+func runFig46(ctx context.Context, r *Runner) (*Result, error) {
 	factors := []int{1, 2, 4, 10}
 	benches := []string{"linpack", "livermore"}
 
@@ -58,7 +60,7 @@ func runFig46(r *Runner) (*Result, error) {
 			row := []string{s.Name}
 			for _, k := range factors {
 				copts := compiler.Options{Level: compiler.O4, Unroll: k, Careful: careful}
-				par, err := r.parallelismOf(bench, copts, true)
+				par, err := r.parallelismOf(ctx, bench, copts, true)
 				if err != nil {
 					return nil, err
 				}
@@ -84,7 +86,7 @@ func runFig46(r *Runner) (*Result, error) {
 // graphs of Figure 4-7 with parallelism 1.67, 1.33, and 1.50 show that
 // optimizing a side branch reduces parallelism while optimizing a
 // bottleneck increases it.
-func runFig47(r *Runner) (*Result, error) {
+func runFig47(ctx context.Context, r *Runner) (*Result, error) {
 	// Left graph: two independent 2-op branches feeding a combining op:
 	// 5 ops, critical path 3 -> 5/3.
 	left := metrics.NewExprDAG()
@@ -131,7 +133,7 @@ func runFig47(r *Runner) (*Result, error) {
 
 // runFig48 measures available parallelism at the five cumulative
 // optimization levels, per benchmark.
-func runFig48(r *Runner) (*Result, error) {
+func runFig48(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -146,7 +148,7 @@ func runFig48(r *Runner) (*Result, error) {
 		row := []string{b.Name}
 		for i, lvl := range levels {
 			copts := compiler.Options{Level: lvl, Unroll: b.DefaultUnroll}
-			par, err := r.parallelismOf(b.Name, copts, false)
+			par, err := r.parallelismOf(ctx, b.Name, copts, false)
 			if err != nil {
 				return nil, err
 			}

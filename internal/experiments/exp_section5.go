@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -18,7 +20,7 @@ func init() {
 // runTab51 reproduces the static Table 5-1 computation and augments it
 // with a measured row: the benchmark suite run on a Titan-like machine
 // with caches.
-func runTab51(r *Runner) (*Result, error) {
+func runTab51(ctx context.Context, r *Runner) (*Result, error) {
 	type rowDef struct {
 		name    string
 		cpi     float64
@@ -67,11 +69,11 @@ func runTab51(r *Runner) (*Result, error) {
 	var ratios []float64
 	mt := &table{header: []string{"benchmark", "CPI (perfect memory)", "CPI (with caches)", "slowdown", "D-miss rate"}}
 	for _, bm := range suite {
-		r0, err := r.Measure(bm.Name, defaultOpts(bm), titan)
+		r0, err := r.MeasureCtx(ctx, bm.Name, defaultOpts(bm), titan)
 		if err != nil {
 			return nil, err
 		}
-		r1, err := r.Measure(bm.Name, defaultOpts(bm), withCache)
+		r1, err := r.MeasureCtx(ctx, bm.Name, defaultOpts(bm), withCache)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +98,7 @@ func runTab51(r *Runner) (*Result, error) {
 // runSec51 reproduces the §5.1 worked example and then measures the real
 // thing: how much of the ideal superscalar speedup survives when cache
 // misses are modeled.
-func runSec51(r *Runner) (*Result, error) {
+func runSec51(ctx context.Context, r *Runner) (*Result, error) {
 	var b strings.Builder
 	// The worked example, computed rather than quoted.
 	base := 1.0 + 1.0 // 1.0 cpi issue + 1.0 cpi miss burden
@@ -124,19 +126,19 @@ func runSec51(r *Runner) (*Result, error) {
 	}
 	var perfect, cached []float64
 	for _, bm := range suite {
-		b1, err := r.Measure(bm.Name, defaultOpts(bm), machine.Base())
+		b1, err := r.MeasureCtx(ctx, bm.Name, defaultOpts(bm), machine.Base())
 		if err != nil {
 			return nil, err
 		}
-		w1, err := r.Measure(bm.Name, defaultOpts(bm), machine.IdealSuperscalar(deg))
+		w1, err := r.MeasureCtx(ctx, bm.Name, defaultOpts(bm), machine.IdealSuperscalar(deg))
 		if err != nil {
 			return nil, err
 		}
-		b2, err := r.Measure(bm.Name, defaultOpts(bm), cc(machine.Base()))
+		b2, err := r.MeasureCtx(ctx, bm.Name, defaultOpts(bm), cc(machine.Base()))
 		if err != nil {
 			return nil, err
 		}
-		w2, err := r.Measure(bm.Name, defaultOpts(bm), cc(machine.IdealSuperscalar(deg)))
+		w2, err := r.MeasureCtx(ctx, bm.Name, defaultOpts(bm), cc(machine.IdealSuperscalar(deg)))
 		if err != nil {
 			return nil, err
 		}

@@ -6,20 +6,36 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 
 	"ilp/internal/benchmarks"
 	"ilp/internal/compiler"
+	"ilp/internal/ilperr"
 	"ilp/internal/isa"
 	"ilp/internal/machine"
 	"ilp/internal/metrics"
 	"ilp/internal/sim"
 )
+
+// The pipeline's structured error taxonomy, re-exported so callers inside
+// and outside this package spell it the same way (see internal/ilperr).
+type (
+	// CompileError reports a failed (or panicked) compilation.
+	CompileError = ilperr.CompileError
+	// SimError reports a failed (or panicked) simulation.
+	SimError = ilperr.SimError
+)
+
+// ErrPanic marks errors recovered from panicking workers.
+var ErrPanic = ilperr.ErrPanic
 
 // Config controls an experiment run.
 type Config struct {
@@ -69,16 +85,18 @@ type Result struct {
 	Series []metrics.Series
 }
 
-// Experiment is a registered reproduction.
+// Experiment is a registered reproduction. Run receives the context of the
+// sweep that invoked it and must hand it down to every measurement so a
+// cancelled caller stops in-flight simulations, not just queued ones.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(r *Runner) (*Result, error)
+	Run   func(ctx context.Context, r *Runner) (*Result, error)
 }
 
 var registry []Experiment
 
-func register(id, title string, run func(r *Runner) (*Result, error)) {
+func register(id, title string, run func(ctx context.Context, r *Runner) (*Result, error)) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
 }
 
@@ -158,6 +176,14 @@ type Runner struct {
 	sims     map[string]*simEntry
 	stats    RunnerStats
 	sem      chan struct{}
+
+	// compileHook and measureHook, when non-nil, run inside the
+	// corresponding singleflight leader just before the real work (after
+	// worker-slot acquisition). Tests use them to inject delays, failures,
+	// and panics into the pipeline; a non-nil returned error fails the job
+	// as if the phase itself had failed.
+	compileHook func(ctx context.Context, bench string, m *machine.Config) error
+	measureHook func(ctx context.Context, bench string, m *machine.Config) error
 }
 
 type compileEntry struct {
@@ -200,17 +226,36 @@ func (r *Runner) Stats() RunnerStats {
 
 // Run executes one experiment by id.
 func (r *Runner) Run(id string) (*Result, error) {
+	return r.RunCtx(context.Background(), id)
+}
+
+// RunCtx executes one experiment by id under ctx. The experiment is fault
+// isolated: a panic anywhere in its run (including its own table-building
+// code) is converted into an error matching ErrPanic instead of killing
+// the process.
+func (r *Runner) RunCtx(ctx context.Context, id string) (res *Result, err error) {
 	e, err := ByID(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(r)
+	if err := ctx.Err(); err != nil {
+		return nil, cause(ctx)
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, fmt.Errorf("experiment %s: %w", id, ilperr.PanicError(v, debug.Stack()))
+		}
+	}()
+	return e.Run(ctx, r)
 }
 
-// RunAll executes every experiment, writing each rendition to w.
-func (r *Runner) RunAll(w io.Writer) error {
-	for _, e := range registry {
-		res, err := e.Run(r)
+// RunAll executes every experiment in the paper's canonical order
+// (Experiments()), writing each rendition to w. It stops at the first
+// failed experiment or once ctx is cancelled; renditions already written
+// remain valid partial output.
+func (r *Runner) RunAll(ctx context.Context, w io.Writer) error {
+	for _, e := range Experiments() {
+		res, err := r.RunCtx(ctx, e.ID)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -228,9 +273,48 @@ func compileKey(bench string, copts compiler.Options, m *machine.Config) string 
 		m.ScheduleFingerprint())
 }
 
+// cause is the error a cancelled measurement surfaces: the recorded
+// cancellation cause when there is one (the sibling failure that stopped
+// the sweep), the plain context error otherwise. Returning the cause by
+// identity lets measureMany recognize propagated sibling failures and
+// report each distinct root cause exactly once.
+func cause(ctx context.Context) error {
+	if c := context.Cause(ctx); c != nil {
+		return c
+	}
+	return ctx.Err()
+}
+
+// isCancellation reports whether err is the result of ctx being cancelled
+// (directly, or as the propagated cause of a sibling failure) rather than a
+// genuine failure of the job itself.
+func isCancellation(ctx context.Context, err error) bool {
+	if err == nil {
+		return false
+	}
+	if c := context.Cause(ctx); c != nil && errors.Is(err, c) {
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Measure compiles the named benchmark for machine m with the given options
 // and simulates it, caching both levels of the work.
 func (r *Runner) Measure(bench string, copts compiler.Options, m *machine.Config) (*sim.Result, error) {
+	return r.MeasureCtx(context.Background(), bench, copts, m)
+}
+
+// MeasureCtx is Measure under a context: a done ctx aborts queued work
+// (waiting for a worker slot or a singleflight entry) immediately and
+// in-flight simulation within the engine's polling interval. A leader that
+// fails because of cancellation does not poison the cache — its entry is
+// evicted so a later call with a live context redoes the work — and any
+// panic in the pipeline surfaces as a structured CompileError/SimError
+// matching ErrPanic instead of crashing the process.
+func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Options, m *machine.Config) (*sim.Result, error) {
+	if ctx.Err() != nil {
+		return nil, cause(ctx)
+	}
 	ckey := compileKey(bench, copts, m)
 	skey := ckey + "|" + m.Fingerprint()
 
@@ -238,66 +322,156 @@ func (r *Runner) Measure(bench string, copts compiler.Options, m *machine.Config
 	if se, ok := r.sims[skey]; ok {
 		r.stats.SimHits++
 		r.mu.Unlock()
-		<-se.ready
-		return se.res, se.err
+		select {
+		case <-se.ready:
+			return se.res, se.err
+		case <-ctx.Done():
+			return nil, cause(ctx)
+		}
 	}
 	se := &simEntry{ready: make(chan struct{})}
 	r.sims[skey] = se
 	r.stats.Sims++
 	r.mu.Unlock()
 
-	se.res, se.err = r.measure(bench, copts, m, ckey)
+	se.res, se.err = r.measure(ctx, bench, copts, m, ckey)
+	if se.err != nil && ctx.Err() != nil {
+		// Cancellation-induced failure: evict the entry (before waking
+		// waiters) so the key is retried rather than cached as failed.
+		r.mu.Lock()
+		if r.sims[skey] == se {
+			delete(r.sims, skey)
+		}
+		r.mu.Unlock()
+	}
 	close(se.ready)
 	return se.res, se.err
 }
 
 // measure is the sim-cache miss path: acquire a worker slot, obtain the
 // compiled program (cached across cache-geometry variants), and simulate.
-func (r *Runner) measure(bench string, copts compiler.Options, m *machine.Config, ckey string) (*sim.Result, error) {
-	r.sem <- struct{}{}
+// It is the singleflight leader for its sim key, so it carries the panic
+// isolation for the simulation phase.
+func (r *Runner) measure(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (res *sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &SimError{
+				Benchmark: bench, Machine: m.Name, Fingerprint: m.Fingerprint(),
+				Phase: ilperr.PhaseSimulate, Err: ilperr.PanicError(v, debug.Stack()),
+			}
+		}
+	}()
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, cause(ctx)
+	}
 	defer func() { <-r.sem }()
 
-	prog, err := r.compile(bench, copts, m, ckey)
+	prog, err := r.compile(ctx, bench, copts, m, ckey)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(prog, sim.Options{Machine: m})
+	if h := r.measureHook; h != nil {
+		if err := h(ctx, bench, m); err != nil {
+			return nil, r.simFailure(ctx, bench, m, err)
+		}
+	}
+	res, err = sim.RunCtx(ctx, prog, sim.Options{Machine: m})
 	if err != nil {
-		return nil, fmt.Errorf("simulate %s on %s: %w", bench, m.Name, err)
+		return nil, r.simFailure(ctx, bench, m, err)
 	}
 	return res, nil
+}
+
+// simFailure classifies a simulation-phase error: cancellation propagates
+// unwrapped (preserving the cause's identity), anything else becomes a
+// structured SimError.
+func (r *Runner) simFailure(ctx context.Context, bench string, m *machine.Config, err error) error {
+	if isCancellation(ctx, err) {
+		return err
+	}
+	return &SimError{
+		Benchmark: bench, Machine: m.Name, Fingerprint: m.Fingerprint(),
+		Phase: ilperr.PhaseSimulate, Err: err,
+	}
 }
 
 // compile returns the compiled program for the key, compiling at most once.
 // The leader already holds a worker slot, so waiters (who hold their own
 // slots) can never starve it.
-func (r *Runner) compile(bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, error) {
+func (r *Runner) compile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, error) {
 	r.mu.Lock()
 	if ce, ok := r.compiles[ckey]; ok {
 		r.stats.CompileHits++
 		r.mu.Unlock()
-		<-ce.ready
-		return ce.prog, ce.err
+		select {
+		case <-ce.ready:
+			return ce.prog, ce.err
+		case <-ctx.Done():
+			return nil, cause(ctx)
+		}
 	}
 	ce := &compileEntry{ready: make(chan struct{})}
 	r.compiles[ckey] = ce
 	r.stats.Compiles++
 	r.mu.Unlock()
 
-	b, err := benchmarks.ByName(bench)
-	if err != nil {
-		ce.err = err
-	} else {
-		copts.Machine = m
-		var c *compiler.Compiled
-		if c, err = compiler.Compile(b.Source, copts); err != nil {
-			ce.err = fmt.Errorf("compile %s for %s: %w", bench, m.Name, err)
-		} else {
-			ce.prog = c.Prog
+	ce.prog, ce.err = r.doCompile(ctx, bench, copts, m)
+	if ce.err != nil && ctx.Err() != nil {
+		// Same eviction rule as the sim cache: do not poison the key with
+		// a cancellation-induced failure.
+		r.mu.Lock()
+		if r.compiles[ckey] == ce {
+			delete(r.compiles, ckey)
 		}
+		r.mu.Unlock()
 	}
 	close(ce.ready)
 	return ce.prog, ce.err
+}
+
+// doCompile is the compile-cache miss path and the singleflight leader for
+// its compile key: it carries the panic isolation and error wrapping for
+// the compilation phase.
+func (r *Runner) doCompile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config) (prog *isa.Program, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			prog, err = nil, &CompileError{
+				Benchmark: bench, Machine: m.Name, Fingerprint: m.ScheduleFingerprint(),
+				Phase: ilperr.PhaseCompile, Err: ilperr.PanicError(v, debug.Stack()),
+			}
+		}
+	}()
+	if ctx.Err() != nil {
+		return nil, cause(ctx)
+	}
+	b, err := benchmarks.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	if h := r.compileHook; h != nil {
+		if err := h(ctx, bench, m); err != nil {
+			return nil, r.compileFailure(ctx, bench, m, err)
+		}
+	}
+	copts.Machine = m
+	c, err := compiler.Compile(b.Source, copts)
+	if err != nil {
+		return nil, r.compileFailure(ctx, bench, m, err)
+	}
+	return c.Prog, nil
+}
+
+// compileFailure is simFailure's compile-phase twin.
+func (r *Runner) compileFailure(ctx context.Context, bench string, m *machine.Config, err error) error {
+	if isCancellation(ctx, err) {
+		return err
+	}
+	return &CompileError{
+		Benchmark: bench, Machine: m.Name, Fingerprint: m.ScheduleFingerprint(),
+		Phase: ilperr.PhaseCompile, Err: err,
+	}
 }
 
 // MeasureMany runs a set of (bench, opts, machine) jobs concurrently.
@@ -307,7 +481,16 @@ type job struct {
 	m     *machine.Config
 }
 
-func (r *Runner) measureMany(jobs []job) ([]*sim.Result, error) {
+// measureMany fans the jobs out over the worker pool under a shared
+// cancellable context: the first failure cancels every queued and in-flight
+// sibling (first error wins — it becomes the context's cause), a panicking
+// worker is converted to a structured error instead of crashing the
+// process, and every *distinct* root cause that raced in before the
+// cancellation landed is reported via errors.Join.
+func (r *Runner) measureMany(ctx context.Context, jobs []job) ([]*sim.Result, error) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(context.Canceled)
+
 	results := make([]*sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -315,16 +498,62 @@ func (r *Runner) measureMany(jobs []job) ([]*sim.Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.Measure(jobs[i].bench, jobs[i].copts, jobs[i].m)
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = &SimError{
+						Benchmark: jobs[i].bench, Machine: jobs[i].m.Name,
+						Phase: ilperr.PhaseSimulate, Err: ilperr.PanicError(v, debug.Stack()),
+					}
+					cancel(errs[i])
+				}
+			}()
+			results[i], errs[i] = r.MeasureCtx(ctx, jobs[i].bench, jobs[i].copts, jobs[i].m)
+			if errs[i] != nil {
+				cancel(errs[i]) // first failure wins; no-op for later ones
+			}
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := joinDistinct(context.Cause(ctx), errs); err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// joinDistinct reduces a sweep's per-job errors to its distinct root
+// causes: the cancellation cause first (the failure that stopped the
+// sweep), then any other genuine failures in job order. Sibling errors that
+// are merely the propagated cancellation — the cause itself, returned by
+// identity, or a bare context error — collapse into one.
+func joinDistinct(cause error, errs []error) error {
+	seen := map[error]bool{}
+	var distinct []error
+	add := func(err error) {
+		if err == nil || seen[err] {
+			return
+		}
+		seen[err] = true
+		distinct = append(distinct, err)
+	}
+	for _, err := range errs {
+		if err == cause {
+			add(cause) // report the root cause first
+		}
+	}
+	for _, err := range errs {
+		if cause != nil && (errors.Is(cause, err) || err == context.Canceled || err == context.DeadlineExceeded) {
+			continue // propagation of the recorded cause, already reported
+		}
+		add(err)
+	}
+	switch len(distinct) {
+	case 0:
+		return nil
+	case 1:
+		return distinct[0]
+	default:
+		return errors.Join(distinct...)
+	}
 }
 
 // Speedup returns base-cycle speedup of run over base.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -23,7 +25,7 @@ func init() {
 // duplicate everything (ideal) vs. duplicate only decode (class conflicts).
 // "Class conflicts can substantially reduce the parallelism exploitable by
 // a superscalar machine."
-func runExtConflicts(r *Runner) (*Result, error) {
+func runExtConflicts(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -35,15 +37,15 @@ func runExtConflicts(r *Runner) (*Result, error) {
 	t := &table{header: []string{"benchmark", "ideal (all units duplicated)", "conflicts (single units)", "lost"}}
 	var ideal, conflict []float64
 	for _, b := range suite {
-		rb, err := r.Measure(b.Name, defaultOpts(b), machine.Base())
+		rb, err := r.MeasureCtx(ctx, b.Name, defaultOpts(b), machine.Base())
 		if err != nil {
 			return nil, err
 		}
-		ri, err := r.Measure(b.Name, defaultOpts(b), machine.IdealSuperscalar(deg))
+		ri, err := r.MeasureCtx(ctx, b.Name, defaultOpts(b), machine.IdealSuperscalar(deg))
 		if err != nil {
 			return nil, err
 		}
-		rc, err := r.Measure(b.Name, defaultOpts(b), machine.SuperscalarWithConflicts(deg))
+		rc, err := r.MeasureCtx(ctx, b.Name, defaultOpts(b), machine.SuperscalarWithConflicts(deg))
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +75,7 @@ func runExtConflicts(r *Runner) (*Result, error) {
 // better", because the fixed VLIW format carries bits for unused operation
 // slots. We measure it dynamically: a VLIW spends a full width-n word per
 // issue group, the superscalar one word per instruction.
-func runExtVLIW(r *Runner) (*Result, error) {
+func runExtVLIW(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -85,7 +87,7 @@ func runExtVLIW(r *Runner) (*Result, error) {
 	t := &table{header: []string{"benchmark", "instr words (superscalar)", "op slots (VLIW)", "slot utilization", "density cost"}}
 	var utils []float64
 	for _, b := range suite {
-		res, err := r.Measure(b.Name, defaultOpts(b), machine.VLIW(deg))
+		res, err := r.MeasureCtx(ctx, b.Name, defaultOpts(b), machine.VLIW(deg))
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +114,7 @@ func runExtVLIW(r *Runner) (*Result, error) {
 // runExtICache checks §4.4's warning: "if limited instruction caches were
 // present, the actual performance would decline for large degrees of
 // unrolling."
-func runExtICache(r *Runner) (*Result, error) {
+func runExtICache(ctx context.Context, r *Runner) (*Result, error) {
 	factors := []int{1, 2, 4, 10}
 	mk := func(withCache bool) *machine.Config {
 		m := machine.IdealSuperscalar(r.Cfg.maxDegree())
@@ -134,12 +136,12 @@ func runExtICache(r *Runner) (*Result, error) {
 		}
 		s := metrics.Series{Name: name}
 		row := []string{name}
-		base, err := r.Measure("linpack", compiler.Options{Level: compiler.O4, Unroll: 1, Careful: true}, mk(cached))
+		base, err := r.MeasureCtx(ctx, "linpack", compiler.Options{Level: compiler.O4, Unroll: 1, Careful: true}, mk(cached))
 		if err != nil {
 			return nil, err
 		}
 		for _, k := range factors {
-			res, err := r.Measure("linpack", compiler.Options{Level: compiler.O4, Unroll: k, Careful: true}, mk(cached))
+			res, err := r.MeasureCtx(ctx, "linpack", compiler.Options{Level: compiler.O4, Unroll: k, Careful: true}, mk(cached))
 			if err != nil {
 				return nil, err
 			}

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 
 	"ilp/internal/benchmarks"
 	"ilp/internal/compiler"
+	"ilp/internal/ilperr"
 	"ilp/internal/machine"
 	"ilp/internal/metrics"
 	"ilp/internal/trace"
@@ -21,7 +24,7 @@ func init() {
 // limit of Riseman & Foster (≈2, matching "average instruction-level
 // parallelism of around 2") and the perfect-prediction oracle (an order of
 // magnitude higher).
-func runExtLimits(r *Runner) (*Result, error) {
+func runExtLimits(ctx context.Context, r *Runner) (*Result, error) {
 	suite, err := r.Cfg.suite()
 	if err != nil {
 		return nil, err
@@ -33,6 +36,11 @@ func runExtLimits(r *Runner) (*Result, error) {
 		blocked, oracle float64
 		truncated       bool
 	}
+	// The same discipline as measureMany: a shared cancellable context so
+	// the first failure stops the siblings, panic isolation per worker,
+	// and distinct root causes joined.
+	mctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(context.Canceled)
 	rows := make([]row, len(suite))
 	var wg sync.WaitGroup
 	errs := make([]error, len(suite))
@@ -40,28 +48,51 @@ func runExtLimits(r *Runner) (*Result, error) {
 		wg.Add(1)
 		go func(i int, b benchmarks.Benchmark) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = &SimError{
+						Benchmark: b.Name, Machine: "trace-limits",
+						Phase: ilperr.PhaseSimulate, Err: ilperr.PanicError(v, debug.Stack()),
+					}
+					cancel(errs[i])
+				}
+			}()
+			fail := func(err error) {
+				errs[i] = err
+				cancel(err)
+			}
 			// Compiled, machine-level parallelism (the paper's metric).
-			rb, err := r.Measure(b.Name, defaultOpts(b), machine.Base())
+			rb, err := r.MeasureCtx(mctx, b.Name, defaultOpts(b), machine.Base())
 			if err != nil {
-				errs[i] = err
+				fail(err)
 				return
 			}
-			rw, err := r.Measure(b.Name, defaultOpts(b), machine.IdealSuperscalar(r.Cfg.maxDegree()))
+			rw, err := r.MeasureCtx(mctx, b.Name, defaultOpts(b), machine.IdealSuperscalar(r.Cfg.maxDegree()))
 			if err != nil {
-				errs[i] = err
+				fail(err)
 				return
 			}
-			// Trace limits on the same binary.
+			// Trace limits on the same binary. Compile and Analyze cannot
+			// be interrupted mid-flight, so check for cancellation between
+			// the two heavyweight steps.
+			if mctx.Err() != nil {
+				fail(cause(mctx))
+				return
+			}
 			copts := defaultOpts(b)
 			copts.Machine = machine.Base()
 			c, err := compiler.Compile(b.Source, copts)
 			if err != nil {
-				errs[i] = err
+				fail(r.compileFailure(mctx, b.Name, copts.Machine, err))
+				return
+			}
+			if mctx.Err() != nil {
+				fail(cause(mctx))
 				return
 			}
 			lim, err := trace.Analyze(c.Prog, trace.Options{MaxTrace: 1_500_000})
 			if err != nil {
-				errs[i] = err
+				fail(r.simFailure(mctx, b.Name, copts.Machine, err))
 				return
 			}
 			rows[i] = row{
@@ -74,10 +105,8 @@ func runExtLimits(r *Runner) (*Result, error) {
 		}(i, b)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := joinDistinct(context.Cause(mctx), errs); err != nil {
+		return nil, err
 	}
 
 	t := &table{header: []string{"benchmark", "compiled (this paper)", "blocked limit [14]", "oracle limit [14,15]"}}

@@ -1,0 +1,91 @@
+// Package ilperr is the structured error taxonomy of the measurement
+// pipeline. The experiment runner, the ilp facade, and the CLIs all
+// construct and inspect the same two error types, so errors.As/errors.Is
+// work across package boundaries: a sweep embedded in a service can tell a
+// compiler rejection from a simulator fault from a cancelled context, and
+// can recover the exact (benchmark, machine, fingerprint) coordinate that
+// failed without parsing messages.
+//
+// The package is a leaf on purpose — it imports nothing but the standard
+// library, so any layer may depend on it without cycles.
+package ilperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Phase names the pipeline stage an error arose in.
+type Phase string
+
+// The measurement pipeline's phases.
+const (
+	PhaseCompile  Phase = "compile"
+	PhaseSimulate Phase = "simulate"
+)
+
+// ErrPanic marks errors recovered from a panicking worker. A measurement
+// job that panics (in a worker goroutine or a singleflight leader) is
+// converted into a CompileError or SimError whose cause chain includes
+// ErrPanic, instead of crashing the process:
+//
+//	if errors.Is(err, ilperr.ErrPanic) { ... }
+var ErrPanic = errors.New("panic in worker")
+
+// PanicError converts a recovered panic value and its goroutine stack into
+// an error matching ErrPanic.
+func PanicError(v any, stack []byte) error {
+	return fmt.Errorf("%w: %v\n%s", ErrPanic, v, stack)
+}
+
+// CompileError reports a failure to compile a benchmark for a machine.
+type CompileError struct {
+	// Benchmark is the suite benchmark name ("" when compiling ad-hoc
+	// source through the facade).
+	Benchmark string
+	// Machine is the machine description's name.
+	Machine string
+	// Fingerprint is the machine's schedule fingerprint — everything the
+	// compiler could observe (machine.Config.ScheduleFingerprint).
+	Fingerprint string
+	// Phase is PhaseCompile.
+	Phase Phase
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *CompileError) Error() string {
+	bench := e.Benchmark
+	if bench == "" {
+		bench = "source"
+	}
+	return fmt.Sprintf("compile %s for %s: %v", bench, e.Machine, e.Err)
+}
+
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// SimError reports a failure to simulate a compiled benchmark on a machine.
+type SimError struct {
+	// Benchmark is the suite benchmark name ("" for ad-hoc programs).
+	Benchmark string
+	// Machine is the machine description's name.
+	Machine string
+	// Fingerprint is the machine's full canonical fingerprint
+	// (machine.Config.Fingerprint), identifying the exact simulated
+	// configuration including caches.
+	Fingerprint string
+	// Phase is PhaseSimulate.
+	Phase Phase
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *SimError) Error() string {
+	bench := e.Benchmark
+	if bench == "" {
+		bench = "program"
+	}
+	return fmt.Sprintf("simulate %s on %s: %v", bench, e.Machine, e.Err)
+}
+
+func (e *SimError) Unwrap() error { return e.Err }

@@ -1,0 +1,56 @@
+package ilperr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCompileErrorFormatting(t *testing.T) {
+	inner := errors.New("parse failed")
+	err := &CompileError{Benchmark: "yacc", Machine: "base", Phase: PhaseCompile, Err: inner}
+	if got := err.Error(); !strings.Contains(got, "yacc") || !strings.Contains(got, "base") || !strings.Contains(got, "parse failed") {
+		t.Fatalf("message missing coordinates: %q", got)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatal("Unwrap broken")
+	}
+	// Unnamed source (the facade's ilp.Compile path) reads naturally.
+	anon := &CompileError{Machine: "base", Err: inner}
+	if got := anon.Error(); !strings.Contains(got, "source") {
+		t.Fatalf("anonymous compile should say 'source': %q", got)
+	}
+}
+
+func TestSimErrorFormatting(t *testing.T) {
+	inner := errors.New("limit exceeded")
+	err := &SimError{Benchmark: "whet", Machine: "ss4", Phase: PhaseSimulate, Err: inner}
+	if got := err.Error(); !strings.Contains(got, "whet") || !strings.Contains(got, "ss4") {
+		t.Fatalf("message missing coordinates: %q", got)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatal("Unwrap broken")
+	}
+	anon := &SimError{Machine: "ss4", Err: inner}
+	if got := anon.Error(); !strings.Contains(got, "program") {
+		t.Fatalf("anonymous sim should say 'program': %q", got)
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	err := PanicError("boom", []byte("goroutine 1 [running]:\nmain.crash()"))
+	if !errors.Is(err, ErrPanic) {
+		t.Fatal("PanicError must match ErrPanic")
+	}
+	for _, want := range []string{"boom", "main.crash"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("panic error lost %q: %v", want, err)
+		}
+	}
+	// Wrapped inside the structured types, ErrPanic stays matchable.
+	se := &SimError{Machine: "m", Err: PanicError(fmt.Errorf("v"), nil)}
+	if !errors.Is(se, ErrPanic) {
+		t.Fatal("ErrPanic not matchable through SimError")
+	}
+}

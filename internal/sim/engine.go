@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -166,6 +167,20 @@ func (e *Engine) Run(p *isa.Program, opts Options) (*Result, error) {
 // RunInto is the zero-allocation variant of Run: it resets the engine, runs
 // the program, and fills res in place (reusing res.Output's capacity).
 func (e *Engine) RunInto(p *isa.Program, opts Options, res *Result) error {
+	return e.RunIntoCtx(context.Background(), p, opts, res)
+}
+
+// RunIntoCtx is RunInto with cancellation: the timing loop polls ctx every
+// cancelCheckInterval dynamic instructions, so a done context abandons the
+// run (returning the context's cause) within a fraction of a millisecond at
+// typical throughput. A Background context costs nothing on the fast path.
+func (e *Engine) RunIntoCtx(ctx context.Context, p *isa.Program, opts Options, res *Result) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		return ctxErr(ctx)
+	}
 	if err := e.Reset(p, opts); err != nil {
 		return err
 	}
@@ -178,15 +193,25 @@ func (e *Engine) RunInto(p *isa.Program, opts Options, res *Result) error {
 	// carries the icache/dcache model and the OnIssue/OnTrace hooks.
 	var err error
 	if e.icache == nil && e.dcache == nil && opts.OnIssue == nil && opts.OnTrace == nil {
-		err = e.runFast(maxInstrs)
+		err = e.runFast(ctx, maxInstrs)
 	} else {
-		err = e.runInstrumented(maxInstrs)
+		err = e.runInstrumented(ctx, maxInstrs)
 	}
 	if err != nil {
 		return err
 	}
 	e.fillResult(res)
 	return nil
+}
+
+// nextCheck returns the instruction count at which the timing loop should
+// next stop to poll the context (or, with no pollable context, to enforce
+// the instruction limit only).
+func nextCheck(done <-chan struct{}, instrs, maxInstrs int64) int64 {
+	if done == nil {
+		return maxInstrs
+	}
+	return min(instrs+cancelCheckInterval, maxInstrs)
 }
 
 // runFast is the uninstrumented inner loop: no caches, no callbacks.
@@ -197,7 +222,7 @@ func (e *Engine) RunInto(p *isa.Program, opts Options, res *Result) error {
 // back once at the halt exit; error exits abandon the run, so only
 // dirty-memory tracking — updated on the engine at every store — must stay
 // accurate there.
-func (e *Engine) runFast(maxInstrs int64) error {
+func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 	width := int64(e.cfg.IssueWidth)
 	takenEnds := e.cfg.TakenBranchEndsGroup
 	redirect := int64(e.cfg.BranchRedirect)
@@ -216,9 +241,24 @@ func (e *Engine) runFast(maxInstrs int64) error {
 	stalls := e.stalls
 	pc := e.pc
 
+	// Cancellation polling shares the instruction-limit comparison the loop
+	// already performs: checkAt is the next instruction count at which
+	// anything needs attention, so the fast path stays one compare per
+	// instruction and an uncancellable run (done == nil) is unchanged.
+	done := ctx.Done()
+	checkAt := nextCheck(done, instrs, maxInstrs)
+
 	for {
-		if instrs >= maxInstrs {
-			return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+		if instrs >= checkAt {
+			if instrs >= maxInstrs {
+				return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+			}
+			select {
+			case <-done:
+				return ctxErr(ctx)
+			default:
+			}
+			checkAt = nextCheck(done, instrs, maxInstrs)
 		}
 		idx := pc
 		d := &dec[idx]
@@ -490,19 +530,29 @@ func (e *Engine) runFast(maxInstrs int64) error {
 // runInstrumented is the slow path: the same discipline as runFast plus
 // instruction/data cache modeling and the OnIssue/OnTrace callbacks. It is
 // selected once at RunInto, never per instruction.
-func (e *Engine) runInstrumented(maxInstrs int64) error {
+func (e *Engine) runInstrumented(ctx context.Context, maxInstrs int64) error {
 	width := int64(e.cfg.IssueWidth)
 	takenEnds := e.cfg.TakenBranchEndsGroup
 	redirect := int64(e.cfg.BranchRedirect)
 	onIssue, onTrace := e.opts.OnIssue, e.opts.OnTrace
 	dec := e.dec[:len(e.dec)-1] // drop the fast path's sentinel entry
 	memLen := int64(len(e.mem))
+	done := ctx.Done()
+	checkAt := nextCheck(done, e.instrs, maxInstrs)
 	for !e.halted {
 		if e.pc < 0 || e.pc >= len(dec) {
 			return fmt.Errorf("sim: pc %d out of range", e.pc)
 		}
-		if e.instrs >= maxInstrs {
-			return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+		if e.instrs >= checkAt {
+			if e.instrs >= maxInstrs {
+				return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+			}
+			select {
+			case <-done:
+				return ctxErr(ctx)
+			default:
+			}
+			checkAt = nextCheck(done, e.instrs, maxInstrs)
 		}
 		idx := e.pc
 		d := &dec[idx]

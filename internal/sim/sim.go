@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"context"
 	"sync"
 
 	"ilp/internal/isa"
@@ -58,6 +59,23 @@ const (
 	DefaultMaxInstructions = 1 << 33
 )
 
+// cancelCheckInterval is how many dynamic instructions the timing loops run
+// between context polls. The poll is folded into the existing
+// instruction-limit check, so a context.Background() run (Done() == nil)
+// pays literally nothing and a cancellable run pays one channel select per
+// interval — sub-millisecond responsiveness at the engine's Minstr/s rates.
+const cancelCheckInterval = 1 << 16
+
+// ctxErr extracts the error a cancelled run should surface: the
+// cancellation cause when one was recorded (e.g. the sibling failure that
+// stopped a sweep), the plain context error otherwise.
+func ctxErr(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}
+
 // enginePool recycles engines (and their memory arenas) across Run calls.
 var enginePool = sync.Pool{New: func() any { return NewEngine() }}
 
@@ -66,12 +84,23 @@ var enginePool = sync.Pool{New: func() any { return NewEngine() }}
 // so successive runs reuse the memory arena and predecode buffers instead of
 // allocating per simulation. Safe for concurrent use.
 func Run(p *isa.Program, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), p, opts)
+}
+
+// RunCtx is Run with cancellation: the timing loop polls ctx every
+// cancelCheckInterval dynamic instructions and abandons the run with the
+// context's cause error once ctx is done. Safe for concurrent use.
+func RunCtx(ctx context.Context, p *isa.Program, opts Options) (*Result, error) {
 	e := enginePool.Get().(*Engine)
-	res, err := e.Run(p, opts)
+	res := new(Result)
+	err := e.RunIntoCtx(ctx, p, opts, res)
 	// Drop references to caller data before pooling so a cached engine
 	// does not pin a program or machine description alive.
 	e.cfg, e.prog = nil, nil
 	e.opts = Options{}
 	enginePool.Put(e)
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
