@@ -2,9 +2,9 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency fuzz-smoke lint bench bench-smoke
+.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint bench bench-smoke
 
-check: fmt vet build race race-concurrency fuzz-smoke bench-smoke
+check: fmt vet build race race-concurrency fuzz-smoke chaos bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,10 +29,24 @@ race-concurrency:
 	$(GO) test -race -count=1 ./internal/experiments/ ./internal/sim/
 
 # A quick pass of the randomized differential harness (with the static
-# verifier enabled in-pipeline) as a smoke test; the full 60-seed run is
-# part of `make test`.
+# verifier enabled in-pipeline) as a smoke test, plus a short burst of the
+# result-store loader fuzzer; the full 60-seed run is part of `make test`.
 fuzz-smoke:
 	$(GO) test -short -run 'TestRandomPrograms' ./internal/compiler/
+	$(GO) test -run '^$$' -fuzz 'FuzzDecode' -fuzztime 10s ./internal/store/
+
+# Chaos suite: the deterministic fault-injection harness under the race
+# detector, at full schedule counts — 300 randomized runner schedules
+# (compile faults, sim faults, worker panics, store-write faults, slow
+# jobs) plus 720 randomized store-damage schedules, >= 1000 total. Asserts
+# no completed result is ever lost, no retried cell double-appends, and
+# every fault schedule replays bit-identically from its seed.
+chaos:
+	ILP_CHAOS_SCHEDULES=300 $(GO) test -race -count=1 \
+		-run 'TestChaos|TestConcurrentRetries|TestRetriesExhausted|TestDegradedSweep|TestResumeReproduces' \
+		./internal/experiments/
+	ILP_STORE_CHAOS_SCHEDULES=720 $(GO) test -race -count=1 \
+		-run 'TestChaos|TestConcurrentAppends' ./internal/store/
 
 # Run the static verifier over the whole suite at every level and print
 # every diagnostic, warnings included.

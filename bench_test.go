@@ -165,7 +165,7 @@ func BenchmarkExtTraceLimits(b *testing.B) {
 func BenchmarkRunAllQuick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(quickCfg())
-		if err := r.RunAll(context.Background(), io.Discard); err != nil {
+		if _, err := r.RunAll(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

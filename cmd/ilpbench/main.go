@@ -2,48 +2,103 @@
 //
 // Usage:
 //
-//	ilpbench [-degree N] [-benchmarks a,b,c] [-workers N] [-timeout D] [experiment ...]
+//	ilpbench [-degree N] [-benchmarks a,b,c] [-workers N] [-timeout D]
+//	         [-store file.jsonl] [-resume] [-retries N] [-max-backoff D]
+//	         [-degrade] [-faults spec] [experiment ...]
 //
 // With no experiment arguments it runs everything in paper order. Use
 // -list to see the available experiment ids.
 //
 // The run is cancellable: Ctrl-C (SIGINT) or an elapsed -timeout cancels
 // in-flight and queued simulations gracefully — experiments already printed
-// stay valid partial output, and -stats still reports the cache counters
-// for the work that did happen. A second Ctrl-C kills the process
-// immediately.
+// stay valid partial output, and -stats still reports counters for the work
+// that did happen. A second Ctrl-C kills the process immediately.
+//
+// Durability: with -store, every committed measurement is appended to a
+// checksummed JSONL result store as part of the measurement itself, so an
+// interrupted sweep loses nothing it printed. Re-running with -resume
+// serves the committed cells from the store and simulates only the rest;
+// the stdout of an interrupted-then-resumed sweep is byte-identical to an
+// uninterrupted one (per-experiment timings and the varying cache counters
+// go to stderr).
+//
+// Fault tolerance: transiently failed measurements retry with capped
+// exponential backoff (-retries, -max-backoff); with -degrade (the
+// default) a permanently failed cell renders as a NaN row instead of
+// killing the sweep. The exit status is 0 only for a fully clean sweep: 1
+// when an experiment failed or flags were bad, 2 when the sweep completed
+// but one or more cells degraded.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
 	"ilp/internal/experiments"
+	"ilp/internal/faultinject"
+	"ilp/internal/store"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	degree := flag.Int("degree", 8, "maximum superscalar/superpipelining degree to sweep")
-	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
-	workers := flag.Int("workers", 0, "concurrent simulations (default: GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 0, "cancel the whole run after this long, e.g. 30s (0 = no limit)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	stats := flag.Bool("stats", false, "print compile/sim cache statistics after the run")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ilpbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	degree := fs.Int("degree", 8, "maximum superscalar/superpipelining degree to sweep")
+	benches := fs.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+	workers := fs.Int("workers", 0, "concurrent simulations (default: GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "cancel the whole run after this long, e.g. 30s (0 = no limit)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	stats := fs.Bool("stats", false, "print sweep statistics after the run")
+	storePath := fs.String("store", "", "append committed results to this checksummed JSONL store")
+	resume := fs.Bool("resume", false, "serve cells already committed to -store instead of refusing a non-empty one")
+	retries := fs.Int("retries", 2, "retries per transiently failed compile/measurement")
+	maxBackoff := fs.Duration("max-backoff", 250*time.Millisecond, "cap on the exponential retry backoff")
+	degrade := fs.Bool("degrade", true, "render permanently failed cells as NaN rows instead of aborting the sweep")
+	faults := fs.String("faults", "", `deterministic fault injection spec, e.g. "seed=7,sim=0.3,panic=0.1,store=0.5,slow=0.2,slowdelay=1ms" (testing)`)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
 	if *list {
 		for _, e := range experiments.Experiments() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Title)
 		}
 		return 0
+	}
+
+	inj, err := parseFaults(*faults)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilpbench: -faults: %v\n", err)
+		return 1
+	}
+	if *resume && *storePath == "" {
+		fmt.Fprintln(stderr, "ilpbench: -resume requires -store")
+		return 1
+	}
+
+	var st *store.Store
+	if *storePath != "" {
+		st, err = store.Open(*storePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "ilpbench: %v\n", err)
+			return 1
+		}
+		defer st.Close()
+		if !*resume && st.Len() > 0 {
+			fmt.Fprintf(stderr, "ilpbench: store %s already holds %d results; pass -resume to continue from it or remove the file\n",
+				*storePath, st.Len())
+			return 1
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -57,33 +112,92 @@ func run() int {
 		defer cancel()
 	}
 
-	cfg := experiments.Config{MaxDegree: *degree, Workers: *workers}
+	cfg := experiments.Config{
+		MaxDegree: *degree, Workers: *workers,
+		Retries: *retries, MaxBackoff: *maxBackoff,
+		Degrade: *degrade, Store: st, Faults: inj,
+	}
 	if *benches != "" {
 		cfg.Benchmarks = strings.Split(*benches, ",")
 	}
 	runner := experiments.NewRunner(cfg)
 
 	exit := 0
-	for _, id := range expandIDs(flag.Args()) {
+	for _, id := range expandIDs(fs.Args()) {
 		start := time.Now()
 		res, err := runner.RunCtx(ctx, id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ilpbench: %s: %v\n", id, err)
+			fmt.Fprintf(stderr, "ilpbench: %s: %v\n", id, err)
 			exit = 1
 			if ctx.Err() != nil {
-				fmt.Fprintln(os.Stderr, "ilpbench: run cancelled; results above are complete, the rest were skipped")
+				fmt.Fprintln(stderr, "ilpbench: run cancelled; results above are complete, the rest were skipped")
+				break
 			}
-			break
+			continue // one broken experiment does not take down the rest
 		}
-		fmt.Printf("==== %s: %s ====  (%.1fs)\n\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+		// The rendition goes to stdout and is resume invariant; the timing
+		// varies run to run and goes to stderr.
+		fmt.Fprintf(stdout, "==== %s: %s ====\n\n%s\n", res.ID, res.Title, res.Text)
+		fmt.Fprintf(stderr, "ilpbench: %s done in %.1fs\n", res.ID, time.Since(start).Seconds())
 	}
 
+	rep := runner.Report()
 	if *stats {
+		// The committed/degraded line is resume invariant (identical for a
+		// fresh run and an interrupted-then-resumed one); the cache and
+		// live/resumed breakdown is not, so it goes to stderr.
+		fmt.Fprintf(stdout, "cells: %d committed, %d degraded\n", rep.Cells, rep.Degraded)
 		st := runner.Stats()
-		fmt.Printf("cache stats: %d compiles (%d hits), %d simulations (%d hits)\n",
+		fmt.Fprintf(stderr, "cache stats: %d compiles (%d hits), %d simulations (%d hits)\n",
 			st.Compiles, st.CompileHits, st.Sims, st.SimHits)
+		fmt.Fprintf(stderr, "run stats: %d live simulations, %d resumed from store, %d retry waits\n",
+			rep.Live, rep.Resumed, rep.Retried)
+	}
+	if exit == 0 && rep.Degraded > 0 {
+		fmt.Fprintf(stderr, "ilpbench: %d cell(s) permanently failed and were degraded to NaN rows\n", rep.Degraded)
+		exit = 2
 	}
 	return exit
+}
+
+// parseFaults builds the deterministic fault injector from the -faults
+// spec: comma-separated key=value pairs where the keys are "seed" (int64),
+// "slowdelay" (duration), and the site names compile/sim/panic/store/slow
+// (injection rates in [0,1]).
+func parseFaults(spec string) (*faultinject.Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := faultinject.Config{Rates: map[faultinject.Site]float64{}}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not key=value", kv)
+		}
+		switch k {
+		case "seed":
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed %q: %v", v, err)
+			}
+			cfg.Seed = seed
+		case "slowdelay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("slowdelay %q: %v", v, err)
+			}
+			cfg.SlowDelay = d
+		case "compile", "sim", "panic", "store", "slow":
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rate %q for %s: %v", v, k, err)
+			}
+			cfg.Rates[faultinject.Site(k)] = rate
+		default:
+			return nil, fmt.Errorf("unknown key %q (want seed, slowdelay, compile, sim, panic, store, or slow)", k)
+		}
+	}
+	return faultinject.New(cfg)
 }
 
 // expandIDs resolves the experiment arguments: no arguments (or the single

@@ -48,11 +48,29 @@ type (
 	CompileError = ilperr.CompileError
 	// SimError reports a failed (or panicked) simulation.
 	SimError = ilperr.SimError
+	// MachineError reports an invalid machine description, rejected by
+	// validation before it can produce nonsense cycle counts.
+	MachineError = ilperr.MachineError
+	// StoreError reports a result-store failure: an I/O error while
+	// opening, appending, or compacting, or corruption detected on load
+	// (match the cause with ErrCorrupt).
+	StoreError = ilperr.StoreError
 )
 
 // ErrPanic marks errors recovered from a panicking measurement worker;
 // match with errors.Is.
 var ErrPanic = ilperr.ErrPanic
+
+// ErrCorrupt marks a result-store record whose checksum or framing does
+// not verify; match with errors.Is.
+var ErrCorrupt = ilperr.ErrCorrupt
+
+// IsTransient reports whether an error from this package's pipeline is a
+// transient failure — one a retry policy may reasonably retry with
+// backoff. Panics, cancellations, semantic compile/simulate failures, and
+// detected corruption are permanent; store I/O errors and injected faults
+// are transient. See internal/ilperr for the full taxonomy.
+func IsTransient(err error) bool { return ilperr.IsTransient(err) }
 
 // Machine is a machine description in the paper's §3 sense: issue width,
 // superpipelining degree, per-class operation latencies, functional units,

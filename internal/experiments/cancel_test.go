@@ -298,7 +298,7 @@ func TestRunCtxPanicIsolated(t *testing.T) {
 func TestRunAllCanonicalOrder(t *testing.T) {
 	r := NewRunner(Config{MaxDegree: 2, Benchmarks: []string{"whet"}})
 	var buf bytes.Buffer
-	if err := r.RunAll(context.Background(), &buf); err != nil {
+	if _, err := r.RunAll(context.Background(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -337,7 +337,7 @@ func TestRunAllStopsOnCancellation(t *testing.T) {
 		return nil
 	}
 	var buf bytes.Buffer
-	err := r.RunAll(ctx, &buf)
+	_, err := r.RunAll(ctx, &buf)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}

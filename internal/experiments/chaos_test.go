@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ilp/internal/compiler"
+	"ilp/internal/faultinject"
+	"ilp/internal/ilperr"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+	"ilp/internal/store"
+)
+
+// chaosSchedules returns how many randomized fault schedules to run. The
+// default keeps tier-1 fast; `make chaos` raises it via ILP_CHAOS_SCHEDULES
+// so the combined chaos suite crosses a thousand schedules under -race.
+func chaosSchedules(t *testing.T, def int) int {
+	if s := os.Getenv("ILP_CHAOS_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad ILP_CHAOS_SCHEDULES=%q", s)
+		}
+		return n
+	}
+	return def
+}
+
+// chaosMachines is the fixed cell grid each schedule sweeps: four distinct
+// configurations, so four distinct sim keys sharing one compilation.
+func chaosMachines() []*machine.Config {
+	return []*machine.Config{
+		machine.Base(),
+		machine.IdealSuperscalar(2),
+		machine.IdealSuperscalar(4),
+		machine.Superpipelined(2),
+	}
+}
+
+// chaosOutcome is what one schedule produced, for determinism comparisons.
+type chaosOutcome struct {
+	degraded  map[string]bool    // skey -> degraded
+	cycles    map[string]float64 // skey -> BaseCycles of real results
+	storeKeys []string
+}
+
+// runChaosSchedule runs the fixed cell grid against a seeded injector with
+// randomized rates, asserting the fault-tolerance contract:
+//
+//   - the run terminates and every cell yields exactly one of {real
+//     result, degraded placeholder} — never an error, never nothing;
+//   - every real (non-degraded) result is durable: its record is in the
+//     store with the same cycle count (no completed result is lost);
+//   - the store holds at most one record per cell (no retried cell is
+//     double-counted);
+//   - degraded cells are not persisted;
+//   - the runner's report adds up.
+func runChaosSchedule(t *testing.T, seed int64, dir string) chaosOutcome {
+	rng := rand.New(rand.NewSource(seed))
+	rates := map[faultinject.Site]float64{
+		faultinject.SiteCompile: rng.Float64() * 0.4,
+		faultinject.SiteSim:     rng.Float64() * 0.4,
+		faultinject.SitePanic:   rng.Float64() * 0.3,
+		faultinject.SiteStore:   rng.Float64() * 0.5,
+		faultinject.SiteSlow:    rng.Float64() * 0.3,
+	}
+	inj, err := faultinject.New(faultinject.Config{
+		Seed: seed, Rates: rates, SlowDelay: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos%d.jsonl", seed))
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cfg := Config{
+		Benchmarks: []string{"whet"}, Workers: 4,
+		Retries: 2, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond,
+		Degrade: true, Store: st, Faults: inj,
+	}
+	r := NewRunner(cfg)
+	copts := compiler.Options{Level: compiler.O4}
+	machines := chaosMachines()
+
+	type cell struct {
+		skey string
+		res  *sim.Result
+		err  error
+	}
+	cells := make([]cell, len(machines))
+	var wg sync.WaitGroup
+	for i, m := range machines {
+		wg.Add(1)
+		go func(i int, m *machine.Config) {
+			defer wg.Done()
+			ckey := compileKey("whet", copts, m)
+			cells[i].skey = ckey + "|" + m.Fingerprint()
+			cells[i].res, cells[i].err = r.MeasureCtx(context.Background(), "whet", copts, m)
+		}(i, m)
+	}
+	wg.Wait()
+
+	out := chaosOutcome{degraded: map[string]bool{}, cycles: map[string]float64{}}
+	degraded := 0
+	for _, c := range cells {
+		if c.err != nil {
+			t.Fatalf("seed %d: cell %s errored despite degradation: %v", seed, c.skey, c.err)
+		}
+		if c.res == nil {
+			t.Fatalf("seed %d: cell %s returned neither result nor error", seed, c.skey)
+		}
+		out.degraded[c.skey] = c.res.Degraded
+		if c.res.Degraded {
+			degraded++
+			if _, ok := st.Get(c.skey); ok {
+				t.Fatalf("seed %d: degraded cell %s was persisted", seed, c.skey)
+			}
+			continue
+		}
+		out.cycles[c.skey] = c.res.BaseCycles
+		rec, ok := st.Get(c.skey)
+		if !ok {
+			t.Fatalf("seed %d: completed cell %s lost — not in the store", seed, c.skey)
+		}
+		var stored sim.Result
+		if err := json.Unmarshal(rec.Payload, &stored); err != nil {
+			t.Fatalf("seed %d: stored payload for %s unreadable: %v", seed, c.skey, err)
+		}
+		if stored.BaseCycles != c.res.BaseCycles {
+			t.Fatalf("seed %d: cell %s stored %v base cycles, returned %v",
+				seed, c.skey, stored.BaseCycles, c.res.BaseCycles)
+		}
+	}
+
+	// No retried cell is double-counted: the raw, uncompacted log has at
+	// most one record per key.
+	seen := map[string]bool{}
+	for _, rec := range st.Records() {
+		if seen[rec.Key] {
+			t.Fatalf("seed %d: key %s appended twice", seed, rec.Key)
+		}
+		seen[rec.Key] = true
+		out.storeKeys = append(out.storeKeys, rec.Key)
+	}
+
+	rep := r.Report()
+	if rep.Degraded != int64(degraded) {
+		t.Fatalf("seed %d: report says %d degraded, observed %d", seed, rep.Degraded, degraded)
+	}
+	if rep.Cells != len(machines)-degraded {
+		t.Fatalf("seed %d: report says %d committed cells, want %d", seed, rep.Cells, len(machines)-degraded)
+	}
+
+	// Resume leg: reopen the store with a fault-free runner. Committed
+	// cells must be served from the store with identical cycle counts and
+	// zero new simulations; degraded cells must now compute cleanly.
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatalf("seed %d: reopen: %v", seed, err)
+	}
+	defer st2.Close()
+	r2 := NewRunner(Config{Benchmarks: []string{"whet"}, Workers: 4, Store: st2})
+	if got := r2.Stats().Resumed; got != int64(len(out.cycles)) {
+		t.Fatalf("seed %d: resumed %d cells, store holds %d", seed, got, len(out.cycles))
+	}
+	for i, m := range machines {
+		res, err := r2.MeasureCtx(context.Background(), "whet", copts, m)
+		if err != nil || res == nil || res.Degraded {
+			t.Fatalf("seed %d: fault-free resume failed cell %s: %+v %v", seed, cells[i].skey, res, err)
+		}
+		if want, ok := out.cycles[cells[i].skey]; ok && res.BaseCycles != want {
+			t.Fatalf("seed %d: resumed cell %s returned %v base cycles, committed run had %v",
+				seed, cells[i].skey, res.BaseCycles, want)
+		}
+	}
+	if live := r2.Stats().Sims; live != int64(degraded) {
+		t.Fatalf("seed %d: resume re-simulated %d cells, only the %d degraded ones should run", seed, live, degraded)
+	}
+	return out
+}
+
+// TestChaosFaultSchedules drives the runner through randomized fault
+// schedules (compile faults, sim faults, worker panics, store-write faults,
+// slow jobs) and asserts on every schedule that no completed result is
+// lost, no retried cell double-appends, degradation masks exactly the
+// permanently failed cells, and resuming from the store completes the
+// sweep. Run with -race; `make chaos` raises the schedule count into the
+// hundreds via ILP_CHAOS_SCHEDULES.
+func TestChaosFaultSchedules(t *testing.T) {
+	schedules := chaosSchedules(t, 8)
+	for sched := 0; sched < schedules; sched++ {
+		sched := sched
+		t.Run(fmt.Sprintf("seed%d", sched), func(t *testing.T) {
+			t.Parallel()
+			runChaosSchedule(t, int64(sched), t.TempDir())
+		})
+	}
+}
+
+// TestChaosDeterministic: the same seed reproduces the same fault
+// schedule bit for bit — same degraded set, same committed cycle counts,
+// same store contents — which is what makes a chaos failure replayable.
+func TestChaosDeterministic(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		a := runChaosSchedule(t, seed, t.TempDir())
+		b := runChaosSchedule(t, seed, t.TempDir())
+		if len(a.degraded) != len(b.degraded) || len(a.cycles) != len(b.cycles) {
+			t.Fatalf("seed %d: runs diverged in shape: %+v vs %+v", seed, a, b)
+		}
+		for k, v := range a.degraded {
+			if b.degraded[k] != v {
+				t.Fatalf("seed %d: cell %s degraded=%v in one run, %v in the other", seed, k, v, b.degraded[k])
+			}
+		}
+		for k, v := range a.cycles {
+			if b.cycles[k] != v {
+				t.Fatalf("seed %d: cell %s cycles %v vs %v", seed, k, v, b.cycles[k])
+			}
+		}
+		if len(a.storeKeys) != len(b.storeKeys) {
+			t.Fatalf("seed %d: store keys differ: %v vs %v", seed, a.storeKeys, b.storeKeys)
+		}
+	}
+}
+
+// TestConcurrentRetriesSingleAppend: sixteen goroutines race onto one cell
+// whose first two attempts fail transiently. Singleflight plus
+// attempt-scoped persistence must yield exactly one simulation, two retry
+// waits, one store append — and the same committed result for every
+// caller. (The -race run of this test is the store-duplication guard.)
+func TestConcurrentRetriesSingleAppend(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "r.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := NewRunner(Config{
+		Benchmarks: []string{"whet"}, Workers: 4,
+		Retries: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond,
+		Store: st,
+	})
+	var attempts int
+	var mu sync.Mutex
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts <= 2 {
+			return ilperr.MarkTransient(fmt.Errorf("flaky infrastructure (call %d)", attempts))
+		}
+		return nil
+	}
+
+	m := machine.IdealSuperscalar(2)
+	copts := compiler.Options{Level: compiler.O4}
+	const callers = 16
+	results := make([]*sim.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.MeasureCtx(context.Background(), "whet", copts, m)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d failed: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result object than caller 0", i)
+		}
+	}
+	if attempts != 3 {
+		t.Fatalf("measure hook ran %d times, want 3 (two transient failures + one success)", attempts)
+	}
+	stats := r.Stats()
+	if stats.Sims != 1 {
+		t.Fatalf("%d sim leaders for one cell", stats.Sims)
+	}
+	if stats.Retries != 2 {
+		t.Fatalf("%d retry waits, want 2", stats.Retries)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records for one cell, want exactly 1", st.Len())
+	}
+}
+
+// TestRetriesExhaustedPublishPermanent: a cell that stays transient for
+// more attempts than the budget is published permanent — later callers get
+// the cached failure with zero additional attempts or retry waits.
+func TestRetriesExhaustedPublishPermanent(t *testing.T) {
+	r := NewRunner(Config{
+		Benchmarks: []string{"whet"}, Workers: 2,
+		Retries: 1, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond,
+	})
+	var calls int
+	var mu sync.Mutex
+	r.measureHook = func(ctx context.Context, bench string, m *machine.Config) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		return ilperr.MarkTransient(fmt.Errorf("never heals"))
+	}
+	m := machine.Base()
+	copts := compiler.Options{Level: compiler.O4}
+	_, err := r.MeasureCtx(context.Background(), "whet", copts, m)
+	if err == nil {
+		t.Fatal("exhausted cell returned no error")
+	}
+	if ilperr.IsTransient(err) {
+		t.Fatalf("exhausted failure still transient: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("hook ran %d times, want 2 (Retries=1)", calls)
+	}
+	// Cached verdict: no further attempts.
+	_, err2 := r.MeasureCtx(context.Background(), "whet", copts, m)
+	if err2 == nil || calls != 2 {
+		t.Fatalf("cached permanent verdict re-attempted: calls=%d err=%v", calls, err2)
+	}
+	if got := r.Stats().Retries; got != 1 {
+		t.Fatalf("%d retry waits, want 1", got)
+	}
+}
+
+// TestDegradedSweepCompletes: with degradation on, a sweep whose cells
+// partly panic still renders every experiment; the report carries the
+// degraded count and the failure never reaches the caller as an error.
+func TestDegradedSweepCompletes(t *testing.T) {
+	inj, err := faultinject.New(faultinject.Config{
+		Seed: 99, Rates: map[faultinject.Site]float64{faultinject.SitePanic: 0.15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(Config{
+		MaxDegree: 2, Benchmarks: []string{"whet"}, Degrade: true, Faults: inj,
+	})
+	var out nopWriter
+	rep, err := r.RunAll(context.Background(), &out)
+	if err != nil {
+		t.Fatalf("degraded sweep failed: %v", err)
+	}
+	if rep.Experiments != len(Experiments()) {
+		t.Fatalf("rendered %d experiments, want %d (failed: %v)", rep.Experiments, len(Experiments()), rep.Failed)
+	}
+	if rep.Degraded == 0 {
+		t.Fatal("15% panic rate degraded no cells — injector not reaching the pipeline")
+	}
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -7,22 +7,28 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"ilp/internal/benchmarks"
 	"ilp/internal/compiler"
+	"ilp/internal/faultinject"
 	"ilp/internal/ilperr"
 	"ilp/internal/isa"
 	"ilp/internal/machine"
 	"ilp/internal/metrics"
 	"ilp/internal/sim"
+	"ilp/internal/store"
 )
 
 // The pipeline's structured error taxonomy, re-exported so callers inside
@@ -46,6 +52,38 @@ type Config struct {
 	Workers int
 	// Benchmarks restricts the suite (nil = all eight).
 	Benchmarks []string
+
+	// Retries is how many times a transiently failed compile or
+	// measurement attempt is retried (inside its singleflight leader, with
+	// capped exponential backoff) before the failure is published. 0
+	// disables retries. Transience is decided by ilperr.IsTransient:
+	// injected faults and store I/O errors retry, semantic failures,
+	// panics, and cancellations do not.
+	Retries int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it up to MaxBackoff. The wait is deterministically jittered
+	// per (key, attempt). Zero means 1ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the retry delay. Zero means 250ms.
+	MaxBackoff time.Duration
+
+	// Degrade, when set, turns a permanently failed measurement cell into
+	// a placeholder sim.Result flagged Degraded (NaN cycle counts) with a
+	// nil error, so the sweep renders a partial row instead of dying.
+	// Cancellations still propagate as errors. The runner counts degraded
+	// cells in its stats and SweepReport.
+	Degrade bool
+
+	// Store, when non-nil, makes results durable: every committed cell is
+	// appended to the store as part of its measurement (so a failed append
+	// retries the cell and a completed cell is never lost), and records
+	// already in the store preload the sim cache, resuming a previous
+	// sweep without re-simulating.
+	Store *store.Store
+
+	// Faults, when non-nil, is the deterministic fault injector driving
+	// the chaos tests. nil (the default) injects nothing.
+	Faults *faultinject.Injector
 }
 
 func (c Config) maxDegree() int {
@@ -60,6 +98,27 @@ func (c Config) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.Workers
+}
+
+func (c Config) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	return c.Retries
+}
+
+func (c Config) baseBackoff() time.Duration {
+	if c.BaseBackoff <= 0 {
+		return time.Millisecond
+	}
+	return c.BaseBackoff
+}
+
+func (c Config) maxBackoff() time.Duration {
+	if c.MaxBackoff <= 0 {
+		return 250 * time.Millisecond
+	}
+	return c.MaxBackoff
 }
 
 func (c Config) suite() ([]benchmarks.Benchmark, error) {
@@ -83,6 +142,11 @@ type Result struct {
 	Title  string
 	Text   string
 	Series []metrics.Series
+	// Degraded counts measurement cells that permanently failed and were
+	// degraded to placeholder NaN rows while this experiment ran (only
+	// possible with Config.Degrade; shared cells degraded by an earlier
+	// experiment are counted there, not here).
+	Degraded int
 }
 
 // Experiment is a registered reproduction. Run receives the context of the
@@ -198,23 +262,43 @@ type simEntry struct {
 	err   error
 }
 
-// RunnerStats counts cache traffic, mostly so tooling (ilpbench -stats) can
-// show how much work the two-level cache eliminated.
+// RunnerStats counts cache traffic and fault-tolerance events, so tooling
+// (ilpbench -stats) can show how much work the two-level cache eliminated
+// and how the sweep weathered failures.
 type RunnerStats struct {
 	Compiles    int64 // compilations actually performed
 	CompileHits int64 // compile requests served from (or joined onto) the cache
 	Sims        int64 // simulations actually performed
 	SimHits     int64 // measure requests served from (or joined onto) the cache
+	Resumed     int64 // sim-cache cells preloaded from the result store
+	Retries     int64 // transient-failure retry waits performed
+	Degraded    int64 // cells whose permanent failure degraded to a placeholder
 }
 
-// NewRunner builds a runner.
+// NewRunner builds a runner. When cfg.Store is set, every readable record
+// already in the store preloads the sim cache (counted as Resumed), so
+// cells committed by a previous — possibly interrupted — sweep are served
+// without recompiling or re-simulating.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{
+	r := &Runner{
 		Cfg:      cfg,
 		compiles: map[string]*compileEntry{},
 		sims:     map[string]*simEntry{},
 		sem:      make(chan struct{}, cfg.workers()),
 	}
+	if cfg.Store != nil {
+		for _, rec := range cfg.Store.Records() {
+			res := new(sim.Result)
+			if err := json.Unmarshal(rec.Payload, res); err != nil {
+				continue // unreadable payload: recompute the cell
+			}
+			ready := make(chan struct{})
+			close(ready)
+			r.sims[rec.Key] = &simEntry{ready: ready, res: res}
+			r.stats.Resumed++
+		}
+	}
+	return r
 }
 
 // Stats returns a snapshot of the runner's cache counters.
@@ -229,6 +313,21 @@ func (r *Runner) Run(id string) (*Result, error) {
 	return r.RunCtx(context.Background(), id)
 }
 
+// experimentIDKey carries the running experiment's id down to the
+// measurement pipeline, so store records carry their provenance.
+type ctxKey int
+
+const experimentIDKey ctxKey = iota
+
+func withExperimentID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, experimentIDKey, id)
+}
+
+func experimentID(ctx context.Context) string {
+	id, _ := ctx.Value(experimentIDKey).(string)
+	return id
+}
+
 // RunCtx executes one experiment by id under ctx. The experiment is fault
 // isolated: a panic anywhere in its run (including its own table-building
 // code) is converted into an error matching ErrPanic instead of killing
@@ -241,27 +340,90 @@ func (r *Runner) RunCtx(ctx context.Context, id string) (res *Result, err error)
 	if err := ctx.Err(); err != nil {
 		return nil, cause(ctx)
 	}
+	ctx = withExperimentID(ctx, id)
+	before := r.Stats().Degraded
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, fmt.Errorf("experiment %s: %w", id, ilperr.PanicError(v, debug.Stack()))
 		}
 	}()
-	return e.Run(ctx, r)
+	res, err = e.Run(ctx, r)
+	if res != nil {
+		res.Degraded = int(r.Stats().Degraded - before)
+	}
+	return res, err
+}
+
+// SweepReport is RunAll's fault-tolerance accounting. Cells and Degraded
+// are resume invariant: an interrupted sweep resumed from its store reports
+// the same committed-cell and degraded-cell totals as an uninterrupted run
+// of the same configuration (Live/Resumed/Retried describe how this
+// process got there and do vary).
+type SweepReport struct {
+	Experiments int      // experiments rendered successfully
+	Failed      []string // ids of experiments that failed (non-cancellation)
+	Cells       int      // measurement cells with committed results
+	Degraded    int64    // cells that permanently failed and render as NaN rows
+	Retried     int64    // transient-failure retry waits performed
+	Live        int64    // simulations performed by this process
+	Resumed     int64    // cells preloaded from the result store
+}
+
+// Report snapshots the runner's sweep accounting.
+func (r *Runner) Report() SweepReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := SweepReport{
+		Degraded: r.stats.Degraded,
+		Retried:  r.stats.Retries,
+		Live:     r.stats.Sims,
+		Resumed:  r.stats.Resumed,
+	}
+	for _, se := range r.sims {
+		select {
+		case <-se.ready:
+			if se.err == nil && se.res != nil {
+				rep.Cells++
+			}
+		default: // still in flight; not committed
+		}
+	}
+	return rep
 }
 
 // RunAll executes every experiment in the paper's canonical order
-// (Experiments()), writing each rendition to w. It stops at the first
-// failed experiment or once ctx is cancelled; renditions already written
-// remain valid partial output.
-func (r *Runner) RunAll(ctx context.Context, w io.Writer) error {
+// (Experiments()), writing each rendition to w. Cancellation stops the
+// sweep at the current experiment; any other experiment failure is
+// recorded in the report (and the joined error) and the sweep moves on, so
+// one broken experiment cannot take down the rest. Renditions already
+// written remain valid partial output.
+func (r *Runner) RunAll(ctx context.Context, w io.Writer) (SweepReport, error) {
+	var (
+		errs     []error
+		rendered int
+		failed   []string
+	)
+	report := func() SweepReport {
+		rep := r.Report()
+		rep.Experiments = rendered
+		rep.Failed = failed
+		return rep
+	}
 	for _, e := range Experiments() {
 		res, err := r.RunCtx(ctx, e.ID)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			err = fmt.Errorf("%s: %w", e.ID, err)
+			if isCancellation(ctx, err) {
+				return report(), err
+			}
+			failed = append(failed, e.ID)
+			errs = append(errs, err)
+			continue
 		}
+		rendered++
 		fmt.Fprintf(w, "==== %s: %s ====\n\n%s\n", res.ID, res.Title, res.Text)
 	}
-	return nil
+	return report(), errors.Join(errs...)
 }
 
 // compileKey builds the compile-cache key: the benchmark, every compiler
@@ -311,6 +473,12 @@ func (r *Runner) Measure(bench string, copts compiler.Options, m *machine.Config
 // evicted so a later call with a live context redoes the work — and any
 // panic in the pipeline surfaces as a structured CompileError/SimError
 // matching ErrPanic instead of crashing the process.
+//
+// Fault tolerance happens here and below: the leader retries transient
+// attempt failures per Config.Retries (publishing an exhausted transient
+// failure as permanent, so nothing upstream retries a cached verdict), and
+// with Config.Degrade a genuine failure is returned to every caller as a
+// Degraded placeholder result instead of an error.
 func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Options, m *machine.Config) (*sim.Result, error) {
 	if ctx.Err() != nil {
 		return nil, cause(ctx)
@@ -324,7 +492,7 @@ func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Op
 		r.mu.Unlock()
 		select {
 		case <-se.ready:
-			return se.res, se.err
+			return r.finish(ctx, m, se.res, se.err)
 		case <-ctx.Done():
 			return nil, cause(ctx)
 		}
@@ -334,7 +502,12 @@ func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Op
 	r.stats.Sims++
 	r.mu.Unlock()
 
-	se.res, se.err = r.measure(ctx, bench, copts, m, ckey)
+	se.res, se.err = r.measure(ctx, bench, copts, m, ckey, skey)
+	if se.err != nil && ilperr.IsTransient(se.err) {
+		// Retries exhausted: publish as permanent so no later policy layer
+		// retries a verdict the cache will keep serving.
+		se.err = ilperr.MarkPermanent(se.err)
+	}
 	if se.err != nil && ctx.Err() != nil {
 		// Cancellation-induced failure: evict the entry (before waking
 		// waiters) so the key is retried rather than cached as failed.
@@ -343,16 +516,65 @@ func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Op
 			delete(r.sims, skey)
 		}
 		r.mu.Unlock()
+	} else if se.err != nil && r.Cfg.Degrade && !isCancellation(ctx, se.err) {
+		// The cell permanently failed and will degrade for every caller;
+		// count it once, at the leader.
+		r.mu.Lock()
+		r.stats.Degraded++
+		r.mu.Unlock()
 	}
 	close(se.ready)
-	return se.res, se.err
+	return r.finish(ctx, m, se.res, se.err)
 }
 
-// measure is the sim-cache miss path: acquire a worker slot, obtain the
-// compiled program (cached across cache-geometry variants), and simulate.
-// It is the singleflight leader for its sim key, so it carries the panic
-// isolation for the simulation phase.
-func (r *Runner) measure(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (res *sim.Result, err error) {
+// finish applies the degradation policy to a cell's outcome: with
+// Config.Degrade, a genuine (non-cancellation) failure becomes a
+// placeholder result flagged Degraded whose cycle counts are NaN, so sweep
+// tables render a partial row instead of propagating the error.
+func (r *Runner) finish(ctx context.Context, m *machine.Config, res *sim.Result, err error) (*sim.Result, error) {
+	if err == nil || !r.Cfg.Degrade || isCancellation(ctx, err) {
+		return res, err
+	}
+	return &sim.Result{Machine: m.Name, Degraded: true, BaseCycles: math.NaN()}, nil
+}
+
+// measure is the sim-cache miss path: acquire a worker slot (held across
+// all attempts), then run measureAttempt under the transient-failure retry
+// policy. It is the singleflight leader for its sim key.
+func (r *Runner) measure(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey, skey string) (*sim.Result, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, cause(ctx)
+	}
+	defer func() { <-r.sem }()
+
+	var (
+		res *sim.Result
+		err error
+	)
+	for attempt := 0; ; attempt++ {
+		res, err = r.measureAttempt(ctx, bench, copts, m, ckey, skey, attempt)
+		if err == nil || !ilperr.IsTransient(err) || attempt >= r.Cfg.retries() {
+			break
+		}
+		r.noteRetry()
+		if werr := r.sleepBackoff(ctx, skey, attempt); werr != nil {
+			res, err = nil, werr
+			break
+		}
+	}
+	return res, err
+}
+
+// measureAttempt is one try at a measurement cell: compile (cached),
+// pass the fault-injection sites, simulate, and persist the result to the
+// store. The store append is part of the attempt on purpose — if the
+// append fails, the attempt fails and the retry recomputes and re-appends,
+// so a cell is committed exactly when its record is durable. The attempt
+// carries the panic isolation for the simulation phase (injected worker
+// panics land here too, classifying permanent via ErrPanic).
+func (r *Runner) measureAttempt(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey, skey string, attempt int) (res *sim.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, &SimError{
@@ -361,16 +583,24 @@ func (r *Runner) measure(ctx context.Context, bench string, copts compiler.Optio
 			}
 		}
 	}()
-	select {
-	case r.sem <- struct{}{}:
-	case <-ctx.Done():
+	if ctx.Err() != nil {
 		return nil, cause(ctx)
 	}
-	defer func() { <-r.sem }()
-
 	prog, err := r.compile(ctx, bench, copts, m, ckey)
 	if err != nil {
 		return nil, err
+	}
+	inj := r.Cfg.Faults
+	if d := inj.SlowDelay(skey, attempt); d > 0 {
+		if werr := sleepCtx(ctx, d); werr != nil {
+			return nil, werr
+		}
+	}
+	if inj.ShouldPanic(skey, attempt) {
+		panic(fmt.Sprintf("injected fault: worker panic at %s (attempt %d)", skey, attempt))
+	}
+	if ferr := inj.Fail(faultinject.SiteSim, skey, attempt); ferr != nil {
+		return nil, r.simFailure(ctx, bench, m, ferr)
 	}
 	if h := r.measureHook; h != nil {
 		if err := h(ctx, bench, m); err != nil {
@@ -381,7 +611,86 @@ func (r *Runner) measure(ctx context.Context, bench string, copts compiler.Optio
 	if err != nil {
 		return nil, r.simFailure(ctx, bench, m, err)
 	}
+	if perr := r.persist(ctx, bench, m, skey, attempt, res); perr != nil {
+		return nil, perr
+	}
 	return res, nil
+}
+
+// persist makes a committed cell durable. A store I/O failure (or an
+// injected SiteStore fault) is transient — the retry policy reruns the
+// whole attempt, so the store never records a cell the runner did not
+// hand back, and the runner never hands back a cell the store lost.
+func (r *Runner) persist(ctx context.Context, bench string, m *machine.Config, skey string, attempt int, res *sim.Result) error {
+	st := r.Cfg.Store
+	if ferr := r.Cfg.Faults.Fail(faultinject.SiteStore, skey, attempt); ferr != nil {
+		path := "(none)"
+		if st != nil {
+			path = st.Path()
+		}
+		return &ilperr.StoreError{Path: path, Op: "append", Err: ferr}
+	}
+	if st == nil {
+		return nil
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return ilperr.MarkPermanent(&ilperr.StoreError{Path: st.Path(), Op: "append", Err: err})
+	}
+	return st.Append(store.Record{
+		Key: skey, Experiment: experimentID(ctx), Benchmark: bench,
+		Machine: m.Name, Fingerprint: m.Fingerprint(), Payload: payload,
+	})
+}
+
+// noteRetry counts one retry wait.
+func (r *Runner) noteRetry() {
+	r.mu.Lock()
+	r.stats.Retries++
+	r.mu.Unlock()
+}
+
+// sleepBackoff waits the capped-exponential, deterministically jittered
+// backoff before retrying key's attempt, or returns the cancellation cause
+// early.
+func (r *Runner) sleepBackoff(ctx context.Context, key string, attempt int) error {
+	return sleepCtx(ctx, backoffDelay(r.Cfg.baseBackoff(), r.Cfg.maxBackoff(), key, attempt))
+}
+
+// backoffDelay doubles base per attempt up to max, with equal jitter: half
+// the delay is fixed, half is hash-derived from (key, attempt), so
+// schedules are reproducible run-to-run yet colliding retries spread out.
+func backoffDelay(base, max time.Duration, key string, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0, byte(attempt), byte(attempt >> 8)})
+	frac := float64(h.Sum64()>>11) / (1 << 53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// sleepCtx sleeps d, or returns the cancellation cause if ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if ctx.Err() != nil {
+			return cause(ctx)
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return cause(ctx)
+	}
 }
 
 // simFailure classifies a simulation-phase error: cancellation propagates
@@ -417,7 +726,12 @@ func (r *Runner) compile(ctx context.Context, bench string, copts compiler.Optio
 	r.stats.Compiles++
 	r.mu.Unlock()
 
-	ce.prog, ce.err = r.doCompile(ctx, bench, copts, m)
+	ce.prog, ce.err = r.doCompile(ctx, bench, copts, m, ckey)
+	if ce.err != nil && ilperr.IsTransient(ce.err) {
+		// Retries exhausted: publish permanent, so a sim-level retry that
+		// hits this cached verdict does not spin on it.
+		ce.err = ilperr.MarkPermanent(ce.err)
+	}
 	if ce.err != nil && ctx.Err() != nil {
 		// Same eviction rule as the sim cache: do not poison the key with
 		// a cancellation-induced failure.
@@ -431,10 +745,31 @@ func (r *Runner) compile(ctx context.Context, bench string, copts compiler.Optio
 	return ce.prog, ce.err
 }
 
-// doCompile is the compile-cache miss path and the singleflight leader for
-// its compile key: it carries the panic isolation and error wrapping for
-// the compilation phase.
-func (r *Runner) doCompile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config) (prog *isa.Program, err error) {
+// doCompile is the compile-cache miss path: it runs compileAttempt under
+// the same transient-failure retry policy as measure.
+func (r *Runner) doCompile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, error) {
+	var (
+		prog *isa.Program
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		prog, err = r.compileAttempt(ctx, bench, copts, m, ckey, attempt)
+		if err == nil || !ilperr.IsTransient(err) || attempt >= r.Cfg.retries() {
+			break
+		}
+		r.noteRetry()
+		if werr := r.sleepBackoff(ctx, ckey, attempt); werr != nil {
+			prog, err = nil, werr
+			break
+		}
+	}
+	return prog, err
+}
+
+// compileAttempt is one try at a compilation, carrying the panic isolation
+// and error wrapping for the compile phase (and the SiteCompile fault
+// hook).
+func (r *Runner) compileAttempt(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string, attempt int) (prog *isa.Program, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			prog, err = nil, &CompileError{
@@ -449,6 +784,9 @@ func (r *Runner) doCompile(ctx context.Context, bench string, copts compiler.Opt
 	b, err := benchmarks.ByName(bench)
 	if err != nil {
 		return nil, err
+	}
+	if ferr := r.Cfg.Faults.Fail(faultinject.SiteCompile, ckey, attempt); ferr != nil {
+		return nil, r.compileFailure(ctx, bench, m, ferr)
 	}
 	if h := r.compileHook; h != nil {
 		if err := h(ctx, bench, m); err != nil {

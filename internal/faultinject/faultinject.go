@@ -1,0 +1,172 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the experiment pipeline's chaos tests. An Injector decides, per pipeline
+// site and per attempt, whether to inject a failure — and the decision is a
+// pure function of (seed, site, key, attempt), independent of goroutine
+// scheduling, wall-clock time, or call order. The same seed therefore
+// produces the same fault schedule whether the sweep runs on one worker or
+// sixteen, which is what lets the chaos suite replay a failing schedule
+// under -race and assert exact recovery behavior.
+//
+// The zero value — a nil *Injector — is the production configuration: every
+// probe is a no-op that injects nothing, so the pipeline pays one nil check
+// per site and no hashing.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Site names a pipeline point where a fault can be injected.
+type Site string
+
+// The injectable sites, covering every failure mode the runner's retry and
+// degradation machinery must survive.
+const (
+	// SiteCompile fails a compile attempt with a transient error.
+	SiteCompile Site = "compile"
+	// SiteSim fails a simulation attempt with a transient error.
+	SiteSim Site = "sim"
+	// SitePanic panics the worker mid-measurement (always permanent).
+	SitePanic Site = "panic"
+	// SiteStore fails the result-store append with a transient error.
+	SiteStore Site = "store"
+	// SiteSlow delays a job by the injector's SlowDelay before it runs.
+	SiteSlow Site = "slow"
+)
+
+// Sites lists every injectable site.
+func Sites() []Site {
+	return []Site{SiteCompile, SiteSim, SitePanic, SiteStore, SiteSlow}
+}
+
+// ErrInjected marks errors produced by the injector, so tests can tell an
+// injected fault from an organic failure with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// Fault is the error an Injector returns at a failing site. It classifies
+// transient — injected faults model recoverable infrastructure failures, so
+// the retry policy should retry them — except at SitePanic, which does not
+// return a Fault at all (the site panics instead, and panics are permanent
+// by the ilperr taxonomy).
+type Fault struct {
+	Site    Site
+	Key     string
+	Attempt int
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%v: %s at %s (attempt %d)", ErrInjected, f.Site, f.Key, f.Attempt)
+}
+
+func (f *Fault) Unwrap() error { return ErrInjected }
+
+// Transient reports true: injected faults stand in for recoverable
+// infrastructure failures.
+func (f *Fault) Transient() bool { return true }
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives every injection decision. Two injectors with the same
+	// Seed and Rates produce identical fault schedules.
+	Seed int64
+	// Rates maps each site to its injection probability in [0, 1].
+	// Absent sites never fire.
+	Rates map[Site]float64
+	// SlowDelay is how long SiteSlow stalls a job. Zero disables slowness
+	// even if SiteSlow has a rate.
+	SlowDelay time.Duration
+}
+
+// Injector decides fault injection deterministically. All methods are safe
+// on a nil receiver (no-op) and safe for concurrent use: an Injector is
+// immutable after New.
+type Injector struct {
+	cfg Config
+}
+
+// New builds an Injector. Rates are clamped to [0, 1].
+func New(cfg Config) (*Injector, error) {
+	for site, rate := range cfg.Rates {
+		if rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faultinject: rate %v for site %q outside [0,1]", rate, site)
+		}
+		switch site {
+		case SiteCompile, SiteSim, SitePanic, SiteStore, SiteSlow:
+		default:
+			return nil, fmt.Errorf("faultinject: unknown site %q", site)
+		}
+	}
+	rates := make(map[Site]float64, len(cfg.Rates))
+	for site, rate := range cfg.Rates {
+		rates[site] = rate
+	}
+	cfg.Rates = rates
+	return &Injector{cfg: cfg}, nil
+}
+
+// roll produces a uniform-looking value in [0, 1) from the decision
+// coordinate. FNV-1a over the packed coordinate is cheap, stateless, and —
+// unlike a shared *rand.Rand — gives every (site, key, attempt) its own
+// draw regardless of the order goroutines reach it.
+func (in *Injector) roll(site Site, key string, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64(buf[:], uint64(in.cfg.Seed))
+	h.Write(buf[:])
+	h.Write([]byte(site))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	putUint64(buf[:], uint64(attempt))
+	h.Write(buf[:])
+	// 53 bits of the hash → float64 in [0, 1).
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// should reports whether the site fires for this coordinate.
+func (in *Injector) should(site Site, key string, attempt int) bool {
+	if in == nil {
+		return false
+	}
+	rate, ok := in.cfg.Rates[site]
+	if !ok || rate <= 0 {
+		return false
+	}
+	return in.roll(site, key, attempt) < rate
+}
+
+// Fail returns an injected *Fault if the site fires for (key, attempt),
+// nil otherwise. Used at SiteCompile, SiteSim, and SiteStore.
+func (in *Injector) Fail(site Site, key string, attempt int) error {
+	if !in.should(site, key, attempt) {
+		return nil
+	}
+	return &Fault{Site: site, Key: key, Attempt: attempt}
+}
+
+// ShouldPanic reports whether the worker should panic for (key, attempt).
+// The caller performs the panic so the stack names the real site.
+func (in *Injector) ShouldPanic(key string, attempt int) bool {
+	return in.should(SitePanic, key, attempt)
+}
+
+// SlowDelay returns the stall to apply before running (key, attempt), or
+// zero. The delay is the configured SlowDelay when SiteSlow fires.
+func (in *Injector) SlowDelay(key string, attempt int) time.Duration {
+	if in == nil || in.cfg.SlowDelay <= 0 {
+		return 0
+	}
+	if !in.should(SiteSlow, key, attempt) {
+		return 0
+	}
+	return in.cfg.SlowDelay
+}

@@ -1,0 +1,190 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"ilp/internal/ilperr"
+)
+
+func mustNew(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestNilInjectorIsNoOp: the production configuration injects nothing.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	for _, site := range Sites() {
+		if err := in.Fail(site, "k", 0); err != nil {
+			t.Errorf("nil injector injected at %s: %v", site, err)
+		}
+	}
+	if in.ShouldPanic("k", 0) {
+		t.Error("nil injector panicked")
+	}
+	if d := in.SlowDelay("k", 0); d != 0 {
+		t.Errorf("nil injector slowed by %v", d)
+	}
+}
+
+// TestDeterministic: the decision is a pure function of
+// (seed, site, key, attempt) — same inputs, same verdict, every time and
+// from every goroutine.
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Rates: map[Site]float64{SiteCompile: 0.5, SiteSim: 0.5}}
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	type verdict struct {
+		site    Site
+		key     string
+		attempt int
+		fired   bool
+	}
+	var want []verdict
+	for _, site := range []Site{SiteCompile, SiteSim} {
+		for k := 0; k < 20; k++ {
+			for attempt := 0; attempt < 4; attempt++ {
+				key := fmt.Sprintf("key%d", k)
+				want = append(want, verdict{site, key, attempt, a.Fail(site, key, attempt) != nil})
+			}
+		}
+	}
+	// Replay on a second injector, concurrently, in arbitrary order.
+	var wg sync.WaitGroup
+	for _, v := range want {
+		wg.Add(1)
+		go func(v verdict) {
+			defer wg.Done()
+			if got := b.Fail(v.site, v.key, v.attempt) != nil; got != v.fired {
+				t.Errorf("(%s,%s,%d): fired=%v, want %v", v.site, v.key, v.attempt, got, v.fired)
+			}
+		}(v)
+	}
+	wg.Wait()
+}
+
+// TestSeedsDiffer: different seeds give different schedules.
+func TestSeedsDiffer(t *testing.T) {
+	a := mustNew(t, Config{Seed: 1, Rates: map[Site]float64{SiteSim: 0.5}})
+	b := mustNew(t, Config{Seed: 2, Rates: map[Site]float64{SiteSim: 0.5}})
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if (a.Fail(SiteSim, key, 0) != nil) == (b.Fail(SiteSim, key, 0) != nil) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("two seeds produced identical schedules")
+	}
+}
+
+// TestAttemptIndependence: a fault on attempt 0 does not imply a fault on
+// attempt 1 — retries can succeed, which the retry policy depends on.
+func TestAttemptIndependence(t *testing.T) {
+	in := mustNew(t, Config{Seed: 7, Rates: map[Site]float64{SiteSim: 0.5}})
+	recovered := false
+	for i := 0; i < 100 && !recovered; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if in.Fail(SiteSim, key, 0) != nil && in.Fail(SiteSim, key, 1) == nil {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no key failed attempt 0 then passed attempt 1 in 100 keys at rate 0.5")
+	}
+}
+
+// TestRateCalibration: observed firing frequency tracks the configured
+// rate (loose tolerance — the roll is a hash, not a perfect PRNG).
+func TestRateCalibration(t *testing.T) {
+	for _, rate := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		in := mustNew(t, Config{Seed: 3, Rates: map[Site]float64{SiteSim: rate}})
+		fired := 0
+		const n = 2000
+		for i := 0; i < n; i++ {
+			if in.Fail(SiteSim, fmt.Sprintf("k%d", i), 0) != nil {
+				fired++
+			}
+		}
+		got := float64(fired) / n
+		if math.Abs(got-rate) > 0.05 {
+			t.Errorf("rate %v: observed %.3f", rate, got)
+		}
+	}
+}
+
+// TestFaultClassification: injected faults match ErrInjected and classify
+// transient under the ilperr taxonomy, including when wrapped the way the
+// runner wraps them.
+func TestFaultClassification(t *testing.T) {
+	in := mustNew(t, Config{Seed: 5, Rates: map[Site]float64{SiteStore: 1}})
+	err := in.Fail(SiteStore, "k", 0)
+	if err == nil {
+		t.Fatal("rate-1 site did not fire")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault does not match ErrInjected: %v", err)
+	}
+	if !ilperr.IsTransient(err) {
+		t.Fatalf("fault not transient: %v", err)
+	}
+	wrapped := &ilperr.SimError{Benchmark: "whet", Machine: "m", Err: err}
+	if !ilperr.IsTransient(wrapped) {
+		t.Fatalf("wrapped fault lost transience: %v", wrapped)
+	}
+	if ilperr.IsTransient(ilperr.MarkPermanent(wrapped)) {
+		t.Fatal("MarkPermanent did not override the fault's transience")
+	}
+	var f *Fault
+	if !errors.As(err, &f) || f.Site != SiteStore || f.Key != "k" {
+		t.Fatalf("fault coordinates lost: %v", err)
+	}
+}
+
+// TestSlowDelay: fires only with a positive SlowDelay and a SiteSlow rate.
+func TestSlowDelay(t *testing.T) {
+	in := mustNew(t, Config{Seed: 9, Rates: map[Site]float64{SiteSlow: 1}, SlowDelay: 3 * time.Millisecond})
+	if d := in.SlowDelay("k", 0); d != 3*time.Millisecond {
+		t.Fatalf("SlowDelay = %v, want 3ms", d)
+	}
+	noDelay := mustNew(t, Config{Seed: 9, Rates: map[Site]float64{SiteSlow: 1}})
+	if d := noDelay.SlowDelay("k", 0); d != 0 {
+		t.Fatalf("zero SlowDelay still stalled %v", d)
+	}
+}
+
+// TestNewRejectsBadConfig: out-of-range rates and unknown sites are
+// configuration errors, not silent no-ops.
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Rates: map[Site]float64{SiteSim: 1.5}}); err == nil {
+		t.Error("rate 1.5 accepted")
+	}
+	if _, err := New(Config{Rates: map[Site]float64{SiteSim: -0.1}}); err == nil {
+		t.Error("rate -0.1 accepted")
+	}
+	if _, err := New(Config{Rates: map[Site]float64{"bogus": 0.5}}); err == nil {
+		t.Error("unknown site accepted")
+	}
+}
+
+// TestConfigIsolation: mutating the caller's Rates map after New does not
+// change the injector's schedule.
+func TestConfigIsolation(t *testing.T) {
+	rates := map[Site]float64{SiteSim: 1}
+	in := mustNew(t, Config{Seed: 1, Rates: rates})
+	rates[SiteSim] = 0
+	if in.Fail(SiteSim, "k", 0) == nil {
+		t.Fatal("injector shares the caller's Rates map")
+	}
+}

@@ -1,16 +1,24 @@
 // Package ilperr is the structured error taxonomy of the measurement
 // pipeline. The experiment runner, the ilp facade, and the CLIs all
-// construct and inspect the same two error types, so errors.As/errors.Is
+// construct and inspect the same error types, so errors.As/errors.Is
 // work across package boundaries: a sweep embedded in a service can tell a
-// compiler rejection from a simulator fault from a cancelled context, and
-// can recover the exact (benchmark, machine, fingerprint) coordinate that
-// failed without parsing messages.
+// compiler rejection from a simulator fault from a corrupt result store
+// from a cancelled context, and can recover the exact (benchmark, machine,
+// fingerprint) coordinate that failed without parsing messages.
+//
+// Besides the error types, the package defines the pipeline's
+// transient/permanent classification (IsTransient), which the experiment
+// runner's retry policy dispatches on: transient failures (injected
+// faults, store I/O errors) are worth retrying with backoff; permanent
+// ones (semantic compile/simulate failures, panics, cancellations,
+// corruption) are not.
 //
 // The package is a leaf on purpose — it imports nothing but the standard
 // library, so any layer may depend on it without cycles.
 package ilperr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -89,3 +97,147 @@ func (e *SimError) Error() string {
 }
 
 func (e *SimError) Unwrap() error { return e.Err }
+
+// MachineError reports an invalid machine description, rejected at
+// construction/load time so a bad latency table or functional-unit layout
+// fails with a coordinate instead of producing nonsense cycle counts (or a
+// panic) downstream.
+type MachineError struct {
+	// Machine is the offending description's name.
+	Machine string
+	// Err describes the rejected field.
+	Err error
+}
+
+func (e *MachineError) Error() string {
+	return fmt.Sprintf("machine %q: %v", e.Machine, e.Err)
+}
+
+func (e *MachineError) Unwrap() error { return e.Err }
+
+// ErrCorrupt marks a result-store record whose checksum or framing does
+// not verify. Corruption is permanent: re-reading the same bytes cannot
+// heal it, so IsTransient reports false for errors wrapping it.
+var ErrCorrupt = errors.New("corrupt record")
+
+// StoreError reports a result-store failure: an I/O error while opening,
+// appending, or compacting, or corruption detected while loading.
+type StoreError struct {
+	// Path is the store file.
+	Path string
+	// Op is the operation that failed: "open", "load", "append",
+	// "compact".
+	Op string
+	// Line is the 1-based line number of a corrupt record (0 when the
+	// failure is not tied to a line).
+	Line int
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *StoreError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("store %s: %s: line %d: %v", e.Path, e.Op, e.Line, e.Err)
+	}
+	return fmt.Sprintf("store %s: %s: %v", e.Path, e.Op, e.Err)
+}
+
+func (e *StoreError) Unwrap() error { return e.Err }
+
+// Transient classifies store failures for the retry policy: I/O errors are
+// worth retrying, detected corruption is not.
+func (e *StoreError) Transient() bool { return !errors.Is(e.Err, ErrCorrupt) }
+
+// transient and permanent are the explicit classification markers wrapped
+// around causes by MarkTransient/MarkPermanent. The outermost marker on a
+// chain wins, so a retry loop can demote an exhausted transient failure to
+// permanent without losing the original cause.
+type transient struct{ err error }
+
+func (t *transient) Error() string   { return t.err.Error() }
+func (t *transient) Unwrap() error   { return t.err }
+func (t *transient) Transient() bool { return true }
+
+type permanent struct{ err error }
+
+func (p *permanent) Error() string   { return p.err.Error() }
+func (p *permanent) Unwrap() error   { return p.err }
+func (p *permanent) Transient() bool { return false }
+
+// MarkTransient marks err as transient for IsTransient. Panics and
+// cancellations stay permanent even when marked.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transient{err}
+}
+
+// MarkPermanent marks err as permanent for IsTransient, overriding any
+// transient marker deeper in the chain (the retry loop uses it to publish
+// a retries-exhausted failure).
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanent{err}
+}
+
+// IsTransient reports whether err is a transient failure — one the retry
+// policy should retry with backoff. The classification rules, in priority
+// order:
+//
+//  1. Panics (ErrPanic) and cancellations (context.Canceled,
+//     context.DeadlineExceeded) are always permanent: a panicking worker
+//     is a bug, and a cancelled sweep must stop, not retry.
+//  2. Otherwise the outermost explicit classification on the unwrap chain
+//     wins: anything implementing `Transient() bool` (the MarkTransient /
+//     MarkPermanent wrappers, injected faults, StoreError).
+//  3. Unclassified errors are permanent: a semantic compile or simulate
+//     failure is deterministic and will not heal on retry.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrPanic) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	for e := err; e != nil; {
+		if t, ok := e.(interface{ Transient() bool }); ok {
+			return t.Transient()
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() error }:
+			e = u.Unwrap()
+		case interface{ Unwrap() []error }:
+			// A joined error is transient only if every branch is:
+			// retrying cannot help if any branch is permanent, and an
+			// unclassified branch is permanent by rule 3.
+			children := u.Unwrap()
+			for _, child := range children {
+				if classified, verdict := classify(child); !classified || !verdict {
+					return false
+				}
+			}
+			return len(children) > 0
+		default:
+			e = nil
+		}
+	}
+	return false
+}
+
+// classify walks one branch of a chain for an explicit Transient marker.
+func classify(err error) (classified, verdict bool) {
+	for e := err; e != nil; {
+		if t, ok := e.(interface{ Transient() bool }); ok {
+			return true, t.Transient()
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false, false
+		}
+		e = u.Unwrap()
+	}
+	return false, false
+}

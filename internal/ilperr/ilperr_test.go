@@ -1,8 +1,10 @@
 package ilperr
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"strings"
 	"testing"
 )
@@ -52,5 +54,86 @@ func TestPanicError(t *testing.T) {
 	se := &SimError{Machine: "m", Err: PanicError(fmt.Errorf("v"), nil)}
 	if !errors.Is(se, ErrPanic) {
 		t.Fatal("ErrPanic not matchable through SimError")
+	}
+}
+
+func TestMachineErrorFormatting(t *testing.T) {
+	inner := errors.New("issue width 0 < 1")
+	err := &MachineError{Machine: "broken", Err: inner}
+	if got := err.Error(); !strings.Contains(got, `"broken"`) || !strings.Contains(got, "issue width") {
+		t.Fatalf("message missing coordinates: %q", got)
+	}
+	if !errors.Is(err, inner) {
+		t.Fatal("Unwrap broken")
+	}
+}
+
+func TestStoreErrorFormatting(t *testing.T) {
+	err := &StoreError{Path: "/tmp/r.jsonl", Op: "load", Line: 7, Err: ErrCorrupt}
+	for _, want := range []string{"/tmp/r.jsonl", "load", "line 7", "corrupt"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("store error lost %q: %v", want, err)
+		}
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatal("Unwrap broken")
+	}
+	noLine := &StoreError{Path: "p", Op: "append", Err: errors.New("disk full")}
+	if strings.Contains(noLine.Error(), "line") {
+		t.Fatalf("line 0 must not be rendered: %v", noLine)
+	}
+}
+
+// TestIsTransientTaxonomy pins the classification rules the retry policy
+// depends on: panics and cancellations permanent, explicit markers
+// honored outermost-first, store I/O transient vs. corruption permanent,
+// unclassified errors permanent.
+func TestIsTransientTaxonomy(t *testing.T) {
+	base := errors.New("flaky io")
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"unclassified", errors.New("semantic failure"), false},
+		{"marked transient", MarkTransient(base), true},
+		{"marked permanent", MarkPermanent(base), false},
+		{"exhausted transient (permanent over transient)",
+			MarkPermanent(fmt.Errorf("retries exhausted: %w", MarkTransient(base))), false},
+		{"panic always permanent", MarkTransient(PanicError("boom", nil)), false},
+		{"cancellation always permanent", MarkTransient(context.Canceled), false},
+		{"deadline always permanent", fmt.Errorf("job: %w", context.DeadlineExceeded), false},
+		{"transient through SimError", &SimError{Machine: "m", Err: MarkTransient(base)}, true},
+		{"transient through CompileError", &CompileError{Machine: "m", Err: MarkTransient(base)}, true},
+		{"store io transient", &StoreError{Path: "p", Op: "append", Err: fs.ErrPermission}, true},
+		{"store corruption permanent", &StoreError{Path: "p", Op: "load", Line: 3, Err: ErrCorrupt}, false},
+		{"store io through SimError", &SimError{Machine: "m", Err: &StoreError{Path: "p", Op: "append", Err: base}}, true},
+		{"joined all transient", errors.Join(MarkTransient(base), MarkTransient(errors.New("b"))), true},
+		{"joined mixed", errors.Join(MarkTransient(base), errors.New("hard")), false},
+		{"joined with permanent", errors.Join(MarkTransient(base), MarkPermanent(errors.New("b"))), false},
+		{"joined unclassified", errors.Join(errors.New("a"), errors.New("b")), false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("%s: IsTransient(%v) = %v, want %v", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestMarkersPreserveChain: marking must not hide the original cause from
+// errors.Is/errors.As.
+func TestMarkersPreserveChain(t *testing.T) {
+	cause := errors.New("root")
+	for _, err := range []error{MarkTransient(cause), MarkPermanent(cause)} {
+		if !errors.Is(err, cause) {
+			t.Fatalf("marker broke the chain: %v", err)
+		}
+		if err.Error() != "root" {
+			t.Fatalf("marker changed the message: %q", err.Error())
+		}
+	}
+	if MarkTransient(nil) != nil || MarkPermanent(nil) != nil {
+		t.Fatal("marking nil must stay nil")
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"ilp/internal/cache"
+	"ilp/internal/ilperr"
 	"ilp/internal/isa"
 )
 
@@ -100,20 +101,27 @@ func (c *Config) unitIndex() ([isa.NumClasses]int, error) {
 	for ui, u := range c.Units {
 		for _, cl := range u.Classes {
 			if int(cl) >= isa.NumClasses {
-				return idx, fmt.Errorf("machine %q: unit %q names invalid class %d", c.Name, u.Name, cl)
+				return idx, c.reject("unit %q names invalid class %d", u.Name, cl)
 			}
 			if idx[cl] != -1 {
-				return idx, fmt.Errorf("machine %q: class %v served by units %q and %q", c.Name, cl, c.Units[idx[cl]].Name, u.Name)
+				return idx, c.reject("class %v served by units %q and %q", cl, c.Units[idx[cl]].Name, u.Name)
 			}
 			idx[cl] = ui
 		}
 	}
 	for cl, ui := range idx {
 		if ui == -1 {
-			return idx, fmt.Errorf("machine %q: class %v not served by any unit", c.Name, isa.Class(cl))
+			return idx, c.reject("class %v not served by any unit", isa.Class(cl))
 		}
 	}
 	return idx, nil
+}
+
+// reject builds the structured rejection Validate reports: a
+// *ilperr.MachineError naming the description, so callers can dispatch on
+// the error type (and recover the machine name) without parsing messages.
+func (c *Config) reject(format string, args ...any) error {
+	return &ilperr.MachineError{Machine: c.Name, Err: fmt.Errorf(format, args...)}
 }
 
 // UnitForClass returns the index into Units of the unit serving the class.
@@ -126,37 +134,41 @@ func (c *Config) UnitForClass(cl isa.Class) int {
 	return idx[cl]
 }
 
-// Validate checks the description for consistency.
+// Validate checks the description for consistency. Every rejection is a
+// structured *ilperr.MachineError, so a bad description loaded or built at
+// runtime fails its compile/simulate with a typed error instead of
+// producing nonsense cycle counts or panicking downstream (both
+// compiler.Compile and the simulator validate before running).
 func (c *Config) Validate() error {
 	if c.IssueWidth < 1 {
-		return fmt.Errorf("machine %q: issue width %d < 1", c.Name, c.IssueWidth)
+		return c.reject("issue width %d < 1", c.IssueWidth)
 	}
 	if c.Degree < 1 {
-		return fmt.Errorf("machine %q: degree %d < 1", c.Name, c.Degree)
+		return c.reject("degree %d < 1", c.Degree)
 	}
 	for cl, lat := range c.Latency {
 		if lat < 1 {
-			return fmt.Errorf("machine %q: class %v latency %d < 1", c.Name, isa.Class(cl), lat)
+			return c.reject("class %v latency %d < 1", isa.Class(cl), lat)
 		}
 	}
 	for _, u := range c.Units {
 		if u.Multiplicity < 1 {
-			return fmt.Errorf("machine %q: unit %q multiplicity %d < 1", c.Name, u.Name, u.Multiplicity)
+			return c.reject("unit %q multiplicity %d < 1", u.Name, u.Multiplicity)
 		}
 		if u.IssueLatency < 1 {
-			return fmt.Errorf("machine %q: unit %q issue latency %d < 1", c.Name, u.Name, u.IssueLatency)
+			return c.reject("unit %q issue latency %d < 1", u.Name, u.IssueLatency)
 		}
 	}
 	if _, err := c.unitIndex(); err != nil {
 		return err
 	}
 	if c.BranchRedirect < 0 {
-		return fmt.Errorf("machine %q: negative branch redirect", c.Name)
+		return c.reject("negative branch redirect %d", c.BranchRedirect)
 	}
 	for _, cc := range []*cache.Config{c.ICache, c.DCache} {
 		if cc != nil {
 			if err := cc.Validate(); err != nil {
-				return fmt.Errorf("machine %q: %w", c.Name, err)
+				return &ilperr.MachineError{Machine: c.Name, Err: err}
 			}
 		}
 	}
@@ -173,21 +185,21 @@ const AvailableRegs = 50
 
 func (c *Config) validateRegs() error {
 	if c.IntTemps < 2 {
-		return fmt.Errorf("machine %q: need at least 2 integer temporaries, have %d", c.Name, c.IntTemps)
+		return c.reject("need at least 2 integer temporaries, have %d", c.IntTemps)
 	}
 	if c.FPTemps < 2 {
-		return fmt.Errorf("machine %q: need at least 2 fp temporaries, have %d", c.Name, c.FPTemps)
+		return c.reject("need at least 2 fp temporaries, have %d", c.FPTemps)
 	}
 	if c.IntTemps+c.IntHomes > AvailableRegs {
-		return fmt.Errorf("machine %q: %d integer temps + %d homes exceed the %d available registers",
-			c.Name, c.IntTemps, c.IntHomes, AvailableRegs)
+		return c.reject("%d integer temps + %d homes exceed the %d available registers",
+			c.IntTemps, c.IntHomes, AvailableRegs)
 	}
 	if c.FPTemps+c.FPHomes > AvailableRegs {
-		return fmt.Errorf("machine %q: %d fp temps + %d homes exceed the %d available registers",
-			c.Name, c.FPTemps, c.FPHomes, AvailableRegs)
+		return c.reject("%d fp temps + %d homes exceed the %d available registers",
+			c.FPTemps, c.FPHomes, AvailableRegs)
 	}
 	if c.IntHomes < 0 || c.FPHomes < 0 {
-		return fmt.Errorf("machine %q: negative home register count", c.Name)
+		return c.reject("negative home register count")
 	}
 	return nil
 }

@@ -1,8 +1,12 @@
 package machine
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
+	"ilp/internal/cache"
+	"ilp/internal/ilperr"
 	"ilp/internal/isa"
 )
 
@@ -71,31 +75,67 @@ func TestSuperpipelinedSuperscalarNeedsNM(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsBadConfigs: every malformed description is rejected
+// at validation time with a structured *ilperr.MachineError carrying the
+// machine's name — never accepted (which would produce nonsense cycle
+// counts downstream) and never a panic.
 func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(c *Config)
+		wantText string
+	}{
+		{"zero issue width", func(c *Config) { c.IssueWidth = 0 }, "issue width"},
+		{"negative issue width", func(c *Config) { c.IssueWidth = -3 }, "issue width"},
+		{"zero degree", func(c *Config) { c.Degree = 0 }, "degree"},
+		{"zero class latency", func(c *Config) { c.Latency[isa.ClassLoad] = 0 }, "latency"},
+		{"negative class latency", func(c *Config) { c.Latency[isa.ClassFPMul] = -2 }, "latency"},
+		{"zero unit multiplicity", func(c *Config) { c.Units[0].Multiplicity = 0 }, "multiplicity"},
+		{"zero unit issue latency", func(c *Config) { c.Units[0].IssueLatency = 0 }, "issue latency"},
+		{"uncovered class", func(c *Config) { c.Units = c.Units[1:] }, "not served"},
+		{"doubly covered class", func(c *Config) {
+			c.Units = append(c.Units, FUnit{Name: "dup", Classes: []isa.Class{isa.ClassLoad}, Multiplicity: 1, IssueLatency: 1})
+		}, "served by units"},
+		{"negative branch redirect", func(c *Config) { c.BranchRedirect = -1 }, "branch redirect"},
+		{"too few int temps", func(c *Config) { c.IntTemps = 1 }, "temporaries"},
+		{"register oversubscription", func(c *Config) { c.IntTemps, c.IntHomes = 40, 40 }, "exceed"},
+		{"negative homes", func(c *Config) { c.FPHomes = -1; c.FPTemps = 2 }, "negative home"},
+	}
+	for _, tc := range cases {
+		c := Base()
+		c.Name = "bad-" + tc.name
+		tc.mutate(c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var me *ilperr.MachineError
+		if !errors.As(err, &me) {
+			t.Errorf("%s: rejection is %T, want *ilperr.MachineError: %v", tc.name, err, err)
+			continue
+		}
+		if me.Machine != c.Name {
+			t.Errorf("%s: error names machine %q, want %q", tc.name, me.Machine, c.Name)
+		}
+		if !strings.Contains(err.Error(), tc.wantText) {
+			t.Errorf("%s: message %q missing %q", tc.name, err.Error(), tc.wantText)
+		}
+	}
+}
+
+// TestValidateRejectsBadCache: a broken embedded cache geometry surfaces
+// as a MachineError wrapping the cache's own complaint.
+func TestValidateRejectsBadCache(t *testing.T) {
 	c := Base()
-	c.IssueWidth = 0
-	if err := c.Validate(); err == nil {
-		t.Error("width 0 accepted")
+	c.ICache = &cache.Config{Name: "icache", Lines: 0, LineWords: 4, MissPenalty: 10}
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("zero-line cache accepted")
 	}
-	c = Base()
-	c.Latency[isa.ClassLoad] = 0
-	if err := c.Validate(); err == nil {
-		t.Error("zero latency accepted")
-	}
-	c = Base()
-	c.Units = c.Units[1:] // drop a class's unit
-	if err := c.Validate(); err == nil {
-		t.Error("uncovered class accepted")
-	}
-	c = Base()
-	c.Units = append(c.Units, FUnit{Name: "dup", Classes: []isa.Class{isa.ClassLoad}, Multiplicity: 1, IssueLatency: 1})
-	if err := c.Validate(); err == nil {
-		t.Error("doubly covered class accepted")
-	}
-	c = Base()
-	c.IntTemps, c.IntHomes = 40, 40
-	if err := c.Validate(); err == nil {
-		t.Error("register oversubscription accepted")
+	var me *ilperr.MachineError
+	if !errors.As(err, &me) {
+		t.Fatalf("cache rejection is %T, want *ilperr.MachineError: %v", err, err)
 	}
 }
 

@@ -30,6 +30,11 @@ func (s StallBreakdown) Total() int64 {
 // Result reports one simulation.
 type Result struct {
 	Machine string
+	// Degraded marks a placeholder produced by the experiment runner's
+	// degradation policy in place of a permanently failed measurement: no
+	// simulation backs this result, and its cycle counts are NaN/zero. A
+	// degraded result is never persisted to the result store.
+	Degraded bool `json:",omitempty"`
 	// Instructions is the dynamic instruction count.
 	Instructions int64
 	// IssueGroups counts the distinct minor cycles in which at least one

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"ilp/internal/ilperr"
+)
+
+// chaosSchedules returns the number of randomized damage schedules to run.
+// The default keeps tier-1 fast; `make chaos` raises it via
+// ILP_STORE_CHAOS_SCHEDULES.
+func chaosSchedules(t *testing.T, def int) int {
+	if s := os.Getenv("ILP_STORE_CHAOS_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad ILP_STORE_CHAOS_SCHEDULES=%q", s)
+		}
+		return n
+	}
+	return def
+}
+
+// TestChaosDamageSchedules subjects the store to randomized damage — byte
+// flips, truncations at arbitrary offsets, inserted garbage lines, deleted
+// newlines — and asserts the durability contract on every schedule:
+//
+//   - Load never panics;
+//   - every record Load returns is one that was actually appended, with
+//     its payload intact (the CRC admits no mangled record);
+//   - damage confined to the final, unterminated line is repaired by Open
+//     and the store accepts appends afterwards;
+//   - any other damage surfaces as a structured *ilperr.StoreError
+//     matching ErrCorrupt, never as silent data loss of the valid prefix
+//     preceding the damage.
+func TestChaosDamageSchedules(t *testing.T) {
+	schedules := chaosSchedules(t, 40)
+	dir := t.TempDir()
+	for sched := 0; sched < schedules; sched++ {
+		sched := sched
+		t.Run(fmt.Sprintf("seed%d", sched), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(sched)))
+			path := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", sched))
+
+			// Build a store with 1..12 records and remember the truth.
+			n := 1 + rng.Intn(12)
+			truth := make(map[string]int, n)
+			st, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("k%d", i)
+				if err := st.Append(testRec(key, i)); err != nil {
+					t.Fatal(err)
+				}
+				truth[key] = i
+			}
+			st.Close()
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Apply 1..3 random damage operations.
+			ops := 1 + rng.Intn(3)
+			for o := 0; o < ops; o++ {
+				if len(data) == 0 {
+					break
+				}
+				switch rng.Intn(4) {
+				case 0: // flip a byte
+					data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+				case 1: // truncate at an arbitrary offset
+					data = data[:rng.Intn(len(data)+1)]
+				case 2: // insert a garbage line somewhere
+					at := rng.Intn(len(data) + 1)
+					garbage := []byte("{\"not\":\"an envelope\"}\n")
+					data = append(data[:at:at], append(garbage, data[at:]...)...)
+				case 3: // delete a byte (often a newline, merging lines)
+					at := rng.Intn(len(data))
+					data = append(data[:at:at], data[at+1:]...)
+				}
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Contract: Load never panics, never invents records.
+			recs, info, lerr := Load(path)
+			for _, rec := range recs {
+				want, ok := truth[rec.Key]
+				if !ok {
+					t.Fatalf("Load invented record %q", rec.Key)
+				}
+				var p map[string]int
+				if err := json.Unmarshal(rec.Payload, &p); err != nil || p["cycles"] != want {
+					t.Fatalf("record %q payload mangled past the CRC: %s", rec.Key, rec.Payload)
+				}
+			}
+			if lerr != nil {
+				var serr *ilperr.StoreError
+				if !errors.As(lerr, &serr) || !errors.Is(lerr, ilperr.ErrCorrupt) {
+					t.Fatalf("damage reported as %T (%v), want StoreError/ErrCorrupt", lerr, lerr)
+				}
+				return // mid-file corruption: Open would refuse; contract held.
+			}
+
+			// No corruption error: only tail damage (or none). Open must
+			// repair and accept appends.
+			st2, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open after tail-only damage (info %+v): %v", info, err)
+			}
+			if err := st2.Append(testRec("post", 999)); err != nil {
+				t.Fatalf("append after repair: %v", err)
+			}
+			st2.Close()
+			recs2, info2, err := Load(path)
+			if err != nil || info2.TruncatedTail {
+				t.Fatalf("repair left a bad file: %v (info %+v)", err, info2)
+			}
+			if len(recs2) != len(recs)+1 || recs2[len(recs2)-1].Key != "post" {
+				t.Fatalf("post-repair append lost: %d records", len(recs2))
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ilp/internal/ilperr"
+)
+
+// FuzzDecode feeds arbitrary bytes to the store loader. The contract under
+// fuzzing: never panic, and either decode cleanly, tolerate a torn tail,
+// or report structured corruption (*ilperr.StoreError matching ErrCorrupt)
+// while still returning the valid prefix that precedes the damage.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid two-record store plus characteristic damage.
+	valid, err := encodeLine(testRec("k0", 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid2, err := encodeLine(testRec("k1", 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	whole := append(append([]byte{}, valid...), valid2...)
+	f.Add(whole)
+	f.Add(whole[:len(whole)-5])                            // torn tail
+	f.Add([]byte("{\"crc\":1,\"rec\":{\"key\":\"x\"}}\n")) // bad CRC
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+	f.Add([]byte("{\"crc\":0,\"rec\":null}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, info, derr := Decode(bytes.NewReader(data))
+		if derr != nil {
+			var serr *ilperr.StoreError
+			if !errors.As(derr, &serr) {
+				t.Fatalf("Decode error is %T, want *ilperr.StoreError: %v", derr, derr)
+			}
+			if !errors.Is(derr, ilperr.ErrCorrupt) {
+				t.Fatalf("Decode error does not match ErrCorrupt: %v", derr)
+			}
+			if serr.Line < 1 || serr.Line > info.Lines+1 {
+				t.Fatalf("corrupt line %d out of range (info %+v)", serr.Line, info)
+			}
+		}
+		// The valid prefix must itself re-verify: ValidBytes delimits
+		// bytes that decode cleanly to exactly the records returned.
+		if info.ValidBytes < 0 || info.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d out of range [0,%d]", info.ValidBytes, len(data))
+		}
+		again, info2, err2 := Decode(bytes.NewReader(data[:info.ValidBytes]))
+		if err2 != nil || info2.TruncatedTail {
+			t.Fatalf("valid prefix does not re-decode cleanly: %v (info %+v)", err2, info2)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("valid prefix yields %d records, first pass yielded %d", len(again), len(recs))
+		}
+		for i := range again {
+			if again[i].Key != recs[i].Key || !bytes.Equal(again[i].Payload, recs[i].Payload) {
+				t.Fatalf("record %d differs between passes", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,399 @@
+// Package store is the durable result store of the experiment pipeline:
+// an append-only, fsync'd, checksummed JSONL file holding one committed
+// measurement cell per line, keyed by the runner's canonical cell key
+// (benchmark, compiler options, machine fingerprint).
+//
+// Durability contract:
+//
+//   - Append writes one framed line — {"crc":<crc32>,"rec":{...}}\n — and
+//     fsyncs before returning. A cell reported committed is on disk.
+//   - Writes are append-only, so a crash can only tear the final line.
+//     Open tolerates (and truncates away) such a partial tail: it was
+//     never acknowledged, so dropping it loses nothing.
+//   - Mid-file corruption — a complete line whose checksum or framing does
+//     not verify, with valid data after it — cannot come from a torn
+//     append. It is real damage and is reported as a structured
+//     *ilperr.StoreError wrapping ilperr.ErrCorrupt; the valid prefix is
+//     still returned so callers can decide to salvage.
+//   - Compact rewrites the file through a temp file + atomic rename
+//     (last-wins dedup by key), so a crash mid-compaction leaves either
+//     the old file or the new one, never a mixture.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ilp/internal/ilperr"
+)
+
+// Record is one committed measurement cell. Key is the canonical identity
+// (the experiment runner uses its sim-cache key: benchmark, compiler
+// options, schedule fingerprint, machine fingerprint); the named fields
+// are provenance for humans and tools reading the store.
+type Record struct {
+	// Key is the canonical cell key; records with equal keys are the same
+	// measurement and deduplicate last-wins.
+	Key string `json:"key"`
+	// Experiment is the experiment id that first committed the cell.
+	Experiment string `json:"experiment,omitempty"`
+	// Benchmark and Machine name the measured coordinate.
+	Benchmark string `json:"benchmark,omitempty"`
+	Machine   string `json:"machine,omitempty"`
+	// Fingerprint is the machine's canonical fingerprint.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Payload is the serialized measurement (a sim.Result in the
+	// experiment pipeline; the store does not interpret it).
+	Payload json.RawMessage `json:"payload"`
+}
+
+// envelope frames one line: the CRC32 (IEEE) of the exact rec bytes.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Info reports what Decode observed beyond the records themselves.
+type Info struct {
+	// TruncatedTail is true when the input ended in a partial line (no
+	// terminating newline) — the signature of a torn final append, which
+	// is tolerated and dropped.
+	TruncatedTail bool
+	// ValidBytes is the byte offset just past the last valid record: the
+	// prefix a repair should keep.
+	ValidBytes int64
+	// Lines is the number of valid records decoded.
+	Lines int
+}
+
+// Decode reads framed records from r. It never panics on corrupt input:
+// it returns the valid prefix of records along with an Info describing the
+// recovery, and a *ilperr.StoreError (wrapping ilperr.ErrCorrupt) if a
+// complete-but-invalid line was found before the end of input.
+func Decode(r io.Reader) ([]Record, Info, error) {
+	var (
+		recs []Record
+		info Info
+		br   = bufio.NewReader(r)
+	)
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return recs, info, &ilperr.StoreError{Op: "load", Line: lineNo, Err: err}
+		}
+		if len(line) == 0 {
+			return recs, info, nil // clean EOF at a line boundary
+		}
+		if err == io.EOF {
+			// Partial final line: a torn append, never acknowledged.
+			info.TruncatedTail = true
+			return recs, info, nil
+		}
+		rec, perr := decodeLine(line[:len(line)-1])
+		if perr != nil {
+			// A complete line that does not verify. If everything after it
+			// is whitespace-free garbage too we still call it corruption:
+			// only an unterminated *final* line is a tolerated torn tail.
+			return recs, info, &ilperr.StoreError{
+				Op: "load", Line: lineNo,
+				Err: fmt.Errorf("%w: %v", ilperr.ErrCorrupt, perr),
+			}
+		}
+		recs = append(recs, rec)
+		info.Lines++
+		info.ValidBytes += int64(len(line))
+	}
+}
+
+// decodeLine verifies and unmarshals one framed record line (without its
+// trailing newline).
+func decodeLine(line []byte) (Record, error) {
+	var env envelope
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(&env); err != nil {
+		return Record{}, fmt.Errorf("bad envelope: %v", err)
+	}
+	if dec.More() {
+		return Record{}, errors.New("trailing data after envelope")
+	}
+	if len(env.Rec) == 0 {
+		return Record{}, errors.New("missing rec field")
+	}
+	if got := crc32.ChecksumIEEE(env.Rec); got != env.CRC {
+		return Record{}, fmt.Errorf("crc mismatch: have %08x, computed %08x", env.CRC, got)
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return Record{}, fmt.Errorf("bad record: %v", err)
+	}
+	if rec.Key == "" {
+		return Record{}, errors.New("record has empty key")
+	}
+	return rec, nil
+}
+
+// encodeLine frames one record as its on-disk line (with newline).
+func encodeLine(rec Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(envelope{CRC: crc32.ChecksumIEEE(body), Rec: body})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// Load reads every valid record from the store file at path. A missing
+// file is an empty store. Mid-file corruption returns the valid prefix
+// plus the structured error.
+func Load(path string) ([]Record, Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, Info{}, nil
+		}
+		return nil, Info{}, &ilperr.StoreError{Path: path, Op: "load", Err: err}
+	}
+	defer f.Close()
+	recs, info, derr := Decode(f)
+	var serr *ilperr.StoreError
+	if errors.As(derr, &serr) {
+		serr.Path = path
+	}
+	return recs, info, derr
+}
+
+// Store is an open result store. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	good    int64    // offset just past the last fsync'd record
+	records []Record // every record on disk, append order
+	byKey   map[string]int
+	closed  bool
+}
+
+// Open opens (creating if necessary) the store at path, verifying its
+// contents. A torn final line from a crashed append is truncated away;
+// mid-file corruption fails the open with a *ilperr.StoreError so no data
+// is silently discarded (repair by hand or with a fresh path).
+func Open(path string) (*Store, error) {
+	recs, info, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, &ilperr.StoreError{Path: path, Op: "open", Err: err}
+	}
+	st := &Store{path: path, f: f, good: info.ValidBytes, records: recs, byKey: map[string]int{}}
+	for i, rec := range recs {
+		st.byKey[rec.Key] = i
+	}
+	if info.TruncatedTail {
+		if err := st.rewind(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if _, err := f.Seek(st.good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, &ilperr.StoreError{Path: path, Op: "open", Err: err}
+	}
+	return st, nil
+}
+
+// rewind truncates the file back to the last fsync'd record boundary and
+// repositions the write offset there — crash repair on open, and best-
+// effort cleanup after a failed append so a torn line is not followed by
+// (otherwise unreachable) valid records.
+func (s *Store) rewind() error {
+	if err := s.f.Truncate(s.good); err != nil {
+		return &ilperr.StoreError{Path: s.path, Op: "open", Err: err}
+	}
+	if _, err := s.f.Seek(s.good, io.SeekStart); err != nil {
+		return &ilperr.StoreError{Path: s.path, Op: "open", Err: err}
+	}
+	return nil
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of records on disk (before key dedup).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Records returns the store's records deduplicated by key (last write
+// wins), in first-appearance order. The slice is a copy.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.byKey))
+	seen := map[string]bool{}
+	for _, rec := range s.records {
+		if seen[rec.Key] {
+			continue
+		}
+		seen[rec.Key] = true
+		out = append(out, s.records[s.byKey[rec.Key]])
+	}
+	return out
+}
+
+// Get returns the newest record for key.
+func (s *Store) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.byKey[key]
+	if !ok {
+		return Record{}, false
+	}
+	return s.records[i], true
+}
+
+// Append durably commits one record: the line is written and fsync'd
+// before Append returns. On an I/O error the file is rewound to the last
+// committed boundary (best effort) and a transient *ilperr.StoreError is
+// returned, so the caller's retry policy can try again without risking a
+// torn line in the middle of the file.
+func (s *Store) Append(rec Record) error {
+	line, err := encodeLine(rec)
+	if err != nil {
+		// Not marked transient: an unmarshalable payload will not heal.
+		return &ilperr.StoreError{Path: s.path, Op: "append", Err: fmt.Errorf("%w: %v", ilperr.ErrCorrupt, err)}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return &ilperr.StoreError{Path: s.path, Op: "append", Err: os.ErrClosed}
+	}
+	if _, err := s.f.Write(line); err != nil {
+		_ = s.rewind()
+		return &ilperr.StoreError{Path: s.path, Op: "append", Err: err}
+	}
+	if err := s.f.Sync(); err != nil {
+		_ = s.rewind()
+		return &ilperr.StoreError{Path: s.path, Op: "append", Err: err}
+	}
+	s.good += int64(len(line))
+	s.byKey[rec.Key] = len(s.records)
+	s.records = append(s.records, rec)
+	return nil
+}
+
+// Compact rewrites the store with duplicate keys collapsed (last wins,
+// first-appearance order) through a temp file and an atomic rename. The
+// store remains open and usable afterwards.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: os.ErrClosed}
+	}
+	deduped := make([]Record, 0, len(s.byKey))
+	seen := map[string]bool{}
+	for _, rec := range s.records {
+		if seen[rec.Key] {
+			continue
+		}
+		seen[rec.Key] = true
+		deduped = append(deduped, s.records[s.byKey[rec.Key]])
+	}
+
+	tmpPath := s.path + ".compact.tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
+	}
+	var size int64
+	w := bufio.NewWriter(tmp)
+	for _, rec := range deduped {
+		line, err := encodeLine(rec)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
+		}
+		if _, err := w.Write(line); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
+		}
+		size += int64(len(line))
+	}
+	if err := flushAndClose(w, tmp); err != nil {
+		os.Remove(tmpPath)
+		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
+	}
+	syncDir(s.path)
+
+	// Swap the handle to the new file and continue appending at its end.
+	nf, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
+	}
+	if _, err := nf.Seek(size, io.SeekStart); err != nil {
+		nf.Close()
+		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
+	}
+	s.f.Close()
+	s.f = nf
+	s.good = size
+	s.records = deduped
+	s.byKey = map[string]int{}
+	for i, rec := range deduped {
+		s.byKey[rec.Key] = i
+	}
+	return nil
+}
+
+// flushAndClose flushes w, fsyncs and closes f.
+func flushAndClose(w *bufio.Writer, f *os.File) error {
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs the directory containing path so a rename survives a
+// crash; best effort (some filesystems refuse directory fsync).
+func syncDir(path string) {
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Close releases the file handle. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}

@@ -1,0 +1,316 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ilp/internal/ilperr"
+)
+
+func testRec(key string, n int) Record {
+	payload, _ := json.Marshal(map[string]int{"cycles": n})
+	return Record{
+		Key: key, Experiment: "fig-test", Benchmark: "whet",
+		Machine: "m", Fingerprint: "m:abc", Payload: payload,
+	}
+}
+
+func openT(t *testing.T, path string) *Store {
+	t.Helper()
+	st, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestAppendLoadRoundTrip: records written are read back verbatim across
+// a close/reopen.
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st := openT(t, path)
+	for i := 0; i < 5; i++ {
+		if err := st.Append(testRec(fmt.Sprintf("k%d", i), i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st.Close()
+
+	st2 := openT(t, path)
+	recs := st2.Records()
+	if len(recs) != 5 {
+		t.Fatalf("reloaded %d records, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Key != fmt.Sprintf("k%d", i) {
+			t.Fatalf("record %d key %q out of order", i, rec.Key)
+		}
+		var p map[string]int
+		if err := json.Unmarshal(rec.Payload, &p); err != nil || p["cycles"] != i {
+			t.Fatalf("record %d payload mangled: %s (%v)", i, rec.Payload, err)
+		}
+		if rec.Benchmark != "whet" || rec.Experiment != "fig-test" || rec.Fingerprint != "m:abc" {
+			t.Fatalf("record %d provenance lost: %+v", i, rec)
+		}
+	}
+}
+
+// TestOpenMissingFileIsEmpty: a nonexistent path is an empty store that
+// materializes on first append.
+func TestOpenMissingFileIsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.jsonl")
+	st := openT(t, path)
+	if st.Len() != 0 {
+		t.Fatalf("fresh store has %d records", st.Len())
+	}
+	if err := st.Append(testRec("k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("append did not materialize the file: %v", err)
+	}
+}
+
+// TestTruncatedTailTolerated: a torn final line (crashed append) is
+// dropped on open, the prefix survives, and appending afterwards produces
+// a fully valid file.
+func TestTruncatedTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st := openT(t, path)
+	for i := 0; i < 3; i++ {
+		if err := st.Append(testRec(fmt.Sprintf("k%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Tear the final line: chop off its last few bytes (newline included).
+	data, _ := os.ReadFile(path)
+	torn := data[:len(data)-7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, info, err := Load(path)
+	if err != nil {
+		t.Fatalf("torn tail must not be an error: %v", err)
+	}
+	if !info.TruncatedTail || len(recs) != 2 {
+		t.Fatalf("want 2 records + truncated tail, got %d (info %+v)", len(recs), info)
+	}
+
+	st2 := openT(t, path)
+	if st2.Len() != 2 {
+		t.Fatalf("reopened store has %d records, want 2", st2.Len())
+	}
+	if err := st2.Append(testRec("k9", 9)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	recs, info, err = Load(path)
+	if err != nil || info.TruncatedTail || len(recs) != 3 {
+		t.Fatalf("append after repair left a bad file: %d recs, info %+v, err %v", len(recs), info, err)
+	}
+	if recs[2].Key != "k9" {
+		t.Fatalf("appended record lost: %+v", recs)
+	}
+}
+
+// TestMidFileCorruptionReported: a complete line with a flipped byte is
+// real damage — Load returns the valid prefix plus a structured
+// *ilperr.StoreError naming the line, and Open refuses the file rather
+// than silently truncating committed data.
+func TestMidFileCorruptionReported(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st := openT(t, path)
+	for i := 0; i < 3; i++ {
+		if err := st.Append(testRec(fmt.Sprintf("k%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a payload byte inside line 2 (keep it a complete line).
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x40
+	if err := os.WriteFile(path, []byte(lines[0]+string(mid)+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, _, err := Load(path)
+	var serr *ilperr.StoreError
+	if !errors.As(err, &serr) {
+		t.Fatalf("corruption reported as %T, want *ilperr.StoreError: %v", err, err)
+	}
+	if serr.Line != 2 || serr.Path != path || serr.Op != "load" {
+		t.Fatalf("StoreError coordinates wrong: %+v", serr)
+	}
+	if !errors.Is(err, ilperr.ErrCorrupt) {
+		t.Fatalf("corruption must match ErrCorrupt: %v", err)
+	}
+	if ilperr.IsTransient(err) {
+		t.Fatal("corruption must classify permanent")
+	}
+	if len(recs) != 1 || recs[0].Key != "k0" {
+		t.Fatalf("valid prefix not recovered: %+v", recs)
+	}
+
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a mid-file-corrupt store")
+	}
+}
+
+// TestCRCCatchesPayloadTamper: same-shape JSON with altered content fails
+// the checksum even though it parses.
+func TestCRCCatchesPayloadTamper(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st := openT(t, path)
+	if err := st.Append(testRec("k0", 7)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	data, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(data), `"cycles":7`, `"cycles":8`, 1)
+	if tampered == string(data) {
+		t.Fatal("test setup: payload substring not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Load(path)
+	if !errors.Is(err, ilperr.ErrCorrupt) {
+		t.Fatalf("tampered payload not caught by CRC: %v", err)
+	}
+}
+
+// TestCompactDedupsLastWins: duplicate keys collapse to the newest record,
+// in first-appearance order, through an atomic temp+rename; the store
+// stays usable and no temp file is left behind.
+func TestCompactDedupsLastWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st := openT(t, path)
+	for _, kv := range []struct {
+		k string
+		v int
+	}{{"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}, {"b", 5}} {
+		if err := st.Append(testRec(kv.k, kv.v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 5 {
+		t.Fatalf("raw length %d, want 5", st.Len())
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("compacted length %d, want 3", st.Len())
+	}
+	if _, err := os.Stat(path + ".compact.tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// Still usable after compaction.
+	if err := st.Append(testRec("d", 6)); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	st.Close()
+
+	recs, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"a", "b", "c", "d"}
+	wantVal := map[string]int{"a": 3, "b": 5, "c": 4, "d": 6}
+	if len(recs) != len(wantOrder) {
+		t.Fatalf("got %d records, want %d", len(recs), len(wantOrder))
+	}
+	for i, rec := range recs {
+		var p map[string]int
+		_ = json.Unmarshal(rec.Payload, &p)
+		if rec.Key != wantOrder[i] || p["cycles"] != wantVal[rec.Key] {
+			t.Fatalf("record %d = (%s, %d), want (%s, %d)", i, rec.Key, p["cycles"], wantOrder[i], wantVal[wantOrder[i]])
+		}
+	}
+}
+
+// TestGetNewest: Get returns the latest record for a key.
+func TestGetNewest(t *testing.T) {
+	st := openT(t, filepath.Join(t.TempDir(), "r.jsonl"))
+	_ = st.Append(testRec("k", 1))
+	_ = st.Append(testRec("k", 2))
+	rec, ok := st.Get("k")
+	if !ok {
+		t.Fatal("Get missed an existing key")
+	}
+	var p map[string]int
+	_ = json.Unmarshal(rec.Payload, &p)
+	if p["cycles"] != 2 {
+		t.Fatalf("Get returned stale record: %+v", p)
+	}
+	if _, ok := st.Get("absent"); ok {
+		t.Fatal("Get invented a record")
+	}
+}
+
+// TestConcurrentAppends: parallel appenders never tear lines (run under
+// -race in make check / make chaos).
+func TestConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st := openT(t, path)
+	var wg sync.WaitGroup
+	const writers, per = 8, 25
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := st.Append(testRec(fmt.Sprintf("w%d-%d", w, i), i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st.Close()
+	recs, info, err := Load(path)
+	if err != nil || info.TruncatedTail {
+		t.Fatalf("concurrent appends corrupted the file: err %v info %+v", err, info)
+	}
+	if len(recs) != writers*per {
+		t.Fatalf("got %d records, want %d", len(recs), writers*per)
+	}
+}
+
+// TestAppendAfterClose: fails with a structured error instead of a panic.
+func TestAppendAfterClose(t *testing.T) {
+	st := openT(t, filepath.Join(t.TempDir(), "r.jsonl"))
+	st.Close()
+	err := st.Append(testRec("k", 1))
+	var serr *ilperr.StoreError
+	if !errors.As(err, &serr) || serr.Op != "append" {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+// TestUnmarshalablePayloadPermanent: a payload that cannot be framed
+// (NaN) fails permanently — retrying cannot heal it.
+func TestUnmarshalablePayloadPermanent(t *testing.T) {
+	st := openT(t, filepath.Join(t.TempDir(), "r.jsonl"))
+	err := st.Append(Record{Key: "k", Payload: json.RawMessage("\xff not json")})
+	if err == nil {
+		t.Fatal("invalid payload accepted")
+	}
+	if ilperr.IsTransient(err) {
+		t.Fatalf("unencodable payload classified transient: %v", err)
+	}
+}
