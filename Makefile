@@ -2,7 +2,7 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint bench bench-smoke
+.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint bench bench-smoke bench-gate
 
 check: fmt vet build race race-concurrency fuzz-smoke chaos bench-smoke
 
@@ -61,6 +61,14 @@ bench:
 	$(GO) test -run '^$$' -bench 'RunAllQuick|ExperimentCacheSharing' -benchmem -count 1 . | tee /tmp/ilp_bench_exp.txt
 	$(GO) run ./cmd/benchjson -out BENCH_sim.json /tmp/ilp_bench_sim.txt /tmp/ilp_bench_exp.txt
 	@echo "wrote BENCH_sim.json"
+
+# Regression gate: re-measure the simulator benchmarks and compare their
+# Minstr/s against the committed BENCH_sim.json current snapshot. Fails
+# (exit 1) if any gated benchmark is more than 10% slower than the recorded
+# run or disappeared. Does not rewrite the JSON — run `make bench` for that.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_sim.json /tmp/ilp_bench_gate.txt
 
 # One-iteration smoke of the same benchmarks (no thresholds, no JSON): the
 # tier-1 gate just proves they still run.

@@ -6,11 +6,18 @@
 //
 //	go test -run '^$' -bench ... -benchmem ./... > bench.txt
 //	benchjson -out BENCH_sim.json bench.txt [more.txt ...]
+//	benchjson -baseline BENCH_sim.json bench.txt   # compare, don't write
 //
-// If the output file already exists, its "baseline" section is preserved
-// verbatim, so the first recorded baseline (the pre-optimization engine)
-// keeps anchoring later runs. With no prior file, the current run becomes
-// the baseline too.
+// Record mode: if the output file already exists, its "baseline" section is
+// preserved verbatim, so the first recorded baseline (the pre-optimization
+// engine) keeps anchoring later runs. With no prior file, the current run
+// becomes the baseline too.
+//
+// Compare mode (-baseline): instead of writing anything, the parsed run is
+// checked against the "current" snapshot of the given BENCH_sim.json. Every
+// benchmark carrying a Minstr/s metric prints a delta line; the exit status
+// is 1 when any of them regressed by more than -threshold percent (or went
+// missing), so `make bench-gate` can fail a change that slows the simulator.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,9 +51,15 @@ type File struct {
 	Current  Snapshot `json:"current"`
 }
 
+// throughputMetric is the unit the gate compares: simulated megainstructions
+// per wall second, reported by the simulator benchmarks via b.ReportMetric.
+const throughputMetric = "Minstr/s"
+
 func main() {
-	out := flag.String("out", "BENCH_sim.json", "output file")
+	out := flag.String("out", "BENCH_sim.json", "output file (record mode)")
 	note := flag.String("note", "", "note recorded with the current snapshot")
+	baseline := flag.String("baseline", "", "compare the run against this BENCH_sim.json instead of recording; exit 1 on regression")
+	threshold := flag.Float64("threshold", 10, "Minstr/s regression tolerance for -baseline, in percent")
 	flag.Parse()
 
 	cur := Snapshot{Note: *note, Benchmarks: map[string]Benchmark{}}
@@ -64,6 +78,21 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
 
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base File
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fatal(fmt.Errorf("%s: %v", *baseline, err))
+		}
+		if !compare(os.Stdout, base.Current, cur, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	file := File{Baseline: cur, Current: cur}
 	if prev, err := os.ReadFile(*out); err == nil {
 		var old File
@@ -79,6 +108,51 @@ func main() {
 	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// compare prints a per-benchmark throughput delta table of cur against base
+// and reports whether the run passes: every baseline benchmark carrying a
+// Minstr/s metric must be present and within pct percent below its recorded
+// value. Faster is always fine; benchmarks without the metric (allocation
+// and wall-time trackers) are not gated.
+func compare(w io.Writer, base, cur Snapshot, pct float64) bool {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name, b := range base.Benchmarks {
+		if _, ok := b.Metrics[throughputMetric]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(w, "benchjson: baseline has no %s benchmarks to gate on\n", throughputMetric)
+		return false
+	}
+
+	pass := true
+	for _, name := range names {
+		want := base.Benchmarks[name].Metrics[throughputMetric]
+		got, ok := cur.Benchmarks[name]
+		gotV, hasMetric := got.Metrics[throughputMetric]
+		if !ok || !hasMetric {
+			fmt.Fprintf(w, "%-34s %8.2f -> MISSING            FAIL\n", name, want)
+			pass = false
+			continue
+		}
+		delta := (gotV - want) / want * 100
+		verdict := "ok"
+		if delta < -pct {
+			verdict = "REGRESSION"
+			pass = false
+		}
+		fmt.Fprintf(w, "%-34s %8.2f -> %8.2f %s  %+6.1f%%  %s\n",
+			name, want, gotV, throughputMetric, delta, verdict)
+	}
+	if pass {
+		fmt.Fprintf(w, "bench gate: pass (tolerance %.0f%%)\n", pct)
+	} else {
+		fmt.Fprintf(w, "bench gate: FAIL (tolerance %.0f%%)\n", pct)
+	}
+	return pass
 }
 
 // parse extracts benchmark result lines:

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+BenchmarkSimulatorThroughput-2   100   10500000 ns/op   95.00 Minstr/s   1024 B/op   19 allocs/op
+BenchmarkSimulatorThroughput-2   110    9800000 ns/op  102.00 Minstr/s   1024 B/op   19 allocs/op
+BenchmarkSimulatorWideMachine-2   50   16000000 ns/op   44.00 Minstr/s   2048 B/op   19 allocs/op
+BenchmarkRunAllQuick-2             1  900000000 ns/op   5500000 allocs/op
+PASS
+`
+
+func parseSample(t *testing.T, text string) Snapshot {
+	t.Helper()
+	s := Snapshot{Benchmarks: map[string]Benchmark{}}
+	parse(strings.NewReader(text), s.Benchmarks)
+	return s
+}
+
+func TestParseBestOfN(t *testing.T) {
+	s := parseSample(t, sampleBench)
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	tp, ok := s.Benchmarks["BenchmarkSimulatorThroughput"]
+	if !ok {
+		t.Fatal("BenchmarkSimulatorThroughput missing")
+	}
+	// -count repeats keep the fastest sample.
+	if tp.NsPerOp != 9800000 || tp.Metrics["Minstr/s"] != 102.00 {
+		t.Errorf("best-of-N not kept: %+v", tp)
+	}
+	if s.Benchmarks["BenchmarkRunAllQuick"].Metrics["allocs/op"] != 5500000 {
+		t.Errorf("allocs metric lost: %+v", s.Benchmarks["BenchmarkRunAllQuick"])
+	}
+}
+
+// gateBase is a baseline snapshot with two gated benchmarks (Minstr/s) and
+// one ungated allocation tracker.
+func gateBase() Snapshot {
+	return Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkSimulatorThroughput":  {Metrics: map[string]float64{"Minstr/s": 100}},
+		"BenchmarkSimulatorWideMachine": {Metrics: map[string]float64{"Minstr/s": 50}},
+		"BenchmarkRunAllQuick":          {Metrics: map[string]float64{"allocs/op": 5500000}},
+	}}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	cur := Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkSimulatorThroughput":  {Metrics: map[string]float64{"Minstr/s": 95}}, // -5%: ok
+		"BenchmarkSimulatorWideMachine": {Metrics: map[string]float64{"Minstr/s": 60}}, // faster: ok
+	}}
+	var out strings.Builder
+	if !compare(&out, gateBase(), cur, 10) {
+		t.Fatalf("compare failed within tolerance:\n%s", out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "bench gate: pass") {
+		t.Errorf("missing pass verdict:\n%s", text)
+	}
+	// The ungated alloc tracker must not appear in the delta table.
+	if strings.Contains(text, "RunAllQuick") {
+		t.Errorf("ungated benchmark leaked into the gate:\n%s", text)
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	cur := Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkSimulatorThroughput":  {Metrics: map[string]float64{"Minstr/s": 80}}, // -20%: fail
+		"BenchmarkSimulatorWideMachine": {Metrics: map[string]float64{"Minstr/s": 50}},
+	}}
+	var out strings.Builder
+	if compare(&out, gateBase(), cur, 10) {
+		t.Fatalf("compare passed a 20%% regression:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regression line not flagged:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	cur := Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkSimulatorThroughput": {Metrics: map[string]float64{"Minstr/s": 100}},
+		// WideMachine vanished from the run entirely.
+	}}
+	var out strings.Builder
+	if compare(&out, gateBase(), cur, 10) {
+		t.Fatalf("compare passed with a missing gated benchmark:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("missing benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareEmptyBaseline(t *testing.T) {
+	var out strings.Builder
+	empty := Snapshot{Benchmarks: map[string]Benchmark{}}
+	if compare(&out, empty, gateBase(), 10) {
+		t.Error("empty baseline must fail the gate, not silently pass")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenPath is the archived full-harness run backing EXPERIMENTS.md,
+// relative to this package directory.
+const goldenPath = "../../docs/ilpbench-output.txt"
+
+// TestGoldenFullSweep regenerates the archived harness output in process
+// and requires it to be byte-identical to docs/ilpbench-output.txt, so a
+// banner, table-format, or measurement drift fails tier-1 instead of
+// silently rotting the archive. Timings and cache counters go to stderr
+// (see run), so stdout is deterministic across machines.
+//
+// The full sweep is the most expensive test in the repo (~10 s); it is
+// skipped under -short and under the race detector, where the whole
+// sweep runs an order of magnitude slower and the plain-build run already
+// proves byte identity.
+func TestGoldenFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ilpbench sweep skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full ilpbench sweep skipped under the race detector")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"all"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("ilpbench all exited %d\nstderr: %s", code, stderr.String())
+	}
+	got := stdout.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	t.Errorf("ilpbench all stdout drifted from %s\n%s\nregenerate with: go run ./cmd/ilpbench all > docs/ilpbench-output.txt",
+		goldenPath, firstDiff(string(want), stdout.String()))
+}
+
+// firstDiff locates the first differing line for a readable failure
+// message (the full outputs are thousands of lines).
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d lines, got %d lines", len(wl), len(gl))
+}

@@ -152,6 +152,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			st.Compiles, st.CompileHits, st.Sims, st.SimHits)
 		fmt.Fprintf(stderr, "run stats: %d live simulations, %d resumed from store, %d retry waits\n",
 			rep.Live, rep.Resumed, rep.Retried)
+		fmt.Fprintf(stderr, "predecode stats: %d artifacts built, %d simulations on shared predecode\n",
+			rep.Predecodes, rep.PredecodeShared)
 	}
 	if exit == 0 && rep.Degraded > 0 {
 		fmt.Fprintf(stderr, "ilpbench: %d cell(s) permanently failed and were degraded to NaN rows\n", rep.Degraded)

@@ -11,6 +11,7 @@ package codegen
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"ilp/internal/compiler/regalloc"
 	"ilp/internal/ir"
@@ -274,7 +275,7 @@ func (g *emitter) emitFunc(f *ir.Func) error {
 		}
 	}
 	for _, b := range order {
-		g.label(fmt.Sprintf("%s.b%d", f.Name, b.ID))
+		g.label(f.Name + ".b" + strconv.Itoa(b.ID))
 		for i := range b.Instrs {
 			if err := g.emitInstr(f, &b.Instrs[i], nextOf[b]); err != nil {
 				return err
@@ -298,7 +299,7 @@ func (g *emitter) phys(r ir.Reg) isa.Reg {
 }
 
 func (g *emitter) blockLabel(b *ir.Block) string {
-	return fmt.Sprintf("%s.b%d", g.f.Name, b.ID)
+	return g.f.Name + ".b" + strconv.Itoa(b.ID)
 }
 
 func (g *emitter) emitEpilogue() {

@@ -45,10 +45,7 @@ func dcePass(f *ir.Func) bool {
 	changed := false
 	var buf [4]ir.Reg
 	for _, b := range f.Blocks {
-		live := map[ir.Reg]bool{}
-		for r := range lv.Out[b] {
-			live[r] = true
-		}
+		live := lv.Out(b).Clone()
 		// Backward scan; mark deletions.
 		del := make([]bool, len(b.Instrs))
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
@@ -59,20 +56,20 @@ func dcePass(f *ir.Func) bool {
 				// writes to them are never dead within one function's
 				// view.
 				for _, u := range in.Uses(buf[:0]) {
-					live[u] = true
+					live.Add(u)
 				}
 				continue
 			}
-			if d != ir.NoReg && !live[d] && removable(in) {
+			if d != ir.NoReg && !live.Has(d) && removable(in) {
 				del[i] = true
 				changed = true
 				continue
 			}
 			if d != ir.NoReg {
-				delete(live, d)
+				live.Remove(d)
 			}
 			for _, u := range in.Uses(buf[:0]) {
-				live[u] = true
+				live.Add(u)
 			}
 		}
 		if changed {

@@ -1,7 +1,7 @@
 package opt
 
 import (
-	"fmt"
+	"math"
 
 	"ilp/internal/ir"
 	"ilp/internal/isa"
@@ -28,11 +28,30 @@ func LocalCSE(f *ir.Func) bool {
 	return changed
 }
 
+// vnKey identifies an available expression for value numbering. It is a
+// comparable struct (not a formatted string) so key construction in the
+// per-instruction loop allocates nothing. kind discriminates the three
+// expression families that used to share a string namespace.
+type vnKey struct {
+	kind   uint8 // vnExpr, vnLoadVar, or vnLoadElem
+	op     isa.Opcode
+	sym    *ast.Symbol
+	v1, v2 int
+	imm    int64
+	fbits  uint64
+}
+
+const (
+	vnExpr = iota
+	vnLoadVar
+	vnLoadElem
+)
+
 type vnState struct {
 	next    int
 	regVN   map[ir.Reg]int
 	canon   map[int]ir.Reg // vn -> register currently holding it
-	exprVN  map[string]int
+	exprVN  map[vnKey]int
 	scalarE map[*ast.Symbol]int // store epoch per scalar
 	arrayE  map[*ast.Symbol]int // store epoch per array
 	lastSt  map[*ast.Symbol]int // vn of last value stored to scalar (for forwarding)
@@ -69,7 +88,7 @@ func cseBlock(f *ir.Func, b *ir.Block) bool {
 	st := &vnState{
 		regVN:   map[ir.Reg]int{},
 		canon:   map[int]ir.Reg{},
-		exprVN:  map[string]int{},
+		exprVN:  map[vnKey]int{},
 		scalarE: map[*ast.Symbol]int{},
 		arrayE:  map[*ast.Symbol]int{},
 		lastSt:  map[*ast.Symbol]int{},
@@ -179,7 +198,7 @@ func cseBlock(f *ir.Func, b *ir.Block) bool {
 					continue
 				}
 			}
-			key := fmt.Sprintf("lv:%p:%d", sym, st.scalarE[sym])
+			key := vnKey{kind: vnLoadVar, sym: sym, v1: st.scalarE[sym]}
 			if vn, ok := st.exprVN[key]; ok {
 				if c, okc := st.canon[vn]; okc && c != in.Dst {
 					fp := f.RegClassOf(in.Dst) == ir.RFP
@@ -215,7 +234,7 @@ func cseBlock(f *ir.Func, b *ir.Block) bool {
 			if _, seen := st.arrayE[sym]; !seen {
 				st.arrayE[sym] = 0
 			}
-			key := fmt.Sprintf("le:%p:%d:%d:%d", sym, st.vnOf(in.Src1), in.Imm, st.arrayE[sym])
+			key := vnKey{kind: vnLoadElem, sym: sym, v1: st.vnOf(in.Src1), v2: st.arrayE[sym], imm: in.Imm}
 			if vn, ok := st.exprVN[key]; ok {
 				if c, okc := st.canon[vn]; okc && c != in.Dst {
 					fp := f.RegClassOf(in.Dst) == ir.RFP
@@ -270,8 +289,9 @@ func cseBlock(f *ir.Func, b *ir.Block) bool {
 }
 
 // exprKey builds a value-numbering key for a pure KOp. Commutative
-// operations normalize operand order.
-func exprKey(st *vnState, in *ir.Instr) string {
+// operations normalize operand order. Float immediates key on their bit
+// pattern, which distinguishes everything the old hex formatting did.
+func exprKey(st *vnState, in *ir.Instr) vnKey {
 	info := in.Op.Info()
 	v1, v2 := 0, 0
 	if info.NSrc >= 1 {
@@ -287,5 +307,5 @@ func exprKey(st *vnState, in *ir.Instr) string {
 			v1, v2 = v2, v1
 		}
 	}
-	return fmt.Sprintf("%d:%d:%d:%d:%x", in.Op, v1, v2, in.Imm, in.FImm)
+	return vnKey{kind: vnExpr, op: in.Op, v1: v1, v2: v2, imm: in.Imm, fbits: math.Float64bits(in.FImm)}
 }

@@ -87,12 +87,8 @@ func Allocate(f *ir.Func, cfg *machine.Config) (*Assignment, error) {
 	var buf [8]ir.Reg
 	for _, b := range order {
 		rng := blockRange[b]
-		for r := range lv.In[b] {
-			touch(r, rng[0])
-		}
-		for r := range lv.Out[b] {
-			touch(r, rng[1])
-		}
+		lv.In(b).ForEach(func(r ir.Reg) { touch(r, rng[0]) })
+		lv.Out(b).ForEach(func(r ir.Reg) { touch(r, rng[1]) })
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			p := instrPos[in]

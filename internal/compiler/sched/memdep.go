@@ -20,9 +20,9 @@
 package sched
 
 import (
-	"fmt"
+	"math"
 	"sort"
-	"strings"
+	"strconv"
 
 	"ilp/internal/ir"
 	"ilp/internal/isa"
@@ -35,12 +35,14 @@ type linear struct {
 }
 
 func (l linear) key() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 8*len(l.terms)+12)
 	for _, t := range l.terms {
-		fmt.Fprintf(&b, "%d,", t)
+		buf = strconv.AppendInt(buf, int64(t), 10)
+		buf = append(buf, ',')
 	}
-	fmt.Fprintf(&b, ":%d", l.c)
-	return b.String()
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, l.c, 10)
+	return string(buf)
 }
 
 // sameBase reports whether two linear forms share exactly the same term
@@ -151,17 +153,19 @@ func (a *addrAnalysis) step(in *isa.Instr) (addr linear, isMem bool) {
 		s1 := a.valueOf(in.Src1)
 		var s2key string
 		if in.Op == isa.OpSlli {
-			s2key = fmt.Sprintf("#%d", in.Imm)
+			s2key = "#" + strconv.FormatInt(in.Imm, 10)
 		} else {
 			s2key = a.valueOf(in.Src2).key()
 		}
-		v = a.opaque(fmt.Sprintf("%s:%s:%s", in.Op, s1.key(), s2key))
+		v = a.opaque(in.Op.String() + ":" + s1.key() + ":" + s2key)
 	default:
 		// Any other producer: a fresh opaque value per destination
 		// definition site is unnecessary — memoizing on operands keeps
 		// equal expressions equal, which is strictly more precise and
-		// still sound within a straight-line region.
-		key := fmt.Sprintf("%s:%d:%x", in.Op, in.Imm, in.FImm)
+		// still sound within a straight-line region. The float immediate
+		// keys on its bit pattern (injective, unlike decimal formatting).
+		key := in.Op.String() + ":" + strconv.FormatInt(in.Imm, 10) +
+			":" + strconv.FormatUint(math.Float64bits(in.FImm), 16)
 		if info.NSrc >= 1 {
 			key += ":" + a.valueOf(in.Src1).key()
 		}

@@ -94,8 +94,8 @@ func runTab21(ctx context.Context, r *Runner) (*Result, error) {
 		t.add(isa.TableGroup(g).String(),
 			fmt.Sprintf("%5.1f%%", freq[g]*100),
 			fmt.Sprintf("%5.0f%%", paperFreq[g]*100),
-			fmt.Sprintf("%d", int(mtLat[g])),
-			fmt.Sprintf("%d", int(crLat[g])),
+			fmtI(int(mtLat[g])),
+			fmtI(int(crLat[g])),
 			fmtF(freq[g]*mtLat[g]),
 			fmtF(freq[g]*crLat[g]))
 	}

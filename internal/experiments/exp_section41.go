@@ -81,7 +81,7 @@ func runFig41(ctx context.Context, r *Runner) (*Result, error) {
 		ss.Y = append(ss.Y, hs)
 		sp.X = append(sp.X, float64(deg))
 		sp.Y = append(sp.Y, hp)
-		t.add(fmt.Sprintf("%d", deg), fmtF(hs), fmtF(hp))
+		t.add(fmtI(deg), fmtF(hs), fmtF(hp))
 	}
 
 	var b strings.Builder
@@ -108,9 +108,9 @@ func runFig42(ctx context.Context, r *Runner) (*Result, error) {
 func runFig43(ctx context.Context, r *Runner) (*Result, error) {
 	t := &table{header: []string{"cycles/op (m)", "n=1", "n=2", "n=3", "n=4", "n=5"}}
 	for m := 5; m >= 1; m-- {
-		row := []string{fmt.Sprintf("%d", m)}
+		row := []string{fmtI(m)}
 		for n := 1; n <= 5; n++ {
-			row = append(row, fmt.Sprintf("%d", n*m))
+			row = append(row, fmtI(n*m))
 		}
 		t.add(row...)
 	}
@@ -180,7 +180,7 @@ func runFig44(ctx context.Context, r *Runner) (*Result, error) {
 		unit.Y = append(unit.Y, u)
 		actual.X = append(actual.X, float64(deg))
 		actual.Y = append(actual.Y, a)
-		t.add(fmt.Sprintf("%d", deg), fmtF(u), fmtF(a))
+		t.add(fmtI(deg), fmtF(u), fmtF(a))
 	}
 	var b strings.Builder
 	b.WriteString(t.render())

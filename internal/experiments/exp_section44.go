@@ -119,7 +119,7 @@ func runFig47(ctx context.Context, r *Runner) (*Result, error) {
 	for i, g := range []*metrics.ExprDAG{left, mid, right} {
 		names := []string{"original (1.67)", "side branch optimized (1.33)", "bottleneck chain kept (1.50)"}
 		vals[i] = g.Parallelism()
-		t.add(names[i], fmt.Sprintf("%d", g.Ops()), fmt.Sprintf("%d", g.CriticalPath()), fmtF(vals[i]))
+		t.add(names[i], fmtI(g.Ops()), fmtI(g.CriticalPath()), fmtF(vals[i]))
 	}
 	var b strings.Builder
 	b.WriteString(t.render())

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -251,9 +252,14 @@ type Runner struct {
 }
 
 type compileEntry struct {
-	ready chan struct{} // closed when prog/err are set
+	ready chan struct{} // closed when prog/code/err are set
 	prog  *isa.Program
-	err   error
+	// code is the shared immutable predecode of prog, built once by the
+	// compile leader and reused read-only by every simulation of this
+	// compile key (the sim key only adds cache geometry, which predecode
+	// does not depend on).
+	code *sim.Code
+	err  error
 }
 
 type simEntry struct {
@@ -266,13 +272,15 @@ type simEntry struct {
 // (ilpbench -stats) can show how much work the two-level cache eliminated
 // and how the sweep weathered failures.
 type RunnerStats struct {
-	Compiles    int64 // compilations actually performed
-	CompileHits int64 // compile requests served from (or joined onto) the cache
-	Sims        int64 // simulations actually performed
-	SimHits     int64 // measure requests served from (or joined onto) the cache
-	Resumed     int64 // sim-cache cells preloaded from the result store
-	Retries     int64 // transient-failure retry waits performed
-	Degraded    int64 // cells whose permanent failure degraded to a placeholder
+	Compiles        int64 // compilations actually performed
+	CompileHits     int64 // compile requests served from (or joined onto) the cache
+	Sims            int64 // simulations actually performed
+	SimHits         int64 // measure requests served from (or joined onto) the cache
+	Predecodes      int64 // predecode artifacts built (once per compile key)
+	PredecodeShared int64 // live simulations that reused a shared predecode
+	Resumed         int64 // sim-cache cells preloaded from the result store
+	Retries         int64 // transient-failure retry waits performed
+	Degraded        int64 // cells whose permanent failure degraded to a placeholder
 }
 
 // NewRunner builds a runner. When cfg.Store is set, every readable record
@@ -360,13 +368,15 @@ func (r *Runner) RunCtx(ctx context.Context, id string) (res *Result, err error)
 // of the same configuration (Live/Resumed/Retried describe how this
 // process got there and do vary).
 type SweepReport struct {
-	Experiments int      // experiments rendered successfully
-	Failed      []string // ids of experiments that failed (non-cancellation)
-	Cells       int      // measurement cells with committed results
-	Degraded    int64    // cells that permanently failed and render as NaN rows
-	Retried     int64    // transient-failure retry waits performed
-	Live        int64    // simulations performed by this process
-	Resumed     int64    // cells preloaded from the result store
+	Experiments     int      // experiments rendered successfully
+	Failed          []string // ids of experiments that failed (non-cancellation)
+	Cells           int      // measurement cells with committed results
+	Degraded        int64    // cells that permanently failed and render as NaN rows
+	Retried         int64    // transient-failure retry waits performed
+	Live            int64    // simulations performed by this process
+	Resumed         int64    // cells preloaded from the result store
+	Predecodes      int64    // predecode artifacts built (once per compile key)
+	PredecodeShared int64    // live simulations that reused a shared predecode
 }
 
 // Report snapshots the runner's sweep accounting.
@@ -374,10 +384,12 @@ func (r *Runner) Report() SweepReport {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	rep := SweepReport{
-		Degraded: r.stats.Degraded,
-		Retried:  r.stats.Retries,
-		Live:     r.stats.Sims,
-		Resumed:  r.stats.Resumed,
+		Degraded:        r.stats.Degraded,
+		Retried:         r.stats.Retries,
+		Live:            r.stats.Sims,
+		Resumed:         r.stats.Resumed,
+		Predecodes:      r.stats.Predecodes,
+		PredecodeShared: r.stats.PredecodeShared,
 	}
 	for _, se := range r.sims {
 		select {
@@ -586,7 +598,7 @@ func (r *Runner) measureAttempt(ctx context.Context, bench string, copts compile
 	if ctx.Err() != nil {
 		return nil, cause(ctx)
 	}
-	prog, err := r.compile(ctx, bench, copts, m, ckey)
+	prog, code, err := r.compile(ctx, bench, copts, m, ckey)
 	if err != nil {
 		return nil, err
 	}
@@ -607,9 +619,14 @@ func (r *Runner) measureAttempt(ctx context.Context, bench string, copts compile
 			return nil, r.simFailure(ctx, bench, m, err)
 		}
 	}
-	res, err = sim.RunCtx(ctx, prog, sim.Options{Machine: m})
+	res, err = sim.RunCtx(ctx, prog, sim.Options{Machine: m, Code: code})
 	if err != nil {
 		return nil, r.simFailure(ctx, bench, m, err)
+	}
+	if code != nil {
+		r.mu.Lock()
+		r.stats.PredecodeShared++
+		r.mu.Unlock()
 	}
 	if perr := r.persist(ctx, bench, m, skey, attempt, res); perr != nil {
 		return nil, perr
@@ -709,16 +726,16 @@ func (r *Runner) simFailure(ctx context.Context, bench string, m *machine.Config
 // compile returns the compiled program for the key, compiling at most once.
 // The leader already holds a worker slot, so waiters (who hold their own
 // slots) can never starve it.
-func (r *Runner) compile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, error) {
+func (r *Runner) compile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, *sim.Code, error) {
 	r.mu.Lock()
 	if ce, ok := r.compiles[ckey]; ok {
 		r.stats.CompileHits++
 		r.mu.Unlock()
 		select {
 		case <-ce.ready:
-			return ce.prog, ce.err
+			return ce.prog, ce.code, ce.err
 		case <-ctx.Done():
-			return nil, cause(ctx)
+			return nil, nil, cause(ctx)
 		}
 	}
 	ce := &compileEntry{ready: make(chan struct{})}
@@ -726,7 +743,7 @@ func (r *Runner) compile(ctx context.Context, bench string, copts compiler.Optio
 	r.stats.Compiles++
 	r.mu.Unlock()
 
-	ce.prog, ce.err = r.doCompile(ctx, bench, copts, m, ckey)
+	ce.prog, ce.code, ce.err = r.doCompile(ctx, bench, copts, m, ckey)
 	if ce.err != nil && ilperr.IsTransient(ce.err) {
 		// Retries exhausted: publish permanent, so a sim-level retry that
 		// hits this cached verdict does not spin on it.
@@ -742,63 +759,74 @@ func (r *Runner) compile(ctx context.Context, bench string, copts compiler.Optio
 		r.mu.Unlock()
 	}
 	close(ce.ready)
-	return ce.prog, ce.err
+	return ce.prog, ce.code, ce.err
 }
 
 // doCompile is the compile-cache miss path: it runs compileAttempt under
 // the same transient-failure retry policy as measure.
-func (r *Runner) doCompile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, error) {
+func (r *Runner) doCompile(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string) (*isa.Program, *sim.Code, error) {
 	var (
 		prog *isa.Program
+		code *sim.Code
 		err  error
 	)
 	for attempt := 0; ; attempt++ {
-		prog, err = r.compileAttempt(ctx, bench, copts, m, ckey, attempt)
+		prog, code, err = r.compileAttempt(ctx, bench, copts, m, ckey, attempt)
 		if err == nil || !ilperr.IsTransient(err) || attempt >= r.Cfg.retries() {
 			break
 		}
 		r.noteRetry()
 		if werr := r.sleepBackoff(ctx, ckey, attempt); werr != nil {
-			prog, err = nil, werr
+			prog, code, err = nil, nil, werr
 			break
 		}
 	}
-	return prog, err
+	return prog, code, err
 }
 
 // compileAttempt is one try at a compilation, carrying the panic isolation
 // and error wrapping for the compile phase (and the SiteCompile fault
 // hook).
-func (r *Runner) compileAttempt(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string, attempt int) (prog *isa.Program, err error) {
+func (r *Runner) compileAttempt(ctx context.Context, bench string, copts compiler.Options, m *machine.Config, ckey string, attempt int) (prog *isa.Program, code *sim.Code, err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			prog, err = nil, &CompileError{
+			prog, code, err = nil, nil, &CompileError{
 				Benchmark: bench, Machine: m.Name, Fingerprint: m.ScheduleFingerprint(),
 				Phase: ilperr.PhaseCompile, Err: ilperr.PanicError(v, debug.Stack()),
 			}
 		}
 	}()
 	if ctx.Err() != nil {
-		return nil, cause(ctx)
+		return nil, nil, cause(ctx)
 	}
 	b, err := benchmarks.ByName(bench)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if ferr := r.Cfg.Faults.Fail(faultinject.SiteCompile, ckey, attempt); ferr != nil {
-		return nil, r.compileFailure(ctx, bench, m, ferr)
+		return nil, nil, r.compileFailure(ctx, bench, m, ferr)
 	}
 	if h := r.compileHook; h != nil {
 		if err := h(ctx, bench, m); err != nil {
-			return nil, r.compileFailure(ctx, bench, m, err)
+			return nil, nil, r.compileFailure(ctx, bench, m, err)
 		}
 	}
 	copts.Machine = m
 	c, err := compiler.Compile(b.Source, copts)
 	if err != nil {
-		return nil, r.compileFailure(ctx, bench, m, err)
+		return nil, nil, r.compileFailure(ctx, bench, m, err)
 	}
-	return c.Prog, nil
+	// Predecode once per compile key: the artifact is immutable, so every
+	// simulation of this program — across all cache geometries and all
+	// sweep workers — shares it read-only instead of re-translating.
+	code, err = sim.Predecode(c.Prog, m)
+	if err != nil {
+		return nil, nil, r.compileFailure(ctx, bench, m, err)
+	}
+	r.mu.Lock()
+	r.stats.Predecodes++
+	r.mu.Unlock()
+	return c.Prog, code, nil
 }
 
 // compileFailure is simFailure's compile-phase twin.
@@ -921,7 +949,14 @@ type table struct {
 	rows   [][]string
 }
 
-func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+func (t *table) add(cells ...string) {
+	if t.rows == nil {
+		// One allocation up front instead of the append doubling ladder;
+		// the sweep tables run one row per benchmark or per degree.
+		t.rows = make([][]string, 0, 16)
+	}
+	t.rows = append(t.rows, cells)
+}
 
 func (t *table) render() string {
 	widths := make([]int, len(t.header))
@@ -935,13 +970,25 @@ func (t *table) render() string {
 			}
 		}
 	}
+	lineWidth := 1 // newline
+	for _, w := range widths {
+		lineWidth += w + 2
+	}
 	var b strings.Builder
+	b.Grow((len(t.rows) + 2) * lineWidth)
+	// Cells are padded with explicit space runs rather than per-cell
+	// fmt.Fprintf("%-*s") — the boxing and verb parsing in fmt were a top
+	// allocation site of the sweep render path. Every column is padded,
+	// including the last, matching the previous output byte for byte.
 	line := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			b.WriteString(c)
+			for k := len(c); k < widths[i]; k++ {
+				b.WriteByte(' ')
+			}
 		}
 		b.WriteString("\n")
 	}
@@ -950,7 +997,9 @@ func (t *table) render() string {
 		if i > 0 {
 			b.WriteString("  ")
 		}
-		b.WriteString(strings.Repeat("-", w))
+		for k := 0; k < w; k++ {
+			b.WriteByte('-')
+		}
 	}
 	b.WriteString("\n")
 	for _, row := range t.rows {
@@ -959,8 +1008,12 @@ func (t *table) render() string {
 	return b.String()
 }
 
-// fmtF formats a float compactly.
-func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+// fmtF formats a float compactly ("%.2f", including NaN/±Inf spellings),
+// without fmt's interface boxing.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// fmtI formats an integer table cell.
+func fmtI(v int) string { return strconv.Itoa(v) }
 
 // sortedNames of a benchmark slice.
 func sortedNames(bs []benchmarks.Benchmark) []string {

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
 )
 
 // Shape assertions run on a reduced sweep (degree 4, two benchmarks) to
@@ -265,6 +269,41 @@ func TestAblations(t *testing.T) {
 		if through[i] < withBreaks[i]-1e-9 {
 			t.Errorf("benchmark %d: removing group breaks reduced parallelism", i)
 		}
+	}
+}
+
+// TestPredecodeSharedOnce pins the predecode-once contract: machines that
+// share a schedule fingerprint (here: identical Base schedules under
+// different names, so each gets its own sim-cache cell) must share one
+// compilation AND one predecoded artifact, with every live simulation
+// running on it read-only.
+func TestPredecodeSharedOnce(t *testing.T) {
+	r := NewRunner(Config{})
+	const variants = 3
+	for i := 0; i < variants; i++ {
+		m := machine.Base()
+		m.Name = fmt.Sprintf("base-v%d", i)
+		if _, err := r.Measure("whet", compiler.Options{}, m); err != nil {
+			t.Fatalf("measure %s: %v", m.Name, err)
+		}
+	}
+	st := r.Stats()
+	if st.Compiles != 1 {
+		t.Errorf("schedule-identical machines recompiled: Compiles = %d, want 1", st.Compiles)
+	}
+	if st.Predecodes != 1 {
+		t.Errorf("schedule-identical machines re-predecoded: Predecodes = %d, want 1", st.Predecodes)
+	}
+	if st.Sims != variants {
+		t.Fatalf("Sims = %d, want %d distinct cells", st.Sims, variants)
+	}
+	if st.PredecodeShared != variants {
+		t.Errorf("PredecodeShared = %d, want %d (every live sim on the shared artifact)", st.PredecodeShared, variants)
+	}
+	rep := r.Report()
+	if rep.Predecodes != st.Predecodes || rep.PredecodeShared != st.PredecodeShared {
+		t.Errorf("SweepReport predecode counters %d/%d do not mirror stats %d/%d",
+			rep.Predecodes, rep.PredecodeShared, st.Predecodes, st.PredecodeShared)
 	}
 }
 

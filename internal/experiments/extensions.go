@@ -95,8 +95,8 @@ func runExtVLIW(ctx context.Context, r *Runner) (*Result, error) {
 		util := float64(res.Instructions) / float64(vliwWords)
 		utils = append(utils, util)
 		t.add(b.Name,
-			fmt.Sprintf("%d", res.Instructions),
-			fmt.Sprintf("%d", vliwWords),
+			fmtI(int(res.Instructions)),
+			fmtI(int(vliwWords)),
 			fmt.Sprintf("%.0f%%", util*100),
 			fmt.Sprintf("%.2fx", 1/util))
 	}

@@ -1,5 +1,7 @@
 package ir
 
+import "math/bits"
+
 // This file holds the CFG analyses the optimizer and register allocator
 // share: reverse postorder, liveness, dominators, and natural loops.
 
@@ -7,12 +9,13 @@ package ir
 // postorder (a topological-ish order good for forward dataflow and for
 // linearizing code).
 func (f *Func) ReversePostorder() []*Block {
-	seen := map[*Block]bool{}
-	var order []*Block
+	seen := make(map[*Block]bool, len(f.Blocks))
+	order := make([]*Block, 0, len(f.Blocks))
 	var dfs func(b *Block)
 	dfs = func(b *Block) {
 		seen[b] = true
-		succs := b.Succs()
+		var sb [2]*Block
+		succs := b.AppendSuccs(sb[:0])
 		// Visit the fall-through last so it ends up adjacent in the
 		// final order where possible.
 		for i := len(succs) - 1; i >= 0; i-- {
@@ -52,70 +55,128 @@ func (f *Func) RemoveUnreachable() {
 	f.Blocks = kept
 }
 
-// Liveness holds per-block live-in/live-out virtual register sets.
-type Liveness struct {
-	In  map[*Block]map[Reg]bool
-	Out map[*Block]map[Reg]bool
+// RegSet is a dense bitset over a function's virtual register numbers
+// (0..NumRegs-1). Probing a register beyond the set's size reports false
+// rather than panicking, so the zero-length set is a valid empty set.
+type RegSet []uint64
+
+// NewRegSet returns an empty set sized for nregs virtual registers.
+func NewRegSet(nregs int) RegSet { return make(RegSet, (nregs+63)/64) }
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r Reg) bool {
+	w := int(r) >> 6
+	return w < len(s) && s[w]&(1<<(uint(r)&63)) != 0
 }
 
-// ComputeLiveness runs the standard backward iterative dataflow.
-func (f *Func) ComputeLiveness() *Liveness {
-	lv := &Liveness{
-		In:  map[*Block]map[Reg]bool{},
-		Out: map[*Block]map[Reg]bool{},
+// Add inserts r.
+func (s RegSet) Add(r Reg) { s[int(r)>>6] |= 1 << (uint(r) & 63) }
+
+// Remove deletes r.
+func (s RegSet) Remove(r Reg) {
+	if w := int(r) >> 6; w < len(s) {
+		s[w] &^= 1 << (uint(r) & 63)
 	}
-	// use/def per block.
-	use := map[*Block]map[Reg]bool{}
-	def := map[*Block]map[Reg]bool{}
+}
+
+// Clone returns an independent copy.
+func (s RegSet) Clone() RegSet { return append(RegSet(nil), s...) }
+
+// ForEach calls fn for every register in the set, in ascending order.
+func (s RegSet) ForEach(fn func(Reg)) {
+	for w, word := range s {
+		for word != 0 {
+			fn(Reg(w<<6 + bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+}
+
+// Liveness holds per-block live-in/live-out virtual register sets.
+type Liveness struct {
+	in, out map[*Block]RegSet
+}
+
+// In returns the live-in set of b (empty for blocks unknown to the
+// analysis). Callers must treat it as read-only; Clone before mutating.
+func (lv *Liveness) In(b *Block) RegSet { return lv.in[b] }
+
+// Out returns the live-out set of b, with the same contract as In.
+func (lv *Liveness) Out(b *Block) RegSet { return lv.out[b] }
+
+// ComputeLiveness runs the standard backward iterative dataflow. The sets
+// are word-parallel bitsets carved from one backing array — per sweep this
+// analysis runs on every function at every optimization level for every
+// machine configuration, and the per-register map version of it used to be
+// the compile pipeline's top allocation site.
+func (f *Func) ComputeLiveness() *Liveness {
+	n := len(f.Blocks)
+	words := (f.NumRegs() + 63) / 64
+	backing := make([]uint64, 4*n*words)
+	sets := func(fam int) []RegSet {
+		out := make([]RegSet, n)
+		for i := range out {
+			off := (fam*n + i) * words
+			out[i] = RegSet(backing[off : off+words : off+words])
+		}
+		return out
+	}
+	use, def, in, out := sets(0), sets(1), sets(2), sets(3)
+
+	idx := make(map[*Block]int, n)
 	var buf []Reg
-	for _, b := range f.Blocks {
-		u, d := map[Reg]bool{}, map[Reg]bool{}
+	for bi, b := range f.Blocks {
+		idx[b] = bi
+		u, d := use[bi], def[bi]
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			buf = in.Uses(buf[:0])
 			for _, r := range buf {
-				if !d[r] {
-					u[r] = true
+				if !d.Has(r) {
+					u.Add(r)
 				}
 			}
 			if dst := in.Def(); dst != NoReg {
-				d[dst] = true
+				d.Add(dst)
 			}
 		}
-		use[b], def[b] = u, d
-		lv.In[b] = map[Reg]bool{}
-		lv.Out[b] = map[Reg]bool{}
 	}
-	changed := true
-	for changed {
+
+	// Iterate in reverse RPO for fast convergence; the CFG does not change
+	// here, so the order is computed once, not per fixpoint round.
+	rpo := f.ReversePostorder()
+	var sb [2]*Block
+	for changed := true; changed; {
 		changed = false
-		// Iterate in reverse RPO for fast convergence.
-		rpo := f.ReversePostorder()
 		for i := len(rpo) - 1; i >= 0; i-- {
-			b := rpo[i]
-			out := lv.Out[b]
-			for _, s := range b.Succs() {
-				for r := range lv.In[s] {
-					if !out[r] {
-						out[r] = true
+			bi := idx[rpo[i]]
+			ob := out[bi]
+			for _, s := range rpo[i].AppendSuccs(sb[:0]) {
+				si := in[idx[s]]
+				for w := range ob {
+					if v := ob[w] | si[w]; v != ob[w] {
+						ob[w] = v
 						changed = true
 					}
 				}
 			}
-			in := lv.In[b]
-			for r := range use[b] {
-				if !in[r] {
-					in[r] = true
-					changed = true
-				}
-			}
-			for r := range out {
-				if !def[b][r] && !in[r] {
-					in[r] = true
+			// in = use ∪ (out − def), word-parallel.
+			ib, ub, db := in[bi], use[bi], def[bi]
+			for w := range ib {
+				if v := ub[w] | (ob[w] &^ db[w]); v != ib[w] {
+					ib[w] = v
 					changed = true
 				}
 			}
 		}
+	}
+
+	lv := &Liveness{
+		in:  make(map[*Block]RegSet, n),
+		out: make(map[*Block]RegSet, n),
+	}
+	for bi, b := range f.Blocks {
+		lv.in[b], lv.out[b] = in[bi], out[bi]
 	}
 	return lv
 }

@@ -312,17 +312,24 @@ func (b *Block) Terminator() *Instr {
 
 // Succs returns the block's successors.
 func (b *Block) Succs() []*Block {
+	return b.AppendSuccs(nil)
+}
+
+// AppendSuccs appends b's successors to dst and returns it. With a caller
+// scratch buffer it is the allocation-free form of Succs for analysis
+// loops (a block has at most two successors).
+func (b *Block) AppendSuccs(dst []*Block) []*Block {
 	t := b.Terminator()
 	if t == nil {
-		return nil
+		return dst
 	}
 	switch t.Kind {
 	case KBr:
-		return []*Block{t.Targets[0], t.Targets[1]}
+		return append(dst, t.Targets[0], t.Targets[1])
 	case KJmp:
-		return []*Block{t.Targets[0]}
+		return append(dst, t.Targets[0])
 	}
-	return nil
+	return dst
 }
 
 // Func is one IR function.

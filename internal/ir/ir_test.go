@@ -143,13 +143,13 @@ func TestLiveness(t *testing.T) {
 	v0 := Reg(0)
 	// v0 defined in b0, used in b1 and b2: live-out of b0, live-in to
 	// b1 and b2, dead at b3.
-	if !lv.Out[f.Blocks[0]][v0] {
+	if !lv.Out(f.Blocks[0]).Has(v0) {
 		t.Error("v0 should be live-out of b0")
 	}
-	if !lv.In[f.Blocks[1]][v0] || !lv.In[f.Blocks[2]][v0] {
+	if !lv.In(f.Blocks[1]).Has(v0) || !lv.In(f.Blocks[2]).Has(v0) {
 		t.Error("v0 should be live-in to both branches")
 	}
-	if lv.In[f.Blocks[3]][v0] {
+	if lv.In(f.Blocks[3]).Has(v0) {
 		t.Error("v0 should be dead at the join")
 	}
 }
@@ -159,7 +159,7 @@ func TestLivenessLoop(t *testing.T) {
 	lv := f.ComputeLiveness()
 	v0 := Reg(0)
 	// v0 is used by b1 every iteration: live around the loop.
-	if !lv.In[f.Blocks[1]][v0] || !lv.Out[f.Blocks[1]][v0] {
+	if !lv.In(f.Blocks[1]).Has(v0) || !lv.Out(f.Blocks[1]).Has(v0) {
 		t.Error("loop-carried register not live through loop")
 	}
 }

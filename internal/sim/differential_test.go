@@ -8,6 +8,9 @@ package sim
 // rewrite changed no semantics and no timing.
 
 import (
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"ilp/internal/benchmarks"
@@ -80,6 +83,205 @@ func compareResults(t *testing.T, path string, want, got *Result) {
 		t.Errorf("%s: DCacheStats presence = %v, want %v", path, got.DCacheStats != nil, want.DCacheStats != nil)
 	case got.DCacheStats != nil && *got.DCacheStats != *want.DCacheStats:
 		t.Errorf("%s: DCacheStats = %+v, want %+v", path, *got.DCacheStats, *want.DCacheStats)
+	}
+}
+
+// randomCFGProgram generates a deterministic random control-flow graph: a
+// handful of basic blocks full of random integer ALU work, address-masked
+// loads and stores into a small data segment, calls into a straight-line
+// subroutine (jr return — mid-block entry for the block counters), and
+// data-dependent conditional branches between arbitrary blocks. Termination
+// is guaranteed by a fuel counter burned at every block entry; when it runs
+// out the block bails to the exit, which prints every data register (so the
+// differential comparison covers architectural state, not just timing).
+func randomCFGProgram(rng *rand.Rand) *isa.Program {
+	const (
+		loData, hiData = 10, 20 // data registers the random ops touch
+		rFuel          = 21
+		rAddr          = 22
+	)
+	reg := func() isa.Reg { return isa.R(loData + rng.Intn(hiData-loData+1)) }
+
+	b := isa.NewBuilder()
+	words := make([]int64, 64)
+	for i := range words {
+		words[i] = rng.Int63n(1 << 24)
+	}
+	dataBase := b.Data(words...)
+
+	b.Li(isa.R(rFuel), int64(150+rng.Intn(150)))
+	for r := loData; r <= hiData; r++ {
+		b.Li(isa.R(r), rng.Int63n(1<<20)-(1<<19))
+	}
+	b.Jump("b0")
+
+	// A tiny leaf subroutine: blocks call it through jal, and the jr return
+	// lands mid-stream wherever the caller sat — the case the block-entry
+	// accounting must get right.
+	b.Label("sub")
+	b.Op(isa.OpXor, reg(), reg(), reg())
+	b.Imm(isa.OpAddi, reg(), reg(), rng.Int63n(64))
+	b.Ret()
+
+	threeReg := []isa.Opcode{
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSlt, isa.OpSle, isa.OpSeq, isa.OpSne, isa.OpMul,
+	}
+	immOps := []isa.Opcode{
+		isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai,
+	}
+	condOps := []isa.Opcode{
+		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBle, isa.OpBgt,
+	}
+
+	nBlocks := 3 + rng.Intn(6)
+	for blk := 0; blk < nBlocks; blk++ {
+		b.Label(fmt.Sprintf("b%d", blk))
+		b.Imm(isa.OpAddi, isa.R(rFuel), isa.R(rFuel), -1)
+		b.Branch(isa.OpBle, isa.R(rFuel), isa.RZero, "exit")
+		for op := 2 + rng.Intn(9); op > 0; op-- {
+			switch rng.Intn(6) {
+			case 0:
+				b.Op(threeReg[rng.Intn(len(threeReg))], reg(), reg(), reg())
+			case 1:
+				o := immOps[rng.Intn(len(immOps))]
+				imm := rng.Int63n(1 << 16)
+				if o == isa.OpSlli || o == isa.OpSrli || o == isa.OpSrai {
+					imm = rng.Int63n(64)
+				}
+				b.Imm(o, reg(), reg(), imm)
+			case 2:
+				b.Li(reg(), rng.Int63n(1<<30))
+			case 3:
+				b.Imm(isa.OpAndi, isa.R(rAddr), reg(), 63)
+				b.Load(isa.OpLw, reg(), isa.R(rAddr), dataBase)
+			case 4:
+				b.Imm(isa.OpAndi, isa.R(rAddr), reg(), 63)
+				b.Store(isa.OpSw, reg(), isa.R(rAddr), dataBase)
+			case 5:
+				b.Op1(isa.OpMov, reg(), reg())
+			}
+		}
+		if rng.Intn(4) == 0 {
+			b.Call("sub")
+		}
+		b.Branch(condOps[rng.Intn(len(condOps))], reg(), reg(),
+			fmt.Sprintf("b%d", rng.Intn(nBlocks)))
+		b.Jump(fmt.Sprintf("b%d", rng.Intn(nBlocks)))
+	}
+
+	b.Label("exit")
+	for r := loData; r <= hiData; r++ {
+		b.Print(isa.R(r))
+	}
+	b.Halt()
+	return b.MustFinish()
+}
+
+// fuzzMachines is diffMachines plus the configurations whose functional
+// units really bind (multiplicity below the issue width, or issue latency
+// above one) — the generated programs must agree there too, since those are
+// exactly the paths the predecoded fUnit flag decides to keep or skip.
+func fuzzMachines() []*machine.Config {
+	return append(diffMachines(),
+		machine.SuperscalarWithConflicts(4),
+		machine.Underpipelined(),
+	)
+}
+
+// TestDifferentialRandomCFG fuzzes the block-fused engine against the
+// preserved seed engine on randomized control-flow graphs: cycles, stalls,
+// class counts, and printed output must be bit-identical on every machine,
+// for the fast path, the shared-predecode path, and the instrumented path.
+func TestDifferentialRandomCFG(t *testing.T) {
+	seeds := 16
+	if testing.Short() {
+		seeds = 4
+	}
+	cfgs := fuzzMachines()
+	for seed := 0; seed < seeds; seed++ {
+		p := randomCFGProgram(rand.New(rand.NewSource(int64(seed))))
+		for _, cfg := range cfgs {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, cfg.Name), func(t *testing.T) {
+				opts := Options{Machine: cfg}
+				want, err := refRun(p, opts)
+				if err != nil {
+					t.Fatalf("reference engine: %v", err)
+				}
+
+				got, err := Run(p, opts)
+				if err != nil {
+					t.Fatalf("fast path: %v", err)
+				}
+				compareResults(t, "fast", want, got)
+
+				code, err := Predecode(p, cfg)
+				if err != nil {
+					t.Fatalf("predecode: %v", err)
+				}
+				copts := opts
+				copts.Code = code
+				got, err = Run(p, copts)
+				if err != nil {
+					t.Fatalf("shared-code path: %v", err)
+				}
+				compareResults(t, "shared-code", want, got)
+
+				iopts := opts
+				iopts.OnIssue = func(int, *isa.Instr, int64, int64) {}
+				got, err = Run(p, iopts)
+				if err != nil {
+					t.Fatalf("instrumented path: %v", err)
+				}
+				compareResults(t, "instrumented", want, got)
+			})
+		}
+	}
+}
+
+// TestSharedCodeConcurrent proves the immutability contract: one predecoded
+// Code backing many concurrent runs (as the experiments runner does across
+// sweep workers) must produce the reference result from every goroutine.
+// Run under -race this also proves no engine writes the shared artifact.
+func TestSharedCodeConcurrent(t *testing.T) {
+	p := randomCFGProgram(rand.New(rand.NewSource(99)))
+	cfg := machine.IdealSuperscalar(4)
+	want, err := refRun(p, Options{Machine: cfg})
+	if err != nil {
+		t.Fatalf("reference engine: %v", err)
+	}
+	code, err := Predecode(p, cfg)
+	if err != nil {
+		t.Fatalf("predecode: %v", err)
+	}
+
+	const workers, runs = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*runs)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runs; i++ {
+				got, err := Run(p, Options{Machine: cfg, Code: code})
+				if err != nil {
+					errs <- fmt.Errorf("shared-code run: %v", err)
+					return
+				}
+				if got.MinorCycles != want.MinorCycles || got.Stalls != want.Stalls ||
+					got.ClassCounts != want.ClassCounts {
+					errs <- fmt.Errorf("shared-code run diverged: cycles %d want %d",
+						got.MinorCycles, want.MinorCycles)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -14,19 +14,39 @@ import (
 // Reset re-arms it for another program/machine pair while recycling every
 // large allocation from the previous run: the memory image (zeroing only the
 // data segment and the store high-water region actually dirtied), the
-// predecoded instruction array, the functional-unit scoreboard, and the
-// output buffer. The package-level Run draws Engines from a sync.Pool, so
-// even callers that never see the type stop paying a 16 MB allocation and
-// full zeroing per simulation.
+// predecoded instruction array, the functional-unit scoreboard, the block
+// entry/exit counters, and the output buffer. The package-level Run draws
+// Engines from a sync.Pool, so even callers that never see the type stop
+// paying a 16 MB allocation and full zeroing per simulation.
 //
 // An Engine is not safe for concurrent use; use one per goroutine (or just
-// call Run, which pools them).
+// call Run, which pools them). A predecoded Code, by contrast, is immutable
+// and may be shared by any number of engines at once.
 type Engine struct {
 	cfg  *machine.Config
 	prog *isa.Program
 	opts Options
 
-	dec []decoded
+	// dec is the predecoded program the run executes: either the shared
+	// immutable Options.Code array, or decBuf, the engine's own reusable
+	// translation buffer. Engines never write through dec.
+	dec    []decoded
+	decBuf []decoded
+
+	// enter and exit count, per instruction index, how many contiguous
+	// execution runs began and ended there: enter[i] is bumped when
+	// control arrives at i by a taken transfer (or at program entry),
+	// exit[i] when a taken transfer or halt leaves from i. Untaken
+	// branches keep the run going and touch neither. The dynamic
+	// execution count of instruction i is then the running sum
+	// Σ enter[0..i] − Σ exit[0..i-1], which fillResult folds into
+	// per-class counts at run end — replacing the seed engine's
+	// per-instruction counter store with two array bumps per *block*.
+	enter, exit []int64
+	// classCounts accumulates dynamic instruction counts per class: folded
+	// from enter/exit on the fast path, bumped per instruction on the
+	// instrumented path.
+	classCounts [isa.NumClasses]int64
 
 	// regs and ready are sized 256 (not isa.NumRegs) so that indexing by
 	// a Reg (uint8) needs no bounds check in the inner loop.
@@ -62,8 +82,9 @@ type Engine struct {
 // NewEngine returns an empty engine. Buffers are grown on first Reset.
 func NewEngine() *Engine { return &Engine{} }
 
-// Reset validates the program and machine, predecodes the program, and
-// re-arms all run state, reusing the engine's buffers.
+// Reset validates the program and machine, predecodes the program (or adopts
+// the shared predecode in opts.Code), and re-arms all run state, reusing the
+// engine's buffers.
 func (e *Engine) Reset(p *isa.Program, opts Options) error {
 	if opts.Machine == nil {
 		return fmt.Errorf("sim: no machine description")
@@ -124,7 +145,30 @@ func (e *Engine) Reset(p *isa.Program, opts Options) error {
 	}
 
 	e.cfg, e.prog, e.opts = cfg, p, opts
-	e.predecode(p, cfg)
+	if opts.Code != nil {
+		if err := opts.Code.matches(p, cfg); err != nil {
+			return err
+		}
+		e.dec = opts.Code.dec
+	} else {
+		e.decBuf = predecodeInto(e.decBuf, p, cfg)
+		e.dec = e.decBuf
+	}
+
+	n := len(e.dec) // real instructions + sentinel
+	if cap(e.enter) >= n {
+		e.enter = e.enter[:n]
+		clear(e.enter)
+	} else {
+		e.enter = make([]int64, n)
+	}
+	if cap(e.exit) >= n {
+		e.exit = e.exit[:n]
+		clear(e.exit)
+	} else {
+		e.exit = make([]int64, n)
+	}
+	e.classCounts = [isa.NumClasses]int64{}
 
 	e.cycle, e.inCycle = 0, 0
 	e.barrier, e.barrierIsBr = 0, false
@@ -170,10 +214,11 @@ func (e *Engine) RunInto(p *isa.Program, opts Options, res *Result) error {
 	return e.RunIntoCtx(context.Background(), p, opts, res)
 }
 
-// RunIntoCtx is RunInto with cancellation: the timing loop polls ctx every
-// cancelCheckInterval dynamic instructions, so a done context abandons the
-// run (returning the context's cause) within a fraction of a millisecond at
-// typical throughput. A Background context costs nothing on the fast path.
+// RunIntoCtx is RunInto with cancellation: the timing loop polls ctx at
+// control transfers, at least every cancelCheckInterval dynamic
+// instructions, so a done context abandons the run (returning the context's
+// cause) within a fraction of a millisecond at typical throughput. A
+// Background context costs nothing on the fast path.
 func (e *Engine) RunIntoCtx(ctx context.Context, p *isa.Program, opts Options, res *Result) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -218,6 +263,20 @@ func nextCheck(done <-chan struct{}, instrs, maxInstrs int64) int64 {
 // Timing semantics are identical to runInstrumented with both caches and
 // both hooks absent, and the inlined semantic switch matches exec case for
 // case (the differential suite pins both paths to the reference engine).
+//
+// Relative to the seed engine the loop works at basic-block granularity:
+// dynamic instruction counts are two array bumps per contiguous execution
+// run (enter/exit, folded to ClassCounts at halt) instead of a counter
+// store per instruction, and the limit/cancellation compare sits at control
+// transfers only — straight-line instructions run with no bookkeeping at
+// all beyond `instrs++`. Any loop must execute a control transfer, so the
+// instruction limit and context polls still fire; the one divergence is a
+// straight-line program longer than the limit, which now completes rather
+// than aborting mid-run. Hot ALU+branch pairs are fused into one
+// superinstruction dispatch (see opFusedAluBr), and conflict-free
+// functional units (multiplicity ≥ width, issue latency 1 — every unit of
+// every ideal machine) are elided from the loop entirely at predecode.
+//
 // All hot state lives in locals for the duration of the loop and is written
 // back once at the halt exit; error exits abandon the run, so only
 // dirty-memory tracking — updated on the engine at every store — must stay
@@ -232,6 +291,7 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 	memLen := int64(len(mem))
 	regs := &e.regs
 	ready := &e.ready
+	enter, exit := e.enter, e.exit
 
 	cycle, barrier := e.cycle, e.barrier
 	inCycle := int64(e.inCycle)
@@ -241,28 +301,19 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 	stalls := e.stalls
 	pc := e.pc
 
-	// Cancellation polling shares the instruction-limit comparison the loop
-	// already performs: checkAt is the next instruction count at which
-	// anything needs attention, so the fast path stays one compare per
-	// instruction and an uncancellable run (done == nil) is unchanged.
+	// Cancellation polling shares the instruction-limit comparison the
+	// loop performs at control transfers: checkAt is the next instruction
+	// count at which anything needs attention, and an uncancellable run
+	// (done == nil) only ever compares against the limit itself.
 	done := ctx.Done()
 	checkAt := nextCheck(done, instrs, maxInstrs)
 
+	enter[pc]++
 	for {
-		if instrs >= checkAt {
-			if instrs >= maxInstrs {
-				return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
-			}
-			select {
-			case <-done:
-				return ctxErr(ctx)
-			default:
-			}
-			checkAt = nextCheck(done, instrs, maxInstrs)
-		}
 		idx := pc
 		d := &dec[idx]
-		d.execs++
+		next := idx + 1
+		var taken bool
 
 		// 1. Earliest slot under the in-order, width-limited discipline.
 		// Stall accounting is written max-style rather than branching on
@@ -285,11 +336,11 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 
 		// 2. Operand availability (RAW through the scoreboard). The probes
 		// are unconditional: predecode remapped absent sources to r0, whose
-		// ready slot is never written and so can never look busy.
-		m := max(issue, ready[d.src1])
-		stalls.Data += m - issue
-		issue = m
-		m = max(issue, ready[d.src2])
+		// ready slot is never written and so can never look busy. Both
+		// probes fold into one max so the loads are independent of the
+		// issue-slot computation above (the stall sum is unchanged:
+		// (m1−issue) + (m2−m1) telescopes to max(r1,r2,issue) − issue).
+		m := max(issue, max(ready[d.src1], ready[d.src2]))
 		stalls.Data += m - issue
 		issue = m
 
@@ -310,18 +361,24 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 			issue = m
 		}
 
-		// 5. Functional-unit availability (class conflicts).
-		best := int(d.unitOff)
-		if d.unitLen > 1 {
+		// 5. Functional-unit availability (class conflicts). Predecode
+		// clears fUnit for units that provably never bind, which removes
+		// the scan and the booking store; for the rest, the lane min is
+		// computed branch-free (conditional moves, no data-dependent
+		// branches) before the booking.
+		if d.flags&fUnit != 0 {
+			best := int(d.unitOff)
+			bv := unitFree[best]
 			for i := best + 1; i < int(d.unitOff)+int(d.unitLen); i++ {
-				if unitFree[i] < unitFree[best] {
-					best = i
+				if v := unitFree[i]; v < bv {
+					bv, best = v, i
 				}
 			}
+			m = max(issue, bv)
+			stalls.Unit += m - issue
+			issue = m
+			unitFree[best] = issue + d.issueLat
 		}
-		m = max(issue, unitFree[best])
-		stalls.Unit += m - issue
-		issue = m
 
 		// Commit the issue slot.
 		if issue > cycle {
@@ -334,7 +391,6 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 			}
 			inCycle++
 		}
-		unitFree[best] = issue + d.issueLat
 		complete := issue + lat
 		if d.flags&fDst != 0 {
 			ready[d.dst] = complete
@@ -343,10 +399,10 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 
 		// 6. Execute (program order, at issue) — exec's switch, inlined to
 		// spare a function call (and the spill of all the locals above)
-		// per dynamic instruction.
-		next := idx + 1
-		var taken bool
-		switch d.op {
+		// per dynamic instruction. Control transfers leave through the
+		// boundary epilogue below; straight-line ops fall out of the
+		// switch into the two-instruction epilogue.
+		switch d.fop {
 		case isa.OpNop:
 		case isa.OpAdd:
 			e.setReg(d.dst, regs[d.src1]+regs[d.src2])
@@ -422,31 +478,39 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 			if regs[d.src1] == regs[d.src2] {
 				taken, next = true, int(d.target)
 			}
+			goto boundary
 		case isa.OpBne:
 			if regs[d.src1] != regs[d.src2] {
 				taken, next = true, int(d.target)
 			}
+			goto boundary
 		case isa.OpBlt:
 			if regs[d.src1] < regs[d.src2] {
 				taken, next = true, int(d.target)
 			}
+			goto boundary
 		case isa.OpBge:
 			if regs[d.src1] >= regs[d.src2] {
 				taken, next = true, int(d.target)
 			}
+			goto boundary
 		case isa.OpBle:
 			if regs[d.src1] <= regs[d.src2] {
 				taken, next = true, int(d.target)
 			}
+			goto boundary
 		case isa.OpBgt:
 			if regs[d.src1] > regs[d.src2] {
 				taken, next = true, int(d.target)
 			}
+			goto boundary
 		case isa.OpJ:
 			taken, next = true, int(d.target)
+			goto boundary
 		case isa.OpJal:
 			e.setReg(d.dst, int64(idx+1))
 			taken, next = true, int(d.target)
+			goto boundary
 		case isa.OpJr:
 			t := int(regs[d.src1])
 			// The only computed control transfer: check here (the
@@ -456,6 +520,260 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 				return fmt.Errorf("sim: pc %d out of range", t)
 			}
 			taken, next = true, t
+			goto boundary
+		case opFusedAluBr:
+			// A fused ALU+conditional-branch pair. The head (this
+			// entry, architectural op d.op) has fully issued above;
+			// apply its semantics, then inline the branch at idx+1
+			// through the exact timing steps it would take standalone:
+			// width limit, barrier, RAW — no destination, no memory,
+			// and a conflict-free unit (fusion requires it).
+			{
+				var v int64
+				switch d.op {
+				case isa.OpAdd:
+					v = regs[d.src1] + regs[d.src2]
+				case isa.OpAddi:
+					v = regs[d.src1] + d.imm
+				case isa.OpSub:
+					v = regs[d.src1] - regs[d.src2]
+				case isa.OpAnd:
+					v = regs[d.src1] & regs[d.src2]
+				case isa.OpOr:
+					v = regs[d.src1] | regs[d.src2]
+				case isa.OpXor:
+					v = regs[d.src1] ^ regs[d.src2]
+				case isa.OpAndi:
+					v = regs[d.src1] & d.imm
+				case isa.OpOri:
+					v = regs[d.src1] | d.imm
+				case isa.OpXori:
+					v = regs[d.src1] ^ d.imm
+				case isa.OpSlt:
+					v = b2i(regs[d.src1] < regs[d.src2])
+				case isa.OpSle:
+					v = b2i(regs[d.src1] <= regs[d.src2])
+				case isa.OpSeq:
+					v = b2i(regs[d.src1] == regs[d.src2])
+				case isa.OpSne:
+					v = b2i(regs[d.src1] != regs[d.src2])
+				case isa.OpSll:
+					v = regs[d.src1] << (uint64(regs[d.src2]) & 63)
+				case isa.OpSrl:
+					v = int64(uint64(regs[d.src1]) >> (uint64(regs[d.src2]) & 63))
+				case isa.OpSra:
+					v = regs[d.src1] >> (uint64(regs[d.src2]) & 63)
+				case isa.OpSlli:
+					v = regs[d.src1] << (uint64(d.imm) & 63)
+				case isa.OpSrli:
+					v = int64(uint64(regs[d.src1]) >> (uint64(d.imm) & 63))
+				case isa.OpSrai:
+					v = regs[d.src1] >> (uint64(d.imm) & 63)
+				case isa.OpLi:
+					v = d.imm
+				case isa.OpMov:
+					v = regs[d.src1]
+				default:
+					return fmt.Errorf("sim: pc %d: bad fused head opcode %v", idx, d.op)
+				}
+				regs[d.dst] = v // fusion requires fDst, so dst is never r0
+
+				bd := &dec[idx+1]
+				var overB int64
+				if inCycle >= width {
+					overB = 1
+				}
+				slotB := cycle + overB
+				stalls.Width += overB
+				if barrier > slotB {
+					if barrierIsBr {
+						stalls.Branch += barrier - slotB
+					}
+					slotB = barrier
+				}
+				issueB := slotB
+				m = max(issueB, max(ready[bd.src1], ready[bd.src2]))
+				stalls.Data += m - issueB
+				issueB = m
+				if issueB > cycle {
+					cycle = issueB
+					inCycle = 1
+					groups++
+				} else {
+					inCycle++ // the head issued, so inCycle >= 1 here
+				}
+				lastComplete = max(lastComplete, issueB+bd.lat)
+
+				var bTaken bool
+				switch bd.op {
+				case isa.OpBeq:
+					bTaken = regs[bd.src1] == regs[bd.src2]
+				case isa.OpBne:
+					bTaken = regs[bd.src1] != regs[bd.src2]
+				case isa.OpBlt:
+					bTaken = regs[bd.src1] < regs[bd.src2]
+				case isa.OpBge:
+					bTaken = regs[bd.src1] >= regs[bd.src2]
+				case isa.OpBle:
+					bTaken = regs[bd.src1] <= regs[bd.src2]
+				case isa.OpBgt:
+					bTaken = regs[bd.src1] > regs[bd.src2]
+				}
+				instrs += 2
+				if bTaken {
+					pc = int(bd.target)
+					exit[idx+1]++
+					enter[pc]++
+					if takenEnds {
+						if b := issueB + bd.lat + redirect; b > barrier {
+							barrier, barrierIsBr = b, true
+						}
+					}
+				} else {
+					pc = idx + 2
+				}
+			}
+			goto check
+		case opFusedAluAlu:
+			// A fused pair of integer ALU instructions: the head has
+			// fully issued above; apply its semantics, then inline the
+			// second ALU op at idx+1 through its standalone issue steps
+			// (width limit, barrier, RAW, WAW, scoreboard write; a
+			// conflict-free unit — fusion requires it). Straight-line,
+			// so no block bookkeeping and no limit compare.
+			{
+				var v int64
+				switch d.op {
+				case isa.OpAdd:
+					v = regs[d.src1] + regs[d.src2]
+				case isa.OpAddi:
+					v = regs[d.src1] + d.imm
+				case isa.OpSub:
+					v = regs[d.src1] - regs[d.src2]
+				case isa.OpAnd:
+					v = regs[d.src1] & regs[d.src2]
+				case isa.OpOr:
+					v = regs[d.src1] | regs[d.src2]
+				case isa.OpXor:
+					v = regs[d.src1] ^ regs[d.src2]
+				case isa.OpAndi:
+					v = regs[d.src1] & d.imm
+				case isa.OpOri:
+					v = regs[d.src1] | d.imm
+				case isa.OpXori:
+					v = regs[d.src1] ^ d.imm
+				case isa.OpSlt:
+					v = b2i(regs[d.src1] < regs[d.src2])
+				case isa.OpSle:
+					v = b2i(regs[d.src1] <= regs[d.src2])
+				case isa.OpSeq:
+					v = b2i(regs[d.src1] == regs[d.src2])
+				case isa.OpSne:
+					v = b2i(regs[d.src1] != regs[d.src2])
+				case isa.OpSll:
+					v = regs[d.src1] << (uint64(regs[d.src2]) & 63)
+				case isa.OpSrl:
+					v = int64(uint64(regs[d.src1]) >> (uint64(regs[d.src2]) & 63))
+				case isa.OpSra:
+					v = regs[d.src1] >> (uint64(regs[d.src2]) & 63)
+				case isa.OpSlli:
+					v = regs[d.src1] << (uint64(d.imm) & 63)
+				case isa.OpSrli:
+					v = int64(uint64(regs[d.src1]) >> (uint64(d.imm) & 63))
+				case isa.OpSrai:
+					v = regs[d.src1] >> (uint64(d.imm) & 63)
+				case isa.OpLi:
+					v = d.imm
+				case isa.OpMov:
+					v = regs[d.src1]
+				default:
+					return fmt.Errorf("sim: pc %d: bad fused head opcode %v", idx, d.op)
+				}
+				regs[d.dst] = v // fusion requires fDst, so dst is never r0
+
+				bd := &dec[idx+1]
+				var overB int64
+				if inCycle >= width {
+					overB = 1
+				}
+				slotB := cycle + overB
+				stalls.Width += overB
+				if barrier > slotB {
+					if barrierIsBr {
+						stalls.Branch += barrier - slotB
+					}
+					slotB = barrier
+				}
+				issueB := slotB
+				m = max(issueB, max(ready[bd.src1], ready[bd.src2]))
+				stalls.Data += m - issueB
+				issueB = m
+				latB := bd.lat
+				m = max(issueB, ready[bd.dst]-latB)
+				stalls.Write += m - issueB
+				issueB = m
+				if issueB > cycle {
+					cycle = issueB
+					inCycle = 1
+					groups++
+				} else {
+					inCycle++ // the head issued, so inCycle >= 1 here
+				}
+				completeB := issueB + latB
+				ready[bd.dst] = completeB
+				lastComplete = max(lastComplete, completeB)
+
+				switch bd.op {
+				case isa.OpAdd:
+					v = regs[bd.src1] + regs[bd.src2]
+				case isa.OpAddi:
+					v = regs[bd.src1] + bd.imm
+				case isa.OpSub:
+					v = regs[bd.src1] - regs[bd.src2]
+				case isa.OpAnd:
+					v = regs[bd.src1] & regs[bd.src2]
+				case isa.OpOr:
+					v = regs[bd.src1] | regs[bd.src2]
+				case isa.OpXor:
+					v = regs[bd.src1] ^ regs[bd.src2]
+				case isa.OpAndi:
+					v = regs[bd.src1] & bd.imm
+				case isa.OpOri:
+					v = regs[bd.src1] | bd.imm
+				case isa.OpXori:
+					v = regs[bd.src1] ^ bd.imm
+				case isa.OpSlt:
+					v = b2i(regs[bd.src1] < regs[bd.src2])
+				case isa.OpSle:
+					v = b2i(regs[bd.src1] <= regs[bd.src2])
+				case isa.OpSeq:
+					v = b2i(regs[bd.src1] == regs[bd.src2])
+				case isa.OpSne:
+					v = b2i(regs[bd.src1] != regs[bd.src2])
+				case isa.OpSll:
+					v = regs[bd.src1] << (uint64(regs[bd.src2]) & 63)
+				case isa.OpSrl:
+					v = int64(uint64(regs[bd.src1]) >> (uint64(regs[bd.src2]) & 63))
+				case isa.OpSra:
+					v = regs[bd.src1] >> (uint64(regs[bd.src2]) & 63)
+				case isa.OpSlli:
+					v = regs[bd.src1] << (uint64(bd.imm) & 63)
+				case isa.OpSrli:
+					v = int64(uint64(regs[bd.src1]) >> (uint64(bd.imm) & 63))
+				case isa.OpSrai:
+					v = regs[bd.src1] >> (uint64(bd.imm) & 63)
+				case isa.OpLi:
+					v = bd.imm
+				case isa.OpMov:
+					v = regs[bd.src1]
+				default:
+					return fmt.Errorf("sim: pc %d: bad fused tail opcode %v", idx+1, bd.op)
+				}
+				regs[bd.dst] = v
+			}
+			pc = idx + 2
+			instrs += 2
+			continue
 		case isa.OpFadd:
 			e.setRegF(d.dst, e.regF(d.src1)+e.regF(d.src2))
 		case isa.OpFsub:
@@ -502,6 +820,7 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 			e.output = append(e.output, isa.FloatValue(e.regF(d.src1)))
 		case isa.OpHalt:
 			instrs++
+			exit[idx]++
 			e.halted = true
 			e.pc = idx
 			e.cycle, e.barrier = cycle, barrier
@@ -510,26 +829,76 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 			e.lastComplete = lastComplete
 			e.instrs, e.groups = instrs, groups
 			e.stalls = stalls
+			e.foldCounts()
 			return nil
 		case opOutOfRange:
 			return fmt.Errorf("sim: pc %d out of range", idx)
 		default:
 			return fmt.Errorf("sim: pc %d: unimplemented opcode %v", idx, d.op)
 		}
+		// Straight-line epilogue: no block bookkeeping, no limit compare.
 		pc = next
 		instrs++
-		if taken && takenEnds {
-			if b := issue + lat + redirect; b > barrier {
-				barrier = b
-				barrierIsBr = true
+		continue
+
+	boundary:
+		// Control-transfer epilogue: a taken transfer ends the current
+		// contiguous run at idx and starts one at the target; an untaken
+		// branch keeps the run going (no counter writes) but still rides
+		// through the limit/cancellation poll below, bounding the poll
+		// interval in branch-dense code.
+		pc = next
+		instrs++
+		if taken {
+			exit[idx]++
+			enter[next]++
+			if takenEnds {
+				// A taken branch ends its issue group, and the target
+				// may not issue until the branch's operation latency
+				// has elapsed — one base cycle on the ideal machines,
+				// so a degree-m superpipeline pays m minor cycles: the
+				// §4.1 startup transient at every branch target.
+				if b := issue + lat + redirect; b > barrier {
+					barrier, barrierIsBr = b, true
+				}
 			}
 		}
+
+	check:
+		if instrs >= checkAt {
+			if instrs >= maxInstrs {
+				return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+			}
+			select {
+			case <-done:
+				return ctxErr(ctx)
+			default:
+			}
+			checkAt = nextCheck(done, instrs, maxInstrs)
+		}
+	}
+}
+
+// foldCounts folds the block entry/exit counters into per-class dynamic
+// instruction counts: sweeping the program in index order, the number of
+// still-open contiguous runs covering instruction i is exactly its dynamic
+// execution count.
+func (e *Engine) foldCounts() {
+	dec, enter, exit := e.dec, e.enter, e.exit
+	var live int64
+	for i := 0; i < len(dec)-1; i++ { // skip the sentinel
+		live += enter[i]
+		e.classCounts[dec[i].class] += live
+		live -= exit[i]
 	}
 }
 
 // runInstrumented is the slow path: the same discipline as runFast plus
 // instruction/data cache modeling and the OnIssue/OnTrace callbacks. It is
-// selected once at RunInto, never per instruction.
+// selected once at RunInto, never per instruction. It dispatches on the
+// architectural opcode, so fused superinstructions do not exist here, and
+// class counts are bumped per instruction (the callbacks already cost far
+// more than the counter).
 func (e *Engine) runInstrumented(ctx context.Context, maxInstrs int64) error {
 	width := int64(e.cfg.IssueWidth)
 	takenEnds := e.cfg.TakenBranchEndsGroup
@@ -556,7 +925,7 @@ func (e *Engine) runInstrumented(ctx context.Context, maxInstrs int64) error {
 		}
 		idx := e.pc
 		d := &dec[idx]
-		d.execs++
+		e.classCounts[d.class]++
 
 		// 1. Earliest slot under the in-order, width-limited discipline.
 		slot := e.cycle
@@ -884,10 +1253,7 @@ func (e *Engine) fillResult(res *Result) {
 	res.IssueGroups = e.groups
 	res.MinorCycles = e.lastComplete
 	res.BaseCycles = e.cfg.BaseCycles(e.lastComplete)
-	res.ClassCounts = [isa.NumClasses]int64{}
-	for i := range e.dec {
-		res.ClassCounts[e.dec[i].class] += e.dec[i].execs
-	}
+	res.ClassCounts = e.classCounts
 	res.Output = append(res.Output[:0], e.output...)
 	res.Stalls = e.stalls
 	res.ICacheStats, res.DCacheStats = nil, nil

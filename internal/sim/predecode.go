@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"ilp/internal/isa"
 	"ilp/internal/machine"
 )
@@ -24,15 +26,29 @@ const (
 	// fPrint marks printi/printf, whose data-cache access is the
 	// uncached output port.
 	fPrint
+	// fUnit marks instructions whose functional unit can actually bind:
+	// the lane scan and the issue-latency booking only matter when the
+	// unit's multiplicity is below the machine's issue width or its issue
+	// latency exceeds one. Otherwise at most width-1 other instructions
+	// can have booked a lane in the current minor cycle and every older
+	// booking is already free, so a free lane always exists at the issue
+	// slot — the scan can neither stall nor bind, and the fast path skips
+	// it entirely. Ideal machines (the sweep's hot spot) skip every unit.
+	fUnit
 )
 
 // decoded is one predecoded instruction: everything the timing loop needs,
-// flattened so the hot path touches a single cache line per instruction and
-// never calls Op.Info(), Op.Class(), or the class→unit map. The layout is
-// built once per Reset from the program and the machine description, in the
-// spirit of Shade-style predecoded translation caching.
+// flattened so the hot path touches at most one cache line per instruction
+// and never calls Op.Info(), Op.Class(), or the class→unit map, in the
+// spirit of Shade-style predecoded translation caching. Entries are 56
+// bytes — purely static facts, no per-run state — so a predecoded program
+// (see Code) is immutable and can be shared read-only across engines.
 type decoded struct {
-	op    isa.Opcode
+	op  isa.Opcode // architectural opcode (instrumented path, errors)
+	fop isa.Opcode // fast-path dispatch opcode: op, or a fused superinstruction
+	// class is the instruction's isa.Class; dynamic per-class counts are
+	// kept per-engine (folded from block entry/exit counters on the fast
+	// path), never here.
 	class uint8
 	flags dflags
 	dst   isa.Reg // raw destination (may be r0; fDst already excludes it)
@@ -46,12 +62,6 @@ type decoded struct {
 	lat      int64 // base operation latency, minor cycles
 	imm      int64
 	fimm     float64
-	// execs counts dynamic executions of this instruction. Bumping it
-	// here — on the cache line the loop just loaded — replaces a per-
-	// instruction store into a separate class-count table; the result's
-	// ClassCounts is folded from these at the end of the run. It also
-	// pads decoded to exactly 64 bytes, one cache line per instruction.
-	execs int64
 }
 
 // opOutOfRange is the opcode of the sentinel decoded entry appended after
@@ -63,34 +73,133 @@ type decoded struct {
 // jump table by one slot, keeping it dense.
 const opOutOfRange = isa.Opcode(isa.NumOpcodes)
 
-// predecode translates the program against the machine description into
-// e.dec (plus the trailing sentinel), reusing the previous run's backing
-// array when possible.
-func (e *Engine) predecode(p *isa.Program, cfg *machine.Config) {
+// opFusedAluBr is the fast-path dispatch opcode of a fused superinstruction:
+// an integer ALU op immediately followed by a conditional branch (the
+// compare+branch and induction-increment+branch idioms that close almost
+// every loop). The head entry dispatches the pair as one case; the branch's
+// own entry at i+1 stays intact, so jumps that land on the branch directly
+// still execute it standalone, and the instrumented path (which dispatches
+// on the architectural op) is unaffected.
+const opFusedAluBr = isa.Opcode(isa.NumOpcodes + 1)
+
+// opFusedAluAlu is the fast-path dispatch opcode of a fused pair of integer
+// ALU instructions: straight-line code runs two instructions per dispatch,
+// halving interpreter overhead (the indirect switch branch and the loop
+// epilogue) on the sequential bodies between branches. As with
+// opFusedAluBr, the second entry stays intact for direct jumps.
+const opFusedAluAlu = isa.Opcode(isa.NumOpcodes + 2)
+
+// Code is an immutable predecoded program: the translation of one
+// isa.Program against one machine schedule. It carries no per-run state, so
+// a single Code may back any number of concurrent engines — the experiments
+// runner predecodes once per (program, machine-schedule) pair and shares the
+// artifact read-only across all sweep workers.
+type Code struct {
+	prog    *isa.Program
+	cfg     *machine.Config
+	schedFP string
+	dec     []decoded
+}
+
+// Predecode translates a validated program against a machine description
+// into an immutable, shareable Code. Pass it via Options.Code to any run
+// whose machine has the same schedule fingerprint (cache geometry and the
+// machine name may differ — predecode depends only on the schedule).
+func Predecode(p *isa.Program, cfg *machine.Config) (*Code, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("sim: no machine description")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return &Code{
+		prog:    p,
+		cfg:     cfg,
+		schedFP: cfg.ScheduleFingerprint(),
+		dec:     predecodeInto(nil, p, cfg),
+	}, nil
+}
+
+// Instructions returns the number of (real) instructions predecoded.
+func (c *Code) Instructions() int { return len(c.dec) - 1 }
+
+// matches reports whether the Code can stand in for predecoding p against
+// cfg: it must come from the same program, and from the same machine
+// schedule (pointer-identical config, or equal schedule fingerprint).
+func (c *Code) matches(p *isa.Program, cfg *machine.Config) error {
+	if c.prog == nil {
+		return fmt.Errorf("sim: Options.Code is empty (use Predecode)")
+	}
+	if c.prog != p {
+		return fmt.Errorf("sim: Options.Code was predecoded from a different program")
+	}
+	if c.cfg != cfg && c.schedFP != cfg.ScheduleFingerprint() {
+		return fmt.Errorf("sim: Options.Code was predecoded for machine %q, whose schedule differs from %q", c.cfg.Name, cfg.Name)
+	}
+	return nil
+}
+
+// fusibleALU reports whether op qualifies as the head of a fused
+// ALU+branch pair: a single-cycle-semantics integer op with no side effects
+// beyond its destination register (no memory, no traps, no control).
+// The set must match the semantic sub-switch in runFast's opFusedAluBr case.
+func fusibleALU(op isa.Opcode) bool {
+	switch op {
+	case isa.OpAdd, isa.OpAddi, isa.OpSub,
+		isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpSlt, isa.OpSle, isa.OpSeq, isa.OpSne,
+		isa.OpSll, isa.OpSrl, isa.OpSra,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai,
+		isa.OpLi, isa.OpMov:
+		return true
+	}
+	return false
+}
+
+// condBranch reports whether op is a conditional branch.
+func condBranch(op isa.Opcode) bool {
+	switch op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBle, isa.OpBgt:
+		return true
+	}
+	return false
+}
+
+// predecodeInto translates the program against the machine description into
+// dec (plus the trailing sentinel), reusing dec's backing array when it is
+// large enough. The result holds only static facts; engines never write it.
+func predecodeInto(dec []decoded, p *isa.Program, cfg *machine.Config) []decoded {
 	// Per-class unit facts, derived once (the seed engine derived the
 	// class→unit mapping per engine but still chased OpInfo per dynamic
 	// instruction).
 	var classOff, classLen [isa.NumClasses]int32
 	var classIssueLat [isa.NumClasses]int64
+	var classBinds [isa.NumClasses]bool
 	off := int32(0)
 	for _, u := range cfg.Units {
+		binds := u.Multiplicity < cfg.IssueWidth || u.IssueLatency != 1
 		for _, cl := range u.Classes {
 			classOff[cl] = off
 			classLen[cl] = int32(u.Multiplicity)
 			classIssueLat[cl] = int64(u.IssueLatency)
+			classBinds[cl] = binds
 		}
 		off += int32(u.Multiplicity)
 	}
 
 	n := len(p.Instrs)
-	if cap(e.dec) >= n+1 {
-		e.dec = e.dec[:n+1]
+	if cap(dec) >= n+1 {
+		dec = dec[:n+1]
 	} else {
-		e.dec = make([]decoded, n+1)
+		dec = make([]decoded, n+1)
 	}
-	// The sentinel issues harmlessly (no operands, no memory, unit 0) and
+	// The sentinel issues harmlessly (no operands, no memory, no unit) and
 	// then errors from the semantic switch; the run is abandoned anyway.
-	e.dec[n] = decoded{op: opOutOfRange, unitLen: 1, issueLat: 1, lat: 1}
+	dec[n] = decoded{op: opOutOfRange, fop: opOutOfRange, unitLen: 1, issueLat: 1, lat: 1}
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
 		info := in.Op.Info()
@@ -129,8 +238,12 @@ func (e *Engine) predecode(p *isa.Program, cfg *machine.Config) {
 		if info.Load || (info.Store && !isPrint) {
 			f |= fMem
 		}
-		e.dec[i] = decoded{
+		if classBinds[cl] {
+			f |= fUnit
+		}
+		dec[i] = decoded{
 			op:       in.Op,
+			fop:      in.Op,
 			class:    uint8(cl),
 			flags:    f,
 			dst:      in.Dst,
@@ -145,4 +258,32 @@ func (e *Engine) predecode(p *isa.Program, cfg *machine.Config) {
 			fimm:     in.FImm,
 		}
 	}
+
+	// Fuse hot pairs. Only instructions whose units cannot bind qualify:
+	// the fused cases inline both instructions' issue steps and elide the
+	// lane scan for both. The second entry of a pair is left intact so
+	// direct jumps to it still work. ALU+branch pairs are chosen first
+	// (they also absorb the block-boundary epilogue); remaining adjacent
+	// ALU pairs are then paired greedily without overlap.
+	fused := make([]bool, n+1)
+	for i := 0; i+1 < n; i++ {
+		a, b := &dec[i], &dec[i+1]
+		if fusibleALU(a.op) && a.flags&fDst != 0 && a.flags&fUnit == 0 &&
+			condBranch(b.op) && b.flags&fUnit == 0 {
+			a.fop = opFusedAluBr
+			fused[i], fused[i+1] = true, true
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if fused[i] || fused[i+1] {
+			continue
+		}
+		a, b := &dec[i], &dec[i+1]
+		if fusibleALU(a.op) && a.flags&fDst != 0 && a.flags&fUnit == 0 &&
+			fusibleALU(b.op) && b.flags&fDst != 0 && b.flags&fUnit == 0 {
+			a.fop = opFusedAluAlu
+			fused[i], fused[i+1] = true, true
+		}
+	}
+	return dec
 }

@@ -41,6 +41,14 @@ type Options struct {
 	// MaxInstructions aborts runaway programs. Defaults to
 	// DefaultMaxInstructions.
 	MaxInstructions int64
+	// Code, if set, is a predecoded translation of the program (see
+	// Predecode) to adopt instead of predecoding at Reset. It must have
+	// been built from this exact program and from a machine with the same
+	// schedule fingerprint as Machine (cache geometry and the machine
+	// name may differ). A Code is immutable, so one artifact can back any
+	// number of concurrent runs — the experiments runner predecodes once
+	// per (program, schedule) pair and shares it across sweep workers.
+	Code *Code
 	// OnIssue, if set, is called for every instruction with its index in
 	// the program, its issue minor cycle and its completion minor cycle.
 	// Used by the pipeline-diagram renderer and by tests. Setting it
@@ -95,8 +103,9 @@ func RunCtx(ctx context.Context, p *isa.Program, opts Options) (*Result, error) 
 	res := new(Result)
 	err := e.RunIntoCtx(ctx, p, opts, res)
 	// Drop references to caller data before pooling so a cached engine
-	// does not pin a program or machine description alive.
-	e.cfg, e.prog = nil, nil
+	// does not pin a program, machine description, or shared predecode
+	// alive (e.decBuf, the engine's own translation buffer, is kept).
+	e.cfg, e.prog, e.dec = nil, nil, nil
 	e.opts = Options{}
 	enginePool.Put(e)
 	if err != nil {
