@@ -2,9 +2,9 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint bench bench-smoke bench-gate
+.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint cover bench bench-smoke bench-gate
 
-check: fmt vet build race race-concurrency fuzz-smoke chaos bench-smoke
+check: fmt vet lint build race race-concurrency fuzz-smoke chaos bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -53,11 +53,22 @@ chaos:
 lint:
 	$(GO) run ./cmd/ilplint -all-levels all
 
+# Coverage over every package, with the per-package and total percentages
+# printed; the profile is left in /tmp for `go tool cover -html` inspection.
+cover:
+	$(GO) test -coverprofile=/tmp/ilp_cover.out ./...
+	$(GO) tool cover -func=/tmp/ilp_cover.out | tail -1
+	@echo "profile at /tmp/ilp_cover.out (go tool cover -html=/tmp/ilp_cover.out)"
+
 # Full benchmark pass: simulator throughput + experiment wall times, written
 # to BENCH_sim.json (the baseline section of an existing file is preserved,
 # so the perf trajectory stays anchored at the first recorded engine).
+# 3-second samples: on a shared 1-core host, sub-second samples are bimodal
+# (an unstolen window measures peak, a stolen one measures the thief), so
+# best-of-N never converges; 3 s averages the steal and the best sample
+# becomes reproducible across invocations.
 bench:
-	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -count 3 ./internal/sim/ | tee /tmp/ilp_bench_sim.txt
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_sim.txt
 	$(GO) test -run '^$$' -bench 'RunAllQuick|ExperimentCacheSharing' -benchmem -count 1 . | tee /tmp/ilp_bench_exp.txt
 	$(GO) run ./cmd/benchjson -out BENCH_sim.json /tmp/ilp_bench_sim.txt /tmp/ilp_bench_exp.txt
 	@echo "wrote BENCH_sim.json"
@@ -66,9 +77,14 @@ bench:
 # Minstr/s against the committed BENCH_sim.json current snapshot. Fails
 # (exit 1) if any gated benchmark is more than 10% slower than the recorded
 # run or disappeared. Does not rewrite the JSON — run `make bench` for that.
+# The suite runs twice in separate invocations and benchjson keeps the best
+# sample of each benchmark across both: on a shared host the load regime
+# shifts on minute timescales, so one invocation's samples are correlated —
+# two spaced invocations (of 3 s samples, see `bench`) de-flake the gate.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_sim.json /tmp/ilp_bench_gate.txt
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate.txt
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate2.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_sim.json /tmp/ilp_bench_gate.txt /tmp/ilp_bench_gate2.txt
 
 # One-iteration smoke of the same benchmarks (no thresholds, no JSON): the
 # tier-1 gate just proves they still run.

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+	"ilp/internal/statictime"
+	"ilp/internal/verify"
+)
+
+// TestStaticBoundsFullSweep is the static timing oracle over the same
+// population the golden sweep measures: every paper benchmark, compiled at
+// the harness's settings, simulated on the preset machine matrix — every
+// cell's minor cycles must satisfy the static analyzer's lower and upper
+// bounds, as checked by the verify timing pass. A violation names the
+// guilty blocks.
+func TestStaticBoundsFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full static-bounds sweep skipped in -short mode")
+	}
+	cfgs := []*machine.Config{
+		machine.Base(),
+		machine.IdealSuperscalar(2),
+		machine.IdealSuperscalar(4),
+		machine.IdealSuperscalar(8),
+		machine.Superpipelined(4),
+		machine.SuperpipelinedSuperscalar(2, 2),
+		machine.SuperscalarWithConflicts(4),
+		machine.Underpipelined(),
+		machine.MultiTitan(),
+		machine.CRAY1(),
+	}
+	for _, b := range benchmarks.All() {
+		for _, cfg := range cfgs {
+			t.Run(fmt.Sprintf("%s/%s", b.Name, cfg.Name), func(t *testing.T) {
+				c, err := compiler.Compile(b.Source, compiler.Options{
+					Machine: cfg, Level: compiler.O4, Unroll: b.DefaultUnroll,
+				})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				r, err := sim.Run(c.Prog, sim.Options{Machine: cfg, CountInstrs: true})
+				if err != nil {
+					t.Fatalf("sim: %v", err)
+				}
+				a, err := statictime.Analyze(c.Prog, cfg)
+				if err != nil {
+					t.Fatalf("statictime: %v", err)
+				}
+				ds := verify.CheckTiming(a, r.MinorCycles, r.InstrCounts, r.TakenExits, "sweep")
+				for _, d := range ds {
+					t.Errorf("%s", d)
+				}
+				if t.Failed() {
+					lo := a.LowerBound(r.InstrCounts, r.TakenExits)
+					hi := a.UpperBound(r.InstrCounts)
+					t.Logf("simulated %d minor cycles, static bounds [%d, %d]", r.MinorCycles, lo, hi)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command ilpstat prints the static timing analysis of a compiled program:
+// one row per basic block with its dependence-height, issue-width and
+// functional-unit lower bounds, conflict-freedom, and the exact clean-entry
+// span when one is proven. With -sim it also simulates the program and
+// reports the measured minor cycles against the static [lower, upper]
+// bounds, running the verify timing oracle on the pair.
+//
+// Usage:
+//
+//	ilpstat [-machine name] [-level 0..4] [-unroll N] [-sim] <benchmark | file.tl>
+//
+// Machines: base, multititan, cray1, superscalar:N, superpipelined:M,
+// supersuper:N:M, conflicts:N, underpipelined.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ilp/internal/benchmarks"
+	"ilp/internal/compiler"
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+	"ilp/internal/statictime"
+	"ilp/internal/verify"
+)
+
+func machineByName(name string) (*machine.Config, error) {
+	parts := strings.Split(strings.ToLower(name), ":")
+	arg := func(i, def int) int {
+		if len(parts) > i {
+			if v, err := strconv.Atoi(parts[i]); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch parts[0] {
+	case "base", "":
+		return machine.Base(), nil
+	case "multititan", "titan":
+		return machine.MultiTitan(), nil
+	case "cray1", "cray-1", "cray":
+		return machine.CRAY1(), nil
+	case "superscalar", "ss":
+		return machine.IdealSuperscalar(arg(1, 4)), nil
+	case "superpipelined", "sp":
+		return machine.Superpipelined(arg(1, 4)), nil
+	case "supersuper", "ssp":
+		return machine.SuperpipelinedSuperscalar(arg(1, 2), arg(2, 2)), nil
+	case "conflicts":
+		return machine.SuperscalarWithConflicts(arg(1, 4)), nil
+	case "underpipelined":
+		return machine.Underpipelined(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", name)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ilpstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machineName := fs.String("machine", "base", "machine description (base, multititan, cray1, superscalar:N, superpipelined:M, supersuper:N:M, conflicts:N, underpipelined)")
+	level := fs.Int("level", 4, "optimization level 0..4")
+	unroll := fs.Int("unroll", 0, "loop unroll factor (0 = benchmark default)")
+	simulate := fs.Bool("sim", false, "also simulate and check the static bounds against measured cycles")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ilpstat [flags] <benchmark|file.tl>; benchmarks:", strings.Join(benchmarks.Names(), " "))
+		return 2
+	}
+	target := fs.Arg(0)
+
+	var src string
+	unrollFactor := *unroll
+	if b, err := benchmarks.ByName(target); err == nil {
+		src = b.Source
+		if unrollFactor == 0 {
+			unrollFactor = b.DefaultUnroll
+		}
+	} else {
+		data, ferr := os.ReadFile(target)
+		if ferr != nil {
+			fmt.Fprintf(stderr, "ilpstat: %q is neither a benchmark (%s) nor a readable file: %v\n",
+				target, strings.Join(benchmarks.Names(), " "), ferr)
+			return 1
+		}
+		src = string(data)
+	}
+
+	m, err := machineByName(*machineName)
+	if err != nil {
+		fmt.Fprintln(stderr, "ilpstat:", err)
+		return 1
+	}
+	c, err := compiler.Compile(src, compiler.Options{
+		Machine: m, Level: compiler.Level(*level), Unroll: unrollFactor,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "ilpstat:", err)
+		return 1
+	}
+	a, err := statictime.Analyze(c.Prog, m)
+	if err != nil {
+		fmt.Fprintln(stderr, "ilpstat:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, a.Format())
+
+	if !*simulate {
+		return 0
+	}
+	res, err := sim.Run(c.Prog, sim.Options{Machine: m, CountInstrs: true})
+	if err != nil {
+		fmt.Fprintln(stderr, "ilpstat:", err)
+		return 1
+	}
+	lo := a.LowerBound(res.InstrCounts, res.TakenExits)
+	hi := a.UpperBound(res.InstrCounts)
+	fmt.Fprintf(stdout, "\nsimulated:    %d minor cycles\n", res.MinorCycles)
+	fmt.Fprintf(stdout, "static bounds: [%d, %d]\n", lo, hi)
+	fmt.Fprintf(stdout, "slack:         %.3f (simulated / lower bound)\n",
+		float64(res.MinorCycles)/float64(lo))
+	if ds := verify.CheckTiming(a, res.MinorCycles, res.InstrCounts, res.TakenExits, "ilpstat"); len(ds) > 0 {
+		for _, d := range ds {
+			fmt.Fprintln(stderr, "ilpstat:", d)
+		}
+		return 1
+	}
+	fmt.Fprintln(stdout, "timing oracle: ok")
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIlpstatTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-machine", "superscalar:4", "linpack"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"block", "dep", "width", "unit", "span", "conflict-free"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestIlpstatSimOracle(t *testing.T) {
+	for _, m := range []string{"base", "cray1", "conflicts:4", "sp:4"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-machine", m, "-sim", "whet"}, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", m, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "timing oracle: ok") {
+			t.Errorf("%s: oracle verdict missing:\n%s", m, out.String())
+		}
+		if !strings.Contains(out.String(), "static bounds: [") {
+			t.Errorf("%s: bounds line missing", m)
+		}
+	}
+}
+
+func TestIlpstatBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-machine", "warp-drive", "linpack"}, &out, &errb); code != 1 {
+		t.Errorf("unknown machine: exit %d, want 1", code)
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no target: exit %d, want 2", code)
+	}
+}

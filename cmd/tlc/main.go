@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tlc [-level 0..4] [-unroll N] [-careful] [-verify] [-dump ir|asm] [-run] file.tl
+//	tlc [-level 0..4] [-unroll N] [-careful] [-verify] [-analyze] [-dump ir|asm] [-run] file.tl
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"ilp/internal/lang/parser"
 	"ilp/internal/lang/sem"
 	"ilp/internal/machine"
+	"ilp/internal/statictime"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	unroll := flag.Int("unroll", 0, "loop unroll factor")
 	careful := flag.Bool("careful", false, "careful unrolling")
 	verifyFlag := flag.Bool("verify", false, "run the static verifier after every compiler pass")
+	analyze := flag.Bool("analyze", false, "print the static timing analysis (per-block cycle bounds) instead of a dump")
 	dump := flag.String("dump", "asm", "what to dump: ir, asm, none")
 	run := flag.Bool("run", false, "run with the reference interpreter and print output")
 	flag.Parse()
@@ -79,6 +81,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tlc:", err)
 		os.Exit(1)
+	}
+	if *analyze {
+		a, aerr := statictime.Analyze(c.Prog, machine.Base())
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, "tlc:", aerr)
+			os.Exit(1)
+		}
+		fmt.Print(a.Format())
+		return
 	}
 	switch *dump {
 	case "ir":

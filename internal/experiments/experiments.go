@@ -173,7 +173,7 @@ var canonicalOrder = []string{
 	"fig4-6", "fig4-7", "fig4-8",
 	"tab5-1", "sec5-1",
 	"abl-branch", "abl-temps", "abl-sched", "abl-memdep",
-	"ext-conflicts", "ext-vliw", "ext-icache", "ext-limits",
+	"ext-conflicts", "ext-vliw", "ext-icache", "ext-limits", "ext-slack",
 }
 
 // Experiments lists all registered experiments in the paper's order.

@@ -24,7 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4-6", "fig4-7", "fig4-8",
 		"tab5-1", "sec5-1",
 		"abl-branch", "abl-temps", "abl-sched", "abl-memdep",
-		"ext-conflicts", "ext-vliw", "ext-icache", "ext-limits",
+		"ext-conflicts", "ext-vliw", "ext-icache", "ext-limits", "ext-slack",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {

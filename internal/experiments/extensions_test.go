@@ -68,6 +68,26 @@ func TestExtICacheShape(t *testing.T) {
 	}
 }
 
+func TestExtSlackShape(t *testing.T) {
+	res, err := testRunner().Run("ext-slack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no series")
+	}
+	for _, s := range res.Series {
+		for i, v := range s.Y {
+			// Slack = simulated / lower bound; the oracle inside the
+			// experiment already enforced simulated >= lower, so every
+			// ratio is at least 1.
+			if v < 1 {
+				t.Errorf("%s benchmark %d: slack %v below 1", s.Name, i, v)
+			}
+		}
+	}
+}
+
 func TestExtLimitsShape(t *testing.T) {
 	res, err := testRunner().Run("ext-limits")
 	if err != nil {

@@ -124,6 +124,15 @@ func (c *Config) reject(format string, args ...any) error {
 	return &ilperr.MachineError{Machine: c.Name, Err: fmt.Errorf(format, args...)}
 }
 
+// ClassUnits returns the class→unit mapping Validate checks: for every
+// instruction class, the index into Units of the unit serving it. Consumers
+// that need per-class unit facts (the predecoder, the static timing
+// analyzer) derive them from this map in one pass instead of calling
+// UnitForClass per class.
+func (c *Config) ClassUnits() ([isa.NumClasses]int, error) {
+	return c.unitIndex()
+}
+
 // UnitForClass returns the index into Units of the unit serving the class.
 // The config must have passed Validate.
 func (c *Config) UnitForClass(cl isa.Class) int {

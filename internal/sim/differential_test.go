@@ -18,6 +18,7 @@ import (
 	"ilp/internal/compiler"
 	"ilp/internal/isa"
 	"ilp/internal/machine"
+	"ilp/internal/statictime"
 )
 
 // diffMachines is the machine matrix: scalar base, ideal superscalar at
@@ -83,6 +84,44 @@ func compareResults(t *testing.T, path string, want, got *Result) {
 		t.Errorf("%s: DCacheStats presence = %v, want %v", path, got.DCacheStats != nil, want.DCacheStats != nil)
 	case got.DCacheStats != nil && *got.DCacheStats != *want.DCacheStats:
 		t.Errorf("%s: DCacheStats = %+v, want %+v", path, *got.DCacheStats, *want.DCacheStats)
+	}
+}
+
+// compareCounts pins the per-instruction counters: the fast path's fold of
+// the block enter/exit counters and the instrumented path's direct bumps
+// must agree index by index.
+func compareCounts(t *testing.T, path string, want, got *Result) {
+	t.Helper()
+	if len(got.InstrCounts) != len(want.InstrCounts) {
+		t.Fatalf("%s: %d InstrCounts, want %d", path, len(got.InstrCounts), len(want.InstrCounts))
+	}
+	for i := range want.InstrCounts {
+		if got.InstrCounts[i] != want.InstrCounts[i] {
+			t.Errorf("%s: InstrCounts[%d] = %d, want %d", path, i, got.InstrCounts[i], want.InstrCounts[i])
+			break
+		}
+	}
+	for i := range want.TakenExits {
+		if got.TakenExits[i] != want.TakenExits[i] {
+			t.Errorf("%s: TakenExits[%d] = %d, want %d", path, i, got.TakenExits[i], want.TakenExits[i])
+			break
+		}
+	}
+}
+
+// checkStaticBounds is the cross-check oracle inlined into the differential
+// suite: the simulated minor cycles must satisfy the static timing analyzer's
+// lower and upper bounds computed from the run's own dynamic counts.
+func checkStaticBounds(t *testing.T, p *isa.Program, cfg *machine.Config, r *Result) {
+	t.Helper()
+	a, err := statictime.Analyze(p, cfg)
+	if err != nil {
+		t.Fatalf("statictime: %v", err)
+	}
+	lo := a.LowerBound(r.InstrCounts, r.TakenExits)
+	hi := a.UpperBound(r.InstrCounts)
+	if lo > r.MinorCycles || r.MinorCycles > hi {
+		t.Errorf("%s: %d minor cycles outside static bounds [%d, %d]", cfg.Name, r.MinorCycles, lo, hi)
 	}
 }
 
@@ -235,6 +274,24 @@ func TestDifferentialRandomCFG(t *testing.T) {
 					t.Fatalf("instrumented path: %v", err)
 				}
 				compareResults(t, "instrumented", want, got)
+
+				// Counted runs: CountInstrs must not perturb timing, the
+				// two paths' counters must agree, and the static bounds
+				// oracle must hold for the measured cycle count.
+				copts.CountInstrs = true
+				fastC, err := Run(p, copts)
+				if err != nil {
+					t.Fatalf("counted fast path: %v", err)
+				}
+				compareResults(t, "counted-fast", want, fastC)
+				iopts.CountInstrs = true
+				instC, err := Run(p, iopts)
+				if err != nil {
+					t.Fatalf("counted instrumented path: %v", err)
+				}
+				compareResults(t, "counted-instrumented", want, instC)
+				compareCounts(t, "counted", fastC, instC)
+				checkStaticBounds(t, p, cfg, fastC)
 			})
 		}
 	}
@@ -322,6 +379,16 @@ func TestDifferentialEngines(t *testing.T) {
 					t.Fatalf("instrumented path: %v", err)
 				}
 				compareResults(t, "instrumented", want, got)
+
+				// Static bounds oracle on the real benchmark programs.
+				copts := opts
+				copts.CountInstrs = true
+				counted, err := Run(c.Prog, copts)
+				if err != nil {
+					t.Fatalf("counted run: %v", err)
+				}
+				compareResults(t, "counted", want, counted)
+				checkStaticBounds(t, c.Prog, cfg, counted)
 			})
 		}
 	}

@@ -32,6 +32,10 @@ type Engine struct {
 	// translation buffer. Engines never write through dec.
 	dec    []decoded
 	decBuf []decoded
+	// scheds holds the shared Code's replay schedules (nil when running
+	// from the engine's own translation buffer — schedule construction is
+	// a Predecode-time cost, never a Reset-time one), indexed by leader pc.
+	scheds []*replaySched
 
 	// enter and exit count, per instruction index, how many contiguous
 	// execution runs began and ended there: enter[i] is bumped when
@@ -47,6 +51,10 @@ type Engine struct {
 	// from enter/exit on the fast path, bumped per instruction on the
 	// instrumented path.
 	classCounts [isa.NumClasses]int64
+	// instrCnt and takenExit are the per-instruction counters behind
+	// Options.CountInstrs on the instrumented path; the fast path folds
+	// the same numbers from enter/exit at fillResult and leaves these nil.
+	instrCnt, takenExit []int64
 
 	// regs and ready are sized 256 (not isa.NumRegs) so that indexing by
 	// a Reg (uint8) needs no bounds check in the inner loop.
@@ -75,8 +83,10 @@ type Engine struct {
 
 	instrs int64
 	groups int64
-	output []isa.Value
-	stalls StallBreakdown
+	// replays counts schedule replays taken this run (testing/diagnostics).
+	replays int64
+	output  []isa.Value
+	stalls  StallBreakdown
 }
 
 // NewEngine returns an empty engine. Buffers are grown on first Reset.
@@ -150,9 +160,11 @@ func (e *Engine) Reset(p *isa.Program, opts Options) error {
 			return err
 		}
 		e.dec = opts.Code.dec
+		e.scheds = opts.Code.scheds
 	} else {
 		e.decBuf = predecodeInto(e.decBuf, p, cfg)
 		e.dec = e.decBuf
+		e.scheds = nil
 	}
 
 	n := len(e.dec) // real instructions + sentinel
@@ -169,6 +181,13 @@ func (e *Engine) Reset(p *isa.Program, opts Options) error {
 		e.exit = make([]int64, n)
 	}
 	e.classCounts = [isa.NumClasses]int64{}
+	e.instrCnt, e.takenExit = nil, nil
+	if opts.CountInstrs && (e.icache != nil || e.dcache != nil || opts.OnIssue != nil || opts.OnTrace != nil) {
+		// Only the instrumented path needs live counters; the fast path
+		// folds InstrCounts/TakenExits from enter/exit at fillResult.
+		e.instrCnt = make([]int64, n-1)
+		e.takenExit = make([]int64, n-1)
+	}
 
 	e.cycle, e.inCycle = 0, 0
 	e.barrier, e.barrierIsBr = 0, false
@@ -176,6 +195,7 @@ func (e *Engine) Reset(p *isa.Program, opts Options) error {
 	e.pc = p.Entry
 	e.halted = false
 	e.instrs, e.groups = 0, 0
+	e.replays = 0
 	e.output = e.output[:0]
 	e.stalls = StallBreakdown{}
 	return nil
@@ -292,6 +312,7 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 	regs := &e.regs
 	ready := &e.ready
 	enter, exit := e.enter, e.exit
+	scheds := e.scheds
 
 	cycle, barrier := e.cycle, e.barrier
 	inCycle := int64(e.inCycle)
@@ -865,6 +886,52 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 		}
 
 	check:
+		// Replay: if the instruction at pc leads a block whose straight-line
+		// prefix has a precomputed exact schedule, and we arrived behind a
+		// fresh taken-branch barrier (so the prefix's first instruction
+		// issues exactly at the barrier), and no register the prefix touches
+		// is still in flight past the barrier, then the whole prefix's
+		// timing is known: apply its semantics in one sweep (replayExec) and
+		// its issue accounting in O(1), instead of walking the scoreboard
+		// per instruction. The entry stalls (width, branch) are dynamic and
+		// charged exactly as the per-instruction path would; the schedule's
+		// internal stalls were precomputed. The barrier is left in place —
+		// it is ≤ every subsequent issue slot, so it can never bind again,
+		// matching the non-replay semantics where it simply stops mattering.
+		if scheds != nil && barrierIsBr && barrier > cycle {
+			if sp := scheds[pc]; sp != nil {
+				rep := true
+				for _, r := range sp.checkRegs {
+					if ready[r] > barrier {
+						rep = false
+						break
+					}
+				}
+				if rep {
+					e.replays++
+					var over int64
+					if inCycle >= width {
+						over = 1
+					}
+					stalls.Width += over + sp.widthStalls
+					stalls.Branch += barrier - (cycle + over)
+					stalls.Data += sp.dataStalls
+					stalls.Write += sp.writeStalls
+					if err := e.replayExec(pc, sp.end); err != nil {
+						return err
+					}
+					cycle = barrier + sp.cycleAdv
+					inCycle = sp.inCycle
+					groups += sp.groups
+					for _, w := range sp.writes {
+						ready[w.Reg] = barrier + w.Off
+					}
+					lastComplete = max(lastComplete, barrier+sp.maxComplete)
+					instrs += sp.n
+					pc = sp.end
+				}
+			}
+		}
 		if instrs >= checkAt {
 			if instrs >= maxInstrs {
 				return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
@@ -904,6 +971,7 @@ func (e *Engine) runInstrumented(ctx context.Context, maxInstrs int64) error {
 	takenEnds := e.cfg.TakenBranchEndsGroup
 	redirect := int64(e.cfg.BranchRedirect)
 	onIssue, onTrace := e.opts.OnIssue, e.opts.OnTrace
+	cnts, exits := e.instrCnt, e.takenExit
 	dec := e.dec[:len(e.dec)-1] // drop the fast path's sentinel entry
 	memLen := int64(len(e.mem))
 	done := ctx.Done()
@@ -1041,6 +1109,12 @@ func (e *Engine) runInstrumented(ctx context.Context, maxInstrs int64) error {
 			return err
 		}
 		e.instrs++
+		if cnts != nil {
+			cnts[idx]++
+			if taken || e.halted {
+				exits[idx]++
+			}
+		}
 		if onIssue != nil {
 			onIssue(idx, &e.prog.Instrs[idx], issue, complete)
 		}
@@ -1256,6 +1330,28 @@ func (e *Engine) fillResult(res *Result) {
 	res.ClassCounts = e.classCounts
 	res.Output = append(res.Output[:0], e.output...)
 	res.Stalls = e.stalls
+	res.InstrCounts, res.TakenExits = nil, nil
+	if e.opts.CountInstrs {
+		n := len(e.dec) - 1
+		counts := make([]int64, n)
+		exits := make([]int64, n)
+		if e.instrCnt != nil {
+			copy(counts, e.instrCnt)
+			copy(exits, e.takenExit)
+		} else {
+			// Fast path: fold the block entry/exit counters, exactly as
+			// foldCounts does for the class mix. exit already counts both
+			// taken transfers and the final halt.
+			var live int64
+			for i := 0; i < n; i++ {
+				live += e.enter[i]
+				counts[i] = live
+				live -= e.exit[i]
+			}
+			copy(exits, e.exit[:n])
+		}
+		res.InstrCounts, res.TakenExits = counts, exits
+	}
 	res.ICacheStats, res.DCacheStats = nil, nil
 	if e.icache != nil {
 		st := e.icache.Stats()

@@ -99,6 +99,11 @@ type Code struct {
 	cfg     *machine.Config
 	schedFP string
 	dec     []decoded
+	// scheds are the static-timing replay schedules (internal/statictime)
+	// for conflict-free block prefixes, indexed by leader pc; nil when the
+	// machine qualifies no block. Like dec they are immutable static facts,
+	// valid for any machine the schedule fingerprint accepts.
+	scheds []*replaySched
 }
 
 // Predecode translates a validated program against a machine description
@@ -115,11 +120,13 @@ func Predecode(p *isa.Program, cfg *machine.Config) (*Code, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	dec := predecodeInto(nil, p, cfg)
 	return &Code{
 		prog:    p,
 		cfg:     cfg,
 		schedFP: cfg.ScheduleFingerprint(),
-		dec:     predecodeInto(nil, p, cfg),
+		dec:     dec,
+		scheds:  buildScheds(p, cfg, dec),
 	}, nil
 }
 

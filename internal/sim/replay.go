@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+	"ilp/internal/statictime"
+)
+
+// replayMinLen is the smallest straight-line prefix worth replaying: below
+// it the precondition scan and bulk writeback cost about as much as the
+// per-instruction issue steps they replace.
+const replayMinLen = 3
+
+// replaySched is the engine-ready form of a statictime exact schedule: the
+// precomputed timing advance of one block's straight-line prefix, applied in
+// bulk when the fast path enters the block through a taken transfer.
+//
+// Validity at runtime needs exactly two facts the engine checks on entry:
+// the barrier is a fresh taken-branch barrier (barrier > cycle, so the first
+// prefix instruction issues exactly at the barrier), and every register the
+// prefix touches has scoreboard time ≤ barrier (checkRegs). Everything else
+// was proven static by the analyzer: the prefix is straight-line and every
+// instruction issues to a unit the predecoder elides (fUnit clear), so no
+// unit lane is scanned or booked and the relative issue offsets cannot
+// depend on entry state.
+type replaySched struct {
+	end       int   // pc after the replayed prefix (the block terminator)
+	n         int64 // instructions replayed
+	checkRegs []isa.Reg
+	// Bulk timing advance, relative to the entry slot s = barrier.
+	cycleAdv    int64
+	inCycle     int64
+	groups      int64
+	widthStalls int64 // internal stalls (first instruction's are dynamic)
+	dataStalls  int64
+	writeStalls int64
+	maxComplete int64
+	writes      []statictime.RegWrite
+}
+
+// buildScheds converts the analyzer's proven exact schedules into per-leader
+// replay entries, indexed by pc (nil entries elsewhere). Only machines whose
+// taken branches end their issue group qualify: the replay entry condition
+// (a fresh taken-branch barrier) exists only under that discipline.
+func buildScheds(p *isa.Program, cfg *machine.Config, dec []decoded) []*replaySched {
+	if !cfg.TakenBranchEndsGroup {
+		return nil
+	}
+	a, err := statictime.Analyze(p, cfg)
+	if err != nil {
+		return nil // p and cfg are pre-validated; analysis cannot fail
+	}
+	var out []*replaySched
+	for i := range a.Blocks {
+		s := a.Blocks[i].Sched
+		if s == nil || s.End-s.Start < replayMinLen {
+			continue
+		}
+		// Cross-check the analyzer's conflict-freedom proof against the
+		// predecoder's own unit-elision facts; any disagreement (there can
+		// be none — both apply the same rule) drops the schedule rather
+		// than risking a lane booking the replay would skip.
+		ok := true
+		for j := s.Start; j < s.End; j++ {
+			in := &p.Instrs[j]
+			if dec[j].flags&fUnit != 0 || in.Op.Info().Branch || in.Op == isa.OpHalt {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if out == nil {
+			out = make([]*replaySched, len(dec))
+		}
+		out[s.Start] = &replaySched{
+			end:         s.End,
+			n:           int64(s.End - s.Start),
+			checkRegs:   s.CheckRegs,
+			cycleAdv:    s.CycleAdv,
+			inCycle:     s.InCycle,
+			groups:      s.Groups,
+			widthStalls: s.WidthStalls,
+			dataStalls:  s.DataStalls,
+			writeStalls: s.WriteStalls,
+			maxComplete: s.MaxComplete,
+			writes:      s.Writes,
+		}
+	}
+	return out
+}
+
+// replayExec applies the architectural semantics of the straight-line
+// instructions [lo, hi) in program order. The timing advance was precomputed
+// (replaySched) and is applied in bulk by the caller; this loop only moves
+// values. The cases mirror exec's non-control cases exactly — including
+// error messages and dirty-memory tracking — so a replayed run is
+// indistinguishable from an instruction-by-instruction one, error exits
+// included.
+func (e *Engine) replayExec(lo, hi int) error {
+	dec := e.dec
+	mem := e.mem
+	memLen := int64(len(mem))
+	regs := &e.regs
+	for idx := lo; idx < hi; idx++ {
+		d := &dec[idx]
+		switch d.op {
+		case isa.OpNop:
+		case isa.OpAdd:
+			e.setReg(d.dst, regs[d.src1]+regs[d.src2])
+		case isa.OpAddi:
+			e.setReg(d.dst, regs[d.src1]+d.imm)
+		case isa.OpSub:
+			e.setReg(d.dst, regs[d.src1]-regs[d.src2])
+		case isa.OpMul:
+			e.setReg(d.dst, regs[d.src1]*regs[d.src2])
+		case isa.OpDiv:
+			dv := regs[d.src2]
+			if dv == 0 {
+				return fmt.Errorf("sim: pc %d (%s): integer division by zero", idx, &e.prog.Instrs[idx])
+			}
+			e.setReg(d.dst, regs[d.src1]/dv)
+		case isa.OpRem:
+			dv := regs[d.src2]
+			if dv == 0 {
+				return fmt.Errorf("sim: pc %d (%s): integer remainder by zero", idx, &e.prog.Instrs[idx])
+			}
+			e.setReg(d.dst, regs[d.src1]%dv)
+		case isa.OpSlt:
+			e.setReg(d.dst, b2i(regs[d.src1] < regs[d.src2]))
+		case isa.OpSle:
+			e.setReg(d.dst, b2i(regs[d.src1] <= regs[d.src2]))
+		case isa.OpSeq:
+			e.setReg(d.dst, b2i(regs[d.src1] == regs[d.src2]))
+		case isa.OpSne:
+			e.setReg(d.dst, b2i(regs[d.src1] != regs[d.src2]))
+		case isa.OpAnd:
+			e.setReg(d.dst, regs[d.src1]&regs[d.src2])
+		case isa.OpOr:
+			e.setReg(d.dst, regs[d.src1]|regs[d.src2])
+		case isa.OpXor:
+			e.setReg(d.dst, regs[d.src1]^regs[d.src2])
+		case isa.OpAndi:
+			e.setReg(d.dst, regs[d.src1]&d.imm)
+		case isa.OpOri:
+			e.setReg(d.dst, regs[d.src1]|d.imm)
+		case isa.OpXori:
+			e.setReg(d.dst, regs[d.src1]^d.imm)
+		case isa.OpSll:
+			e.setReg(d.dst, regs[d.src1]<<(uint64(regs[d.src2])&63))
+		case isa.OpSrl:
+			e.setReg(d.dst, int64(uint64(regs[d.src1])>>(uint64(regs[d.src2])&63)))
+		case isa.OpSra:
+			e.setReg(d.dst, regs[d.src1]>>(uint64(regs[d.src2])&63))
+		case isa.OpSlli:
+			e.setReg(d.dst, regs[d.src1]<<(uint64(d.imm)&63))
+		case isa.OpSrli:
+			e.setReg(d.dst, int64(uint64(regs[d.src1])>>(uint64(d.imm)&63)))
+		case isa.OpSrai:
+			e.setReg(d.dst, regs[d.src1]>>(uint64(d.imm)&63))
+		case isa.OpLi:
+			e.setReg(d.dst, d.imm)
+		case isa.OpMov:
+			e.setReg(d.dst, regs[d.src1])
+		case isa.OpFli:
+			e.setRegF(d.dst, d.fimm)
+		case isa.OpFmov:
+			e.setReg(d.dst, regs[d.src1])
+		case isa.OpLw, isa.OpLf:
+			memAddr := regs[d.src1] + d.imm
+			if memAddr < 0 || memAddr >= memLen {
+				return fmt.Errorf("sim: pc %d (%s): address %d out of range", idx, &e.prog.Instrs[idx], memAddr)
+			}
+			e.setReg(d.dst, mem[memAddr])
+		case isa.OpSw, isa.OpSf:
+			memAddr := regs[d.src1] + d.imm
+			if memAddr < 0 || memAddr >= memLen {
+				return fmt.Errorf("sim: pc %d (%s): address %d out of range", idx, &e.prog.Instrs[idx], memAddr)
+			}
+			mem[memAddr] = regs[d.src2]
+			if a := int(memAddr); a < e.dirtyLo {
+				e.dirtyLo = a
+			}
+			if a := int(memAddr); a > e.dirtyHi {
+				e.dirtyHi = a
+			}
+		case isa.OpFadd:
+			e.setRegF(d.dst, e.regF(d.src1)+e.regF(d.src2))
+		case isa.OpFsub:
+			e.setRegF(d.dst, e.regF(d.src1)-e.regF(d.src2))
+		case isa.OpFneg:
+			e.setRegF(d.dst, -e.regF(d.src1))
+		case isa.OpFabs:
+			e.setRegF(d.dst, math.Abs(e.regF(d.src1)))
+		case isa.OpFmul:
+			e.setRegF(d.dst, e.regF(d.src1)*e.regF(d.src2))
+		case isa.OpFdiv:
+			e.setRegF(d.dst, e.regF(d.src1)/e.regF(d.src2))
+		case isa.OpCvtif:
+			e.setRegF(d.dst, float64(regs[d.src1]))
+		case isa.OpCvtfi:
+			f := e.regF(d.src1)
+			if math.IsNaN(f) || f >= 9.3e18 || f <= -9.3e18 {
+				return fmt.Errorf("sim: pc %d (%s): float-to-int overflow (%g)", idx, &e.prog.Instrs[idx], f)
+			}
+			e.setReg(d.dst, int64(f))
+		case isa.OpFslt:
+			e.setReg(d.dst, b2i(e.regF(d.src1) < e.regF(d.src2)))
+		case isa.OpFsle:
+			e.setReg(d.dst, b2i(e.regF(d.src1) <= e.regF(d.src2)))
+		case isa.OpFseq:
+			e.setReg(d.dst, b2i(e.regF(d.src1) == e.regF(d.src2)))
+		case isa.OpFsne:
+			e.setReg(d.dst, b2i(e.regF(d.src1) != e.regF(d.src2)))
+		case isa.OpFsqrt:
+			e.setRegF(d.dst, math.Sqrt(e.regF(d.src1)))
+		case isa.OpFsin:
+			e.setRegF(d.dst, math.Sin(e.regF(d.src1)))
+		case isa.OpFcos:
+			e.setRegF(d.dst, math.Cos(e.regF(d.src1)))
+		case isa.OpFatn:
+			e.setRegF(d.dst, math.Atan(e.regF(d.src1)))
+		case isa.OpFexp:
+			e.setRegF(d.dst, math.Exp(e.regF(d.src1)))
+		case isa.OpFlog:
+			e.setRegF(d.dst, math.Log(e.regF(d.src1)))
+		case isa.OpPrinti:
+			e.output = append(e.output, isa.IntValue(regs[d.src1]))
+		case isa.OpPrintf:
+			e.output = append(e.output, isa.FloatValue(e.regF(d.src1)))
+		default:
+			return fmt.Errorf("sim: pc %d: unimplemented opcode %v", idx, d.op)
+		}
+	}
+	return nil
+}

@@ -54,6 +54,11 @@ type Result struct {
 	Output []isa.Value
 	// Stalls attributes issue delays.
 	Stalls StallBreakdown
+	// InstrCounts and TakenExits are per-instruction dynamic execution and
+	// taken-exit (transfer or halt) counts, populated only when
+	// Options.CountInstrs is set. They feed the static timing oracle.
+	InstrCounts []int64 `json:",omitempty"`
+	TakenExits  []int64 `json:",omitempty"`
 	// ICacheStats and DCacheStats are populated when the machine
 	// description configures the respective cache.
 	ICacheStats *cache.Stats

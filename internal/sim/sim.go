@@ -59,6 +59,13 @@ type Options struct {
 	// Used by the trace-limit analysis (package trace). Setting it
 	// selects the instrumented engine path.
 	OnTrace func(idx int, in *isa.Instr, addr int64)
+	// CountInstrs, if set, reports per-instruction dynamic execution and
+	// taken-exit counts in Result.InstrCounts / Result.TakenExits — the
+	// inputs the static timing oracle (internal/statictime,
+	// verify.CheckTiming) needs to bound a run's cycle count. On the fast
+	// path the counts are folded from the block entry/exit counters the
+	// engine already keeps, so the run itself is unaffected.
+	CountInstrs bool
 }
 
 // Defaults for Options.
@@ -105,7 +112,7 @@ func RunCtx(ctx context.Context, p *isa.Program, opts Options) (*Result, error) 
 	// Drop references to caller data before pooling so a cached engine
 	// does not pin a program, machine description, or shared predecode
 	// alive (e.decBuf, the engine's own translation buffer, is kept).
-	e.cfg, e.prog, e.dec = nil, nil, nil
+	e.cfg, e.prog, e.dec, e.scheds = nil, nil, nil, nil
 	e.opts = Options{}
 	enginePool.Put(e)
 	if err != nil {

@@ -75,6 +75,50 @@ func BenchmarkSimulatorWithCaches(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorPredecodedBase runs from a shared predecoded Code, so
+// the loop body replays its precomputed static schedule instead of walking
+// the scoreboard — the fast path the experiments runner hits after its
+// per-(program, schedule) predecode.
+func BenchmarkSimulatorPredecodedBase(b *testing.B) {
+	p := tightLoop(600_000)
+	cfg := machine.Base()
+	code, err := Predecode(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(p, Options{Machine: cfg, Code: code})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkSimulatorPredecodedWide is the predecoded+replay path on a wide
+// ideal machine.
+func BenchmarkSimulatorPredecodedWide(b *testing.B) {
+	p := tightLoop(600_000)
+	cfg := machine.IdealSuperscalar(8)
+	code, err := Predecode(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(p, Options{Machine: cfg, Code: code})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkSimulatorEngineReuse drives a dedicated Engine through RunInto
 // with a reused Result — the zero-allocation steady state a long measurement
 // sweep reaches once the pool is warm.

@@ -3,6 +3,11 @@
 // miscompilation modes: a scheduler that swaps dependent instructions, a
 // register allocator that invents registers or lets a call clobber a live
 // temporary, a code generator that drops a label or falls off a function.
+//
+// Together with timing_test.go (the V4xx static timing oracle and the V108
+// opcode-table pin) every diagnostic code the package declares has at least
+// one test that triggers it — TestEveryCodeHasNegativeTest enforces the
+// inventory, so adding a code without a negative test fails here.
 package verify_test
 
 import (
@@ -285,6 +290,43 @@ func TestNegativeSchedule(t *testing.T) {
 			t.Fatalf("want pass \"sched\" on diagnostics, got %v", diags)
 		}
 	})
+}
+
+// TestEveryCodeHasNegativeTest is the inventory: every diagnostic code the
+// package declares must be claimed by a negative test somewhere in the
+// suite. The map is maintained by hand next to the tests themselves; a new
+// code shows up here as a missing entry.
+func TestEveryCodeHasNegativeTest(t *testing.T) {
+	covered := map[verify.Code]string{
+		verify.CodeBadEntry:    "TestNegativeStructuralAndDataflow/entry_out_of_range",
+		verify.CodeBadOpcode:   "TestNegativeStructuralAndDataflow/bad_opcode",
+		verify.CodeBadOperand:  "TestNegativeStructuralAndDataflow/missing_operand",
+		verify.CodeBadRegSplit: "TestNegativeStructuralAndDataflow/out-of-range_register",
+		verify.CodeBadTarget:   "TestNegativeStructuralAndDataflow/dangling_branch_target",
+		verify.CodeBadCall:     "TestNegativeStructuralAndDataflow/call_into_a_basic_block",
+		verify.CodeFallthrough: "TestNegativeStructuralAndDataflow/fallthrough",
+		// V108 guards the opcode table itself, not programs; it is pinned by
+		// TestAllOpcodesClassified in timing_test.go.
+		verify.CodeBadClass:         "TestAllOpcodesClassified",
+		verify.CodeBadMemAnnot:      "TestNegativeStructuralAndDataflow/memory_instruction_without_annotation",
+		verify.CodeUseBeforeDef:     "TestNegativeStructuralAndDataflow/use_before_def",
+		verify.CodeCallClobber:      "TestNegativeStructuralAndDataflow/temporary_clobbered_across_call",
+		verify.CodeDeadStore:        "TestNegativeStructuralAndDataflow/dead_store",
+		verify.CodeSchedContent:     "TestNegativeSchedule/instruction_rewritten",
+		verify.CodeSchedDep:         "TestNegativeSchedule/swapped_dependent_instructions",
+		verify.CodeSchedShape:       "TestNegativeSchedule/barrier_moved",
+		verify.CodeTimingBelowLower: "TestTimingNegative/below_lower_bound",
+		verify.CodeTimingAboveUpper: "TestTimingNegative/above_upper_bound",
+		verify.CodeTimingInternal:   "TestTimingInternalInconsistency",
+	}
+	for _, c := range verify.AllCodes() {
+		if covered[c] == "" {
+			t.Errorf("diagnostic %s has no negative test claiming it", c)
+		}
+	}
+	if len(covered) != len(verify.AllCodes()) {
+		t.Errorf("inventory lists %d codes, package declares %d", len(covered), len(verify.AllCodes()))
+	}
 }
 
 func wantCode(t *testing.T, diags []verify.Diagnostic, want verify.Code) {

@@ -25,6 +25,13 @@
 //     dependence analysis (sched.Dependences) and the post-schedule
 //     permutation is checked to preserve every RAW/WAR/WAW and memory edge.
 //
+//   - Static timing (timing.go): the cross-check oracle over the static
+//     timing analysis (internal/statictime) — a simulated run's minor
+//     cycles must fall inside the analyzer's [lower, upper] bounds
+//     computed from the run's own dynamic instruction counts, and the
+//     analysis itself must be internally consistent (a proven exact span
+//     can never undercut its own lower bound).
+//
 // Diagnostics carry a stable code, a severity, and the name of the pass
 // that introduced the violation, so a failing compilation pinpoints the
 // guilty pass. compiler.Options.Verify runs these checks after every pass;
@@ -57,7 +64,7 @@ func (s Severity) String() string {
 }
 
 // Code is a stable diagnostic identifier: V1xx structural, V2xx dataflow,
-// V3xx schedule legality.
+// V3xx schedule legality, V4xx static timing.
 type Code string
 
 // Diagnostic codes.
@@ -82,7 +89,26 @@ const (
 	CodeSchedContent Code = "V301" // region is not a permutation of its pre-schedule content
 	CodeSchedDep     Code = "V302" // dependence edge inverted by the schedule
 	CodeSchedShape   Code = "V303" // program shape changed (length, barriers, data)
+
+	// Static timing oracle (timing.go).
+	CodeTimingBelowLower Code = "V401" // simulated cycles below the static lower bound
+	CodeTimingAboveUpper Code = "V402" // simulated cycles above the static upper bound
+	CodeTimingInternal   Code = "V403" // static timing analysis internally inconsistent
 )
+
+// AllCodes lists every diagnostic code the package can emit, in numeric
+// order. The negative test suite uses it to prove each code has a test that
+// triggers it.
+func AllCodes() []Code {
+	return []Code{
+		CodeBadEntry, CodeBadOpcode, CodeBadOperand, CodeBadRegSplit,
+		CodeBadTarget, CodeBadCall, CodeFallthrough, CodeBadClass,
+		CodeBadMemAnnot,
+		CodeUseBeforeDef, CodeCallClobber, CodeDeadStore,
+		CodeSchedContent, CodeSchedDep, CodeSchedShape,
+		CodeTimingBelowLower, CodeTimingAboveUpper, CodeTimingInternal,
+	}
+}
 
 // Diagnostic is one verifier finding.
 type Diagnostic struct {
