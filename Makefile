@@ -2,7 +2,7 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint cover bench bench-smoke bench-gate
+.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint cover bench bench-smoke bench-gate bench-quick
 
 check: fmt vet lint build race race-concurrency fuzz-smoke chaos bench-smoke
 
@@ -69,7 +69,7 @@ cover:
 # becomes reproducible across invocations.
 bench:
 	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_sim.txt
-	$(GO) test -run '^$$' -bench 'RunAllQuick|ExperimentCacheSharing' -benchmem -count 1 . | tee /tmp/ilp_bench_exp.txt
+	$(GO) test -run '^$$' -bench 'RunAllQuick|RunAllBatched|ExperimentCacheSharing' -benchmem -count 1 . | tee /tmp/ilp_bench_exp.txt
 	$(GO) run ./cmd/benchjson -out BENCH_sim.json /tmp/ilp_bench_sim.txt /tmp/ilp_bench_exp.txt
 	@echo "wrote BENCH_sim.json"
 
@@ -84,10 +84,21 @@ bench:
 bench-gate:
 	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate.txt
 	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate2.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_sim.json /tmp/ilp_bench_gate.txt /tmp/ilp_bench_gate2.txt
+	$(GO) test -run '^$$' -bench 'RunAllBatched' -benchmem -count 2 . | tee /tmp/ilp_bench_gate3.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_sim.json /tmp/ilp_bench_gate.txt /tmp/ilp_bench_gate2.txt /tmp/ilp_bench_gate3.txt
 
 # One-iteration smoke of the same benchmarks (no thresholds, no JSON): the
 # tier-1 gate just proves they still run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Simulator' -benchtime 1x ./internal/sim/
-	$(GO) test -run '^$$' -bench 'RunAllQuick|ExperimentCacheSharing' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'RunAllQuick|RunAllBatched|ExperimentCacheSharing' -benchtime 1x .
+
+# One-iteration pass over *every* benchmark in the repo (the per-experiment
+# testing.B entry points included, which neither bench nor bench-smoke
+# cover). CI runs this as a smoke step: a benchmark that only breaks when
+# executed — a stale experiment id, broken metric wiring, a batched sweep
+# that stopped batching — fails the build even though the throughput gate
+# job is advisory.
+bench-quick:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim/
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

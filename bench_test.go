@@ -171,6 +171,27 @@ func BenchmarkRunAllQuick(b *testing.B) {
 	}
 }
 
+// BenchmarkRunAllBatched regenerates the full reduced sweep on a batchable
+// runner (no retries, no store, no faults — the default CLI shape), so
+// measureMany routes its cache-miss cells through the shared sim.Batch, and
+// reports end-to-end simulated Minstr/s — the sweep-level throughput the
+// batched scheduler and superblock replay raise together.
+func BenchmarkRunAllBatched(b *testing.B) {
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(quickCfg())
+		if _, err := r.RunAll(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		st := r.Stats()
+		if st.BatchedCells == 0 {
+			b.Fatal("sweep ran no cells through the batch scheduler")
+		}
+		instrs += st.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkExperimentCacheSharing runs the three cache-geometry experiments
 // on one runner and reports how much work the two-level cache eliminated:
 // cache-only machine variants share compilations (compile-hits) and repeated

@@ -114,7 +114,11 @@ func main() {
 // and reports whether the run passes: every baseline benchmark carrying a
 // Minstr/s metric must be present and within pct percent below its recorded
 // value. Faster is always fine; benchmarks without the metric (allocation
-// and wall-time trackers) are not gated.
+// and wall-time trackers) are not gated. Benchmarks in the run that the
+// baseline has never seen are reported as "new benchmark, no baseline" —
+// informational, not a failure, and never silently dropped — so a freshly
+// enrolled benchmark is visible in the gate output until the snapshot is
+// re-recorded.
 func compare(w io.Writer, base, cur Snapshot, pct float64) bool {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name, b := range base.Benchmarks {
@@ -146,6 +150,20 @@ func compare(w io.Writer, base, cur Snapshot, pct float64) bool {
 		}
 		fmt.Fprintf(w, "%-34s %8.2f -> %8.2f %s  %+6.1f%%  %s\n",
 			name, want, gotV, throughputMetric, delta, verdict)
+	}
+	var fresh []string
+	for name, b := range cur.Benchmarks {
+		if _, gated := b.Metrics[throughputMetric]; !gated {
+			continue
+		}
+		if _, known := base.Benchmarks[name]; !known {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Fprintf(w, "%-34s %8s -> %8.2f %s  new benchmark, no baseline\n",
+			name, "(none)", cur.Benchmarks[name].Metrics[throughputMetric], throughputMetric)
 	}
 	if pass {
 		fmt.Fprintf(w, "bench gate: pass (tolerance %.0f%%)\n", pct)

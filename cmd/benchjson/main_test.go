@@ -96,6 +96,26 @@ func TestCompareMissingBenchmark(t *testing.T) {
 	}
 }
 
+// TestCompareNewBenchmark: a gated benchmark the baseline has never seen is
+// reported explicitly — neither a silent pass (dropped from the table) nor a
+// spurious failure.
+func TestCompareNewBenchmark(t *testing.T) {
+	cur := Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkSimulatorThroughput":  {Metrics: map[string]float64{"Minstr/s": 100}},
+		"BenchmarkSimulatorWideMachine": {Metrics: map[string]float64{"Minstr/s": 50}},
+		"BenchmarkSimulatorSuperblock":  {Metrics: map[string]float64{"Minstr/s": 400}},
+	}}
+	var out strings.Builder
+	if !compare(&out, gateBase(), cur, 10) {
+		t.Fatalf("new benchmark failed the gate:\n%s", out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "BenchmarkSimulatorSuperblock") ||
+		!strings.Contains(text, "new benchmark, no baseline") {
+		t.Errorf("new benchmark not reported:\n%s", text)
+	}
+}
+
 func TestCompareEmptyBaseline(t *testing.T) {
 	var out strings.Builder
 	empty := Snapshot{Benchmarks: map[string]Benchmark{}}

@@ -154,6 +154,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rep.Live, rep.Resumed, rep.Retried)
 		fmt.Fprintf(stderr, "predecode stats: %d artifacts built, %d simulations on shared predecode\n",
 			rep.Predecodes, rep.PredecodeShared)
+		fmt.Fprintf(stderr, "trace stats: %d superblock traces specialized, %d cells simulated in batches\n",
+			rep.Superblocks, rep.BatchedCells)
 	}
 	if exit == 0 && rep.Degraded > 0 {
 		fmt.Fprintf(stderr, "ilpbench: %d cell(s) permanently failed and were degraded to NaN rows\n", rep.Degraded)

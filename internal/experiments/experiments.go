@@ -242,6 +242,13 @@ type Runner struct {
 	stats    RunnerStats
 	sem      chan struct{}
 
+	// batchMu serializes use of batch, the reusable multi-cell simulation
+	// scheduler behind measureManyBatched. TryLock keeps the batched path
+	// strictly opportunistic: a sweep arriving while another holds the batch
+	// falls back to the goroutine fan-out instead of queueing.
+	batchMu sync.Mutex
+	batch   *sim.Batch
+
 	// compileHook and measureHook, when non-nil, run inside the
 	// corresponding singleflight leader just before the real work (after
 	// worker-slot acquisition). Tests use them to inject delays, failures,
@@ -281,6 +288,9 @@ type RunnerStats struct {
 	Resumed         int64 // sim-cache cells preloaded from the result store
 	Retries         int64 // transient-failure retry waits performed
 	Degraded        int64 // cells whose permanent failure degraded to a placeholder
+	Superblocks     int64 // superblock traces specialized across built predecodes
+	BatchedCells    int64 // measurement cells simulated through a shared batch
+	Instructions    int64 // dynamic instructions simulated by live leader sims
 }
 
 // NewRunner builds a runner. When cfg.Store is set, every readable record
@@ -377,6 +387,8 @@ type SweepReport struct {
 	Resumed         int64    // cells preloaded from the result store
 	Predecodes      int64    // predecode artifacts built (once per compile key)
 	PredecodeShared int64    // live simulations that reused a shared predecode
+	Superblocks     int64    // superblock traces specialized across built predecodes
+	BatchedCells    int64    // measurement cells simulated through a shared batch
 }
 
 // Report snapshots the runner's sweep accounting.
@@ -390,6 +402,8 @@ func (r *Runner) Report() SweepReport {
 		Resumed:         r.stats.Resumed,
 		Predecodes:      r.stats.Predecodes,
 		PredecodeShared: r.stats.PredecodeShared,
+		Superblocks:     r.stats.Superblocks,
+		BatchedCells:    r.stats.BatchedCells,
 	}
 	for _, se := range r.sims {
 		select {
@@ -623,11 +637,12 @@ func (r *Runner) measureAttempt(ctx context.Context, bench string, copts compile
 	if err != nil {
 		return nil, r.simFailure(ctx, bench, m, err)
 	}
+	r.mu.Lock()
 	if code != nil {
-		r.mu.Lock()
 		r.stats.PredecodeShared++
-		r.mu.Unlock()
 	}
+	r.stats.Instructions += res.Instructions
+	r.mu.Unlock()
 	if perr := r.persist(ctx, bench, m, skey, attempt, res); perr != nil {
 		return nil, perr
 	}
@@ -825,6 +840,7 @@ func (r *Runner) compileAttempt(ctx context.Context, bench string, copts compile
 	}
 	r.mu.Lock()
 	r.stats.Predecodes++
+	r.stats.Superblocks += int64(code.Superblocks())
 	r.mu.Unlock()
 	return c.Prog, code, nil
 }
@@ -854,6 +870,10 @@ type job struct {
 // process, and every *distinct* root cause that raced in before the
 // cancellation landed is reported via errors.Join.
 func (r *Runner) measureMany(ctx context.Context, jobs []job) ([]*sim.Result, error) {
+	if r.batchable() && r.batchMu.TryLock() {
+		defer r.batchMu.Unlock()
+		return r.measureManyBatched(ctx, jobs)
+	}
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(context.Canceled)
 
@@ -880,6 +900,149 @@ func (r *Runner) measureMany(ctx context.Context, jobs []job) ([]*sim.Result, er
 		}(i)
 	}
 	wg.Wait()
+	if err := joinDistinct(context.Cause(ctx), errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// batchable reports whether the runner's configuration allows the batched
+// measurement path: nothing may hook, persist, or perturb individual
+// attempts, because a batched cell runs exactly one attempt inside the
+// shared scheduler. With no injector and no store, Config.Retries is dead
+// configuration — ilperr.IsTransient can only be true for injected faults
+// and store I/O, so the per-attempt retry loop provably never fires and a
+// single attempt is equivalent. Degrade is compatible too (a result policy
+// applied after the fact); everything else falls back to the per-cell
+// goroutine path.
+func (r *Runner) batchable() bool {
+	return r.Cfg.Faults == nil && r.Cfg.Store == nil && r.measureHook == nil
+}
+
+// publish installs a leader's outcome on its sim-cache entry with the same
+// tail policy as MeasureCtx: exhausted-transient failures become permanent,
+// cancellation-induced failures evict the entry instead of poisoning it, and
+// genuine failures under Degrade are counted once, at the leader.
+func (r *Runner) publish(ctx context.Context, skey string, se *simEntry, res *sim.Result, err error) {
+	if err != nil && ilperr.IsTransient(err) {
+		err = ilperr.MarkPermanent(err)
+	}
+	se.res, se.err = res, err
+	if err != nil && ctx.Err() != nil {
+		r.mu.Lock()
+		if r.sims[skey] == se {
+			delete(r.sims, skey)
+		}
+		r.mu.Unlock()
+	} else if err != nil && r.Cfg.Degrade && !isCancellation(ctx, err) {
+		r.mu.Lock()
+		r.stats.Degraded++
+		r.mu.Unlock()
+	}
+	close(se.ready)
+}
+
+// measureManyBatched is measureMany's single-goroutine fast path: instead of
+// fanning every cell out to its own worker, the sweep claims its sim-cache
+// entries up front and advances all cache-miss cells together through one
+// sim.Batch — an interleaved scheduler whose per-cell engines live in a dense
+// slab, so N cells share one core without goroutine switches. The cache
+// protocol is unchanged: claimed entries are singleflight leaders published
+// exactly as MeasureCtx would publish them, so concurrent MeasureCtx callers
+// (and later sweeps) join them without observing any difference, and timing
+// is bit-identical because the batch scheduler never alters a cell's engine
+// state between slices.
+func (r *Runner) measureManyBatched(ctx context.Context, jobs []job) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	type cell struct {
+		idx        int
+		ckey, skey string
+		se         *simEntry
+	}
+	var owned, joined []cell
+	r.mu.Lock()
+	for i, j := range jobs {
+		ckey := compileKey(j.bench, j.copts, j.m)
+		skey := ckey + "|" + j.m.Fingerprint()
+		if se, ok := r.sims[skey]; ok {
+			r.stats.SimHits++
+			joined = append(joined, cell{i, ckey, skey, se})
+			continue
+		}
+		se := &simEntry{ready: make(chan struct{})}
+		r.sims[skey] = se
+		r.stats.Sims++
+		owned = append(owned, cell{i, ckey, skey, se})
+	}
+	r.mu.Unlock()
+
+	// One worker slot covers the whole batch — the scheduler is a single
+	// goroutine by design. If cancellation wins the slot race, the claimed
+	// entries must still be published (and evicted) so no waiter hangs.
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		err := cause(ctx)
+		for _, c := range owned {
+			r.publish(ctx, c.skey, c.se, nil, err)
+		}
+		return nil, err
+	}
+	defer func() { <-r.sem }()
+
+	// Compile (cached, singleflight) and collect the runnable cells.
+	var runs []sim.BatchRun
+	var ran []cell
+	for _, c := range owned {
+		j := jobs[c.idx]
+		prog, code, err := r.compile(ctx, j.bench, j.copts, j.m, c.ckey)
+		if err != nil {
+			r.publish(ctx, c.skey, c.se, nil, err)
+			results[c.idx], errs[c.idx] = r.finish(ctx, j.m, nil, err)
+			continue
+		}
+		runs = append(runs, sim.BatchRun{Prog: prog, Opts: sim.Options{Machine: j.m, Code: code}})
+		ran = append(ran, c)
+	}
+
+	if len(runs) > 0 {
+		if r.batch == nil {
+			r.batch = sim.NewBatch()
+		}
+		bres, berrs := r.batch.Run(ctx, runs)
+		var shared, instrs int64
+		for k, c := range ran {
+			j := jobs[c.idx]
+			res, err := bres[k], berrs[k]
+			if err != nil {
+				err = r.simFailure(ctx, j.bench, j.m, err)
+			} else {
+				shared++ // every batched cell runs on its shared predecode
+				instrs += res.Instructions
+			}
+			r.publish(ctx, c.skey, c.se, res, err)
+			results[c.idx], errs[c.idx] = r.finish(ctx, j.m, res, err)
+		}
+		r.mu.Lock()
+		r.stats.PredecodeShared += shared
+		r.stats.BatchedCells += int64(len(runs))
+		r.stats.Instructions += instrs
+		r.mu.Unlock()
+	}
+
+	// Cells led elsewhere (or duplicated within this sweep) join their
+	// entries exactly as MeasureCtx waiters do.
+	for _, c := range joined {
+		j := jobs[c.idx]
+		select {
+		case <-c.se.ready:
+			results[c.idx], errs[c.idx] = r.finish(ctx, j.m, c.se.res, c.se.err)
+		case <-ctx.Done():
+			results[c.idx], errs[c.idx] = nil, cause(ctx)
+		}
+	}
 	if err := joinDistinct(context.Cause(ctx), errs); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"context"
+
+	"ilp/internal/isa"
+)
+
+// batchQuantum is how many dynamic instructions a batched cell advances per
+// turn of the interleave loop. It matches cancelCheckInterval so a slice
+// boundary reuses the poll the fast path already performs — a cell pays no
+// extra compare for being batched.
+const batchQuantum = cancelCheckInterval
+
+// BatchRun is one simulation cell of a Batch: a program and its run options
+// (typically one machine × benchmark pair of a sweep, with Opts.Code set to
+// the shared predecode).
+type BatchRun struct {
+	Prog *isa.Program
+	Opts Options
+}
+
+// Batch advances N independent simulation cells through one interleaved
+// loop on a single goroutine. The per-cell engines live in one dense slab
+// (a value slice — hot scalar state inline, no per-cell goroutine, no
+// per-cycle interface calls); each turn a cell runs a batchQuantum slice of
+// its fast path, so N cache-resident cells share the core without context
+// switches, and a finished cell drops out while the rest keep going.
+//
+// Timing is bit-identical to running each cell alone: runFast's stopAt
+// mechanism writes all state back at a slice boundary and resumes exactly
+// where it stopped, and cells share nothing but immutable predecoded Code.
+//
+// A Batch is not safe for concurrent use; use one per goroutine. Engines
+// (and their memory arenas) are reused across Run calls.
+type Batch struct {
+	engines []Engine
+}
+
+// NewBatch returns an empty batch; engine slabs grow on first Run.
+func NewBatch() *Batch { return &Batch{} }
+
+// Run simulates every cell to completion and returns per-cell results and
+// errors (res[i] is nil exactly when errs[i] is non-nil). Cells needing the
+// instrumented path (caches or callbacks) cannot be sliced and run to
+// completion on their first turn; fast-path cells interleave in
+// batchQuantum slices. A done ctx abandons the remaining cells with the
+// context's cause.
+func (b *Batch) Run(ctx context.Context, runs []BatchRun) ([]*Result, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(runs)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for len(b.engines) < n {
+		b.engines = append(b.engines, Engine{})
+	}
+
+	// Reset every cell, completing the unsliceable ones immediately.
+	active := make([]int, 0, n)
+	maxI := make([]int64, n)
+	for i := range runs {
+		r := &runs[i]
+		if err := ctx.Err(); err != nil {
+			errs[i] = ctxErr(ctx)
+			continue
+		}
+		e := &b.engines[i]
+		if err := e.Reset(r.Prog, r.Opts); err != nil {
+			errs[i] = err
+			continue
+		}
+		mi := r.Opts.MaxInstructions
+		if mi == 0 {
+			mi = DefaultMaxInstructions
+		}
+		maxI[i] = mi
+		if e.icache != nil || e.dcache != nil || r.Opts.OnIssue != nil || r.Opts.OnTrace != nil {
+			if err := e.runInstrumented(ctx, mi); err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i] = new(Result)
+			e.fillResult(results[i])
+			continue
+		}
+		active = append(active, i)
+	}
+
+	// Interleave: round-robin one quantum per live cell until all halt.
+	for len(active) > 0 {
+		live := active[:0]
+		for _, i := range active {
+			e := &b.engines[i]
+			if err := e.runFast(ctx, maxI[i], e.instrs+batchQuantum); err != nil {
+				errs[i] = err
+				continue
+			}
+			if e.halted {
+				results[i] = new(Result)
+				e.fillResult(results[i])
+				continue
+			}
+			live = append(live, i)
+		}
+		active = live
+	}
+	return results, errs
+}

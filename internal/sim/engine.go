@@ -32,10 +32,20 @@ type Engine struct {
 	// translation buffer. Engines never write through dec.
 	dec    []decoded
 	decBuf []decoded
-	// scheds holds the shared Code's replay schedules (nil when running
-	// from the engine's own translation buffer — schedule construction is
-	// a Predecode-time cost, never a Reset-time one), indexed by leader pc.
-	scheds []*replaySched
+	// scheds holds the superblock trace schedules the fast path may replay,
+	// indexed by leader pc: the shared Code's, or the engine's own
+	// (ownScheds) when running without one.
+	scheds []*traceSched
+	// ownProg/ownCfg/ownSchedFP/ownScheds cache the engine's own translation
+	// (decBuf) and trace schedules keyed by (program, machine schedule), so
+	// repeated Code-less runs of the same pair — the dominant pattern for a
+	// pooled engine driving one benchmark — skip both the predecode sweep
+	// and the static trace analysis at Reset. The config pointer is checked
+	// first so a hit costs no fingerprint hash.
+	ownProg    *isa.Program
+	ownCfg     *machine.Config
+	ownSchedFP string
+	ownScheds  []*traceSched
 
 	// enter and exit count, per instruction index, how many contiguous
 	// execution runs began and ended there: enter[i] is bumped when
@@ -161,10 +171,18 @@ func (e *Engine) Reset(p *isa.Program, opts Options) error {
 		}
 		e.dec = opts.Code.dec
 		e.scheds = opts.Code.scheds
+	} else if e.ownProg == p && (e.ownCfg == cfg || e.ownSchedFP == cfg.ScheduleFingerprint()) {
+		// Engine-level translation cache hit: decBuf still holds this exact
+		// (program, schedule) translation — the last Code-less Reset built
+		// it, and Code-based Resets never touch decBuf.
+		e.dec = e.decBuf
+		e.scheds = e.ownScheds
 	} else {
 		e.decBuf = predecodeInto(e.decBuf, p, cfg)
 		e.dec = e.decBuf
-		e.scheds = nil
+		e.ownScheds = buildScheds(p, cfg, e.decBuf)
+		e.ownProg, e.ownCfg, e.ownSchedFP = p, cfg, cfg.ScheduleFingerprint()
+		e.scheds = e.ownScheds
 	}
 
 	n := len(e.dec) // real instructions + sentinel
@@ -198,6 +216,10 @@ func (e *Engine) Reset(p *isa.Program, opts Options) error {
 	e.replays = 0
 	e.output = e.output[:0]
 	e.stalls = StallBreakdown{}
+	// The program entry opens the first contiguous execution run. Counted
+	// here (not at the top of the timing loop) so a run advanced in several
+	// runFast slices — the batch scheduler's round-robin — counts it once.
+	e.enter[p.Entry]++
 	return nil
 }
 
@@ -258,7 +280,7 @@ func (e *Engine) RunIntoCtx(ctx context.Context, p *isa.Program, opts Options, r
 	// carries the icache/dcache model and the OnIssue/OnTrace hooks.
 	var err error
 	if e.icache == nil && e.dcache == nil && opts.OnIssue == nil && opts.OnTrace == nil {
-		err = e.runFast(ctx, maxInstrs)
+		err = e.runFast(ctx, maxInstrs, maxInstrs)
 	} else {
 		err = e.runInstrumented(ctx, maxInstrs)
 	}
@@ -298,10 +320,16 @@ func nextCheck(done <-chan struct{}, instrs, maxInstrs int64) int64 {
 // every ideal machine) are elided from the loop entirely at predecode.
 //
 // All hot state lives in locals for the duration of the loop and is written
-// back once at the halt exit; error exits abandon the run, so only
+// back once at the halt or yield exit; error exits abandon the run, so only
 // dirty-memory tracking — updated on the engine at every store — must stay
 // accurate there.
-func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
+//
+// stopAt makes the loop resumable: once instrs reaches it (checked at the
+// same control-transfer points as the instruction limit), the loop writes
+// all state back and returns with halted still false, and a later call picks
+// up exactly where it left off. Whole runs pass stopAt == maxInstrs; the
+// batch scheduler (Batch) uses finite slices to interleave many engines.
+func (e *Engine) runFast(ctx context.Context, maxInstrs, stopAt int64) error {
 	width := int64(e.cfg.IssueWidth)
 	takenEnds := e.cfg.TakenBranchEndsGroup
 	redirect := int64(e.cfg.BranchRedirect)
@@ -324,12 +352,17 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 
 	// Cancellation polling shares the instruction-limit comparison the
 	// loop performs at control transfers: checkAt is the next instruction
-	// count at which anything needs attention, and an uncancellable run
-	// (done == nil) only ever compares against the limit itself.
+	// count at which anything needs attention — a context poll, the
+	// instruction limit, or the caller's stop point.
 	done := ctx.Done()
-	checkAt := nextCheck(done, instrs, maxInstrs)
+	checkAt := min(nextCheck(done, instrs, maxInstrs), stopAt)
 
-	enter[pc]++
+	// skipCheck elides the trace-entry register scan across consecutive
+	// iterations of a proven-stable loop trace (see the check label);
+	// stableIdx is the exit that proved it.
+	skipCheck := false
+	stableIdx := 0
+
 	for {
 		idx := pc
 		d := &dec[idx]
@@ -843,15 +876,8 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 			instrs++
 			exit[idx]++
 			e.halted = true
-			e.pc = idx
-			e.cycle, e.barrier = cycle, barrier
-			e.inCycle = int(inCycle)
-			e.barrierIsBr = barrierIsBr
-			e.lastComplete = lastComplete
-			e.instrs, e.groups = instrs, groups
-			e.stalls = stalls
-			e.foldCounts()
-			return nil
+			pc = idx
+			goto out
 		case opOutOfRange:
 			return fmt.Errorf("sim: pc %d out of range", idx)
 		default:
@@ -886,64 +912,199 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs int64) error {
 		}
 
 	check:
-		// Replay: if the instruction at pc leads a block whose straight-line
-		// prefix has a precomputed exact schedule, and we arrived behind a
-		// fresh taken-branch barrier (so the prefix's first instruction
-		// issues exactly at the barrier), and no register the prefix touches
-		// is still in flight past the barrier, then the whole prefix's
-		// timing is known: apply its semantics in one sweep (replayExec) and
-		// its issue accounting in O(1), instead of walking the scoreboard
-		// per instruction. The entry stalls (width, branch) are dynamic and
-		// charged exactly as the per-instruction path would; the schedule's
-		// internal stalls were precomputed. The barrier is left in place —
-		// it is ≤ every subsequent issue slot, so it can never bind again,
-		// matching the non-replay semantics where it simply stops mattering.
-		if scheds != nil && barrierIsBr && barrier > cycle {
-			if sp := scheds[pc]; sp != nil {
-				rep := true
-				for _, r := range sp.checkRegs {
-					if ready[r] > barrier {
-						rep = false
+		// Trace replay: if the instruction at pc roots a superblock trace,
+		// and we arrived behind a fresh taken-branch barrier (so the trace's
+		// first instruction issues exactly at the barrier), and no register
+		// the trace touches is still in flight past the barrier, then the
+		// whole trace's timing is known per exit: apply the semantics
+		// segment by segment (traceExec, resolving each guarded side exit
+		// from live data) and the issue accounting of whichever exit the run
+		// took in O(1), instead of walking the scoreboard per instruction.
+		// The entry stalls (width, branch) are dynamic and charged exactly
+		// as the per-instruction path would; the trace's internal stalls —
+		// including waits on its own jump-seam barriers — were precomputed.
+		// A taken exit leaves a fresh barrier behind (the exiting branch
+		// ends its group), so the loop spins: a hot loop body replays
+		// iteration after iteration with one precondition scan each — or
+		// none, when the exit is a proven-stable back-edge (skipCheck).
+		for scheds != nil && barrierIsBr && barrier > cycle {
+			tr := scheds[pc]
+			if tr == nil {
+				break
+			}
+			var exitIdx int
+			var err error
+			if skipCheck {
+				// Proven-stable back-edge spin: every iteration re-enters
+				// at pc with the precondition re-established and leaves
+				// through the same exit with identical relative timing, so
+				// each iteration's bookkeeping is a constant delta — run
+				// the micro-ops k times, then apply k deltas in O(1). The
+				// scoreboard writes, lastComplete, and block counters of
+				// iterations 1..k-1 are superseded by (or fold into)
+				// iteration k's, so only the final state is written.
+				skipCheck = false
+				sEx := &tr.exits[stableIdx]
+				var overS int64
+				if sEx.inCycle >= width {
+					overS = 1
+				}
+				// Iterations until the poll point; ≥ 1 because the poll
+				// below ran right after the exit that set skipCheck.
+				kMax := (checkAt - instrs + sEx.n - 1) / sEx.n
+				var k int64
+				for {
+					exitIdx, err = e.traceExecU(tr.uops)
+					if err != nil || exitIdx != stableIdx {
+						break
+					}
+					k++
+					if k >= kMax {
+						exitIdx = -1 // nothing pending; poll, then respin
 						break
 					}
 				}
-				if rep {
-					e.replays++
-					var over int64
-					if inCycle >= width {
-						over = 1
+				if k > 0 {
+					adv := k * sEx.barrierOff
+					cycle += adv
+					barrier += adv
+					stalls.Width += k * (overS + sEx.widthStalls)
+					stalls.Branch += k * (sEx.barrierOff - sEx.cycleAdv - overS + sEx.branchStalls)
+					stalls.Data += k * sEx.dataStalls
+					stalls.Write += k * sEx.writeStalls
+					groups += k * sEx.groups
+					instrs += k * sEx.n
+					e.replays += k
+					sLast := barrier - sEx.barrierOff
+					for _, w := range sEx.writes {
+						ready[w.Reg] = sLast + w.Off
 					}
-					stalls.Width += over + sp.widthStalls
-					stalls.Branch += barrier - (cycle + over)
-					stalls.Data += sp.dataStalls
-					stalls.Write += sp.writeStalls
-					if err := e.replayExec(pc, sp.end); err != nil {
-						return err
+					lastComplete = max(lastComplete, sLast+sEx.maxComplete)
+					exit[sEx.at] += k
+					enter[pc] += k
+					for _, j := range sEx.jumps {
+						exit[j.at] += k
+						enter[j.target] += k
 					}
-					cycle = barrier + sp.cycleAdv
-					inCycle = sp.inCycle
-					groups += sp.groups
-					for _, w := range sp.writes {
-						ready[w.Reg] = barrier + w.Off
+				}
+				if err != nil {
+					return err
+				}
+				if exitIdx < 0 {
+					skipCheck = true
+					if instrs >= checkAt {
+						if instrs >= maxInstrs {
+							return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+						}
+						if instrs >= stopAt {
+							goto out
+						}
+						select {
+						case <-done:
+							return ctxErr(ctx)
+						default:
+						}
+						checkAt = min(nextCheck(done, instrs, maxInstrs), stopAt)
 					}
-					lastComplete = max(lastComplete, barrier+sp.maxComplete)
-					instrs += sp.n
-					pc = sp.end
+					continue
+				}
+				// A different exit fired: its semantics ran above; fall
+				// through to apply its timing at the current barrier.
+			} else {
+				ok := true
+				for _, r := range tr.checkRegs {
+					if ready[r] > barrier {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+				exitIdx, err = e.traceExecU(tr.uops)
+				if err != nil {
+					return err
 				}
 			}
+			e.replays++
+			s := barrier
+			var over int64
+			if inCycle >= width {
+				over = 1
+			}
+			ex := &tr.exits[exitIdx]
+			stalls.Width += over + ex.widthStalls
+			stalls.Branch += s - (cycle + over) + ex.branchStalls
+			stalls.Data += ex.dataStalls
+			stalls.Write += ex.writeStalls
+			cycle = s + ex.cycleAdv
+			inCycle = ex.inCycle
+			groups += ex.groups
+			for _, w := range ex.writes {
+				ready[w.Reg] = s + w.Off
+			}
+			lastComplete = max(lastComplete, s+ex.maxComplete)
+			instrs += ex.n
+			barrier = s + ex.barrierOff
+			pc = int(ex.target)
+			for _, j := range ex.jumps {
+				exit[j.at]++
+				enter[j.target]++
+			}
+			if ex.taken {
+				exit[ex.at]++
+				enter[pc]++
+				if ex.stable {
+					skipCheck = true
+					stableIdx = exitIdx
+				}
+			}
+			if instrs >= checkAt {
+				if instrs >= maxInstrs {
+					return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+				}
+				if instrs >= stopAt {
+					goto out
+				}
+				select {
+				case <-done:
+					return ctxErr(ctx)
+				default:
+				}
+				checkAt = min(nextCheck(done, instrs, maxInstrs), stopAt)
+			}
 		}
+		skipCheck = false
 		if instrs >= checkAt {
 			if instrs >= maxInstrs {
 				return fmt.Errorf("sim: instruction limit %d exceeded (infinite loop?)", maxInstrs)
+			}
+			if instrs >= stopAt {
+				goto out
 			}
 			select {
 			case <-done:
 				return ctxErr(ctx)
 			default:
 			}
-			checkAt = nextCheck(done, instrs, maxInstrs)
+			checkAt = min(nextCheck(done, instrs, maxInstrs), stopAt)
 		}
 	}
+
+out:
+	// Halt or yield: write every local back so the result (or the next
+	// runFast slice) sees the exact state.
+	e.pc = pc
+	e.cycle, e.barrier = cycle, barrier
+	e.inCycle = int(inCycle)
+	e.barrierIsBr = barrierIsBr
+	e.lastComplete = lastComplete
+	e.instrs, e.groups = instrs, groups
+	e.stalls = stalls
+	if e.halted {
+		e.foldCounts()
+	}
+	return nil
 }
 
 // foldCounts folds the block entry/exit counters into per-class dynamic

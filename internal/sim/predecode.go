@@ -99,11 +99,24 @@ type Code struct {
 	cfg     *machine.Config
 	schedFP string
 	dec     []decoded
-	// scheds are the static-timing replay schedules (internal/statictime)
-	// for conflict-free block prefixes, indexed by leader pc; nil when the
-	// machine qualifies no block. Like dec they are immutable static facts,
-	// valid for any machine the schedule fingerprint accepts.
-	scheds []*replaySched
+	// scheds are the static-timing superblock trace schedules
+	// (internal/statictime), indexed by trace-root pc; nil when the machine
+	// qualifies no trace. Like dec they are immutable static facts, valid
+	// for any machine the schedule fingerprint accepts.
+	scheds []*traceSched
+}
+
+// Superblocks returns the number of superblock traces attached to the Code:
+// multi-block straight-line regions whose exact issue/stall schedules were
+// proven statically, replayed by the engine in O(1) per dispatch.
+func (c *Code) Superblocks() int {
+	n := 0
+	for _, t := range c.scheds {
+		if t != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Predecode translates a validated program against a machine description

@@ -1,9 +1,9 @@
 package sim
 
-// White-box tests for the schedule replay path: the differential suite
-// already proves replayed runs are bit-identical to the reference engine;
-// these prove the replay actually fires (so that identity is not vacuous)
-// and that schedule construction covers the cases it should.
+// White-box tests for the superblock trace replay path: the differential
+// suite already proves replayed runs are bit-identical to the reference
+// engine; these prove the replay actually fires (so that identity is not
+// vacuous) and that trace construction covers the cases it should.
 
 import (
 	"testing"
@@ -20,16 +20,35 @@ func TestBuildSchedsTightLoop(t *testing.T) {
 		t.Fatalf("predecode: %v", err)
 	}
 	if code.scheds == nil {
-		t.Fatal("no replay schedules built for the tight loop on the base machine")
+		t.Fatal("no trace schedules built for the tight loop on the base machine")
 	}
 	// The loop body leader (instruction 2: first instruction after the two
-	// lis) must carry a schedule for its 4-instruction conflict-free prefix.
+	// lis) must carry a trace whose first step is the loop body ending in
+	// the conditional back-edge at pc 6.
 	sp := code.scheds[2]
 	if sp == nil {
-		t.Fatal("loop body leader has no schedule")
+		t.Fatal("loop body leader has no trace")
 	}
-	if sp.n != 4 || sp.end != 6 {
-		t.Errorf("schedule n/end = %d/%d, want 4/6", sp.n, sp.end)
+	if len(sp.steps) == 0 || sp.steps[0].kind != stepCond || sp.steps[0].hi != 6 {
+		t.Fatalf("first trace step = %+v, want cond-branch step ending at pc 6", sp.steps[0])
+	}
+	ex := &sp.exits[sp.steps[0].exit]
+	if ex.n != 5 || ex.target != 2 || !ex.taken {
+		t.Errorf("back-edge exit n/target/taken = %d/%d/%v, want 5/2/true", ex.n, ex.target, ex.taken)
+	}
+	// On the base machine every write in the loop body completes before the
+	// taken branch's barrier, so the back-edge must be proven stable (the
+	// engine may skip the re-entry register check).
+	if !ex.stable {
+		t.Error("loop back-edge exit not marked stable on the base machine")
+	}
+	// The final exit is the fallthrough continuation past the branch.
+	last := &sp.exits[len(sp.exits)-1]
+	if last.at != -1 || last.taken {
+		t.Errorf("final exit = %+v, want untaken fallthrough", last)
+	}
+	if code.Superblocks() == 0 {
+		t.Error("Superblocks() = 0 with traces attached")
 	}
 }
 
@@ -65,11 +84,11 @@ func TestReplayFires(t *testing.T) {
 }
 
 // TestReplaySkippedWhenDirty pins the precondition: when a register the
-// prefix touches is still in flight past the barrier, the replay must not
+// trace touches is still in flight past the barrier, the replay must not
 // fire for that entry (the per-instruction path handles it), and the result
 // must still match. On CRAY-1 a 7-cycle multiply written just before the
 // loop branch and read at the loop top is still in flight at every taken
-// re-entry, so the block's schedule exists but can never fire.
+// re-entry, so the trace exists but can never fire.
 func TestReplaySkippedWhenDirty(t *testing.T) {
 	b := isa.NewBuilder()
 	b.Li(isa.R(10), 50)
@@ -90,7 +109,7 @@ func TestReplaySkippedWhenDirty(t *testing.T) {
 		t.Fatalf("predecode: %v", err)
 	}
 	if code.scheds == nil || code.scheds[2] == nil {
-		t.Fatal("loop body should carry a schedule (CRAY-1 units are conflict-free)")
+		t.Fatal("loop body should carry a trace (CRAY-1 units are conflict-free)")
 	}
 	plain, err := Run(p, Options{Machine: cfg})
 	if err != nil {
@@ -118,8 +137,11 @@ func TestNoSchedsOnConflictedMachine(t *testing.T) {
 	if code.scheds != nil {
 		for i, sp := range code.scheds {
 			if sp != nil {
-				t.Errorf("unexpected schedule at pc %d on a conflicted machine", i)
+				t.Errorf("unexpected trace at pc %d on a conflicted machine", i)
 			}
 		}
+	}
+	if code.Superblocks() != 0 {
+		t.Errorf("Superblocks() = %d on a conflicted machine", code.Superblocks())
 	}
 }

@@ -110,8 +110,10 @@ func RunCtx(ctx context.Context, p *isa.Program, opts Options) (*Result, error) 
 	res := new(Result)
 	err := e.RunIntoCtx(ctx, p, opts, res)
 	// Drop references to caller data before pooling so a cached engine
-	// does not pin a program, machine description, or shared predecode
-	// alive (e.decBuf, the engine's own translation buffer, is kept).
+	// does not pin a shared predecode alive. The engine's own translation
+	// cache (decBuf/ownProg/ownScheds) is deliberately kept: it pins the
+	// last Code-less (program, machine) pair so repeat runs skip predecode
+	// and trace analysis — the dominant pooled-engine pattern.
 	e.cfg, e.prog, e.dec, e.scheds = nil, nil, nil, nil
 	e.opts = Options{}
 	enginePool.Put(e)

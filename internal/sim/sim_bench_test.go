@@ -26,6 +26,31 @@ func tightLoop(n int64) *isa.Program {
 	return b.MustFinish()
 }
 
+// stitchedLoop builds a hot loop that crosses a jump seam and carries a
+// mid-trace side exit, so the replay path must stitch a multi-block
+// superblock (body -> j -> test -> back-edge) instead of specializing a
+// single-block back-edge trace.
+func stitchedLoop(n int64) *isa.Program {
+	b := isa.NewBuilder()
+	b.Li(isa.R(10), n/7)
+	b.Li(isa.R(11), 0)
+	b.Li(isa.R(14), 40) // early-out threshold, rarely hit
+	b.Jump("test")
+	b.Label("body")
+	b.Op(isa.OpAdd, isa.R(11), isa.R(11), isa.R(10))
+	b.Imm(isa.OpAddi, isa.R(12), isa.R(11), 3)
+	b.Branch(isa.OpBlt, isa.R(10), isa.R(14), "skip") // side exit
+	b.Op(isa.OpXor, isa.R(13), isa.R(12), isa.R(11))
+	b.Label("skip")
+	b.Imm(isa.OpAddi, isa.R(10), isa.R(10), -1)
+	b.Jump("test") // seam: the superblock stitches through to the test block
+	b.Label("test")
+	b.Branch(isa.OpBgt, isa.R(10), isa.RZero, "body")
+	b.Print(isa.R(13))
+	b.Halt()
+	return b.MustFinish()
+}
+
 // BenchmarkSimulatorThroughput measures simulated instructions per second
 // on the base machine (the inner loop of every experiment in this repo).
 func BenchmarkSimulatorThroughput(b *testing.B) {
@@ -106,6 +131,32 @@ func BenchmarkSimulatorPredecodedWide(b *testing.B) {
 	code, err := Predecode(p, cfg)
 	if err != nil {
 		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(p, Options{Machine: cfg, Code: code})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkSimulatorSuperblock replays a multi-block stitched superblock (a
+// loop whose trace crosses a jump seam and holds a guarded side exit) on a
+// wide machine from shared predecoded Code — the trace-specialization path
+// this repo's sweep spends its time in.
+func BenchmarkSimulatorSuperblock(b *testing.B) {
+	p := stitchedLoop(600_000)
+	cfg := machine.IdealSuperscalar(4)
+	code, err := Predecode(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if code.Superblocks() == 0 {
+		b.Fatal("no superblock traces formed")
 	}
 	b.ResetTimer()
 	var instrs int64

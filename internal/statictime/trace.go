@@ -1,0 +1,347 @@
+package statictime
+
+// Superblock traces: the cross-block extension of the exact clean-entry
+// schedules. A trace starts at a block leader and follows the straight-line
+// continuation through unconditional jumps (the chain is stitched across the
+// seam) and past conditional branches (each becomes a guarded side exit,
+// untaken control falls through into the next block of the trace). Because
+// every instruction on the trace issues to a conflict-free unit, the whole
+// multi-block schedule is exact under the same clean-entry precondition as a
+// single block's: the engine enters at a fresh taken-branch barrier s with
+// every register the trace touches quiescent (scoreboard time ≤ s).
+//
+// The timing argument extends the single-block proof (DESIGN.md §6.4) with
+// the in-trace barrier: an internal unconditional jump raises the issue
+// barrier to its issue + latency + redirect, exactly as the engine's taken-
+// transfer epilogue would, and every instruction after the seam is scheduled
+// against that barrier. All quantities stay relative offsets from s, so one
+// static walk yields, for every possible exit (each taken conditional, plus
+// the final fallthrough), the exact cumulative instruction count, cycle
+// advance, stall breakdown, scoreboard writes, and the barrier the engine
+// holds after leaving — the engine applies whichever exit the run's data
+// selects (see sim's trace replay).
+//
+// A trace whose taken side exit targets its own start is a proven loop
+// back-edge; when additionally every register written before that exit is
+// ready by the exit's barrier (Off ≤ BarrierOff), the re-entry precondition
+// re-establishes itself and the exit is marked Stable: the engine may skip
+// the per-register entry check on the next iteration entirely.
+
+import (
+	"fmt"
+
+	"ilp/internal/isa"
+	"ilp/internal/machine"
+)
+
+// maxTraceLen caps the instructions a single trace may cover. Traces are
+// built per leader at predecode time, so the cap bounds both build cost and
+// the worst-case distance between two instruction-limit/cancellation polls
+// in the replaying engine.
+const maxTraceLen = 64
+
+// TraceStepKind discriminates the three step forms of a trace walk.
+type TraceStepKind uint8
+
+const (
+	// StepCond replays [Lo, Hi), then evaluates the conditional branch at
+	// Hi: taken leaves through Exits[Exit], untaken falls through to the
+	// next step (whose segment starts at Hi+1).
+	StepCond TraceStepKind = iota
+	// StepJump replays [Lo, Hi), then the unconditional jump at Hi
+	// transfers to Target; the next step's segment starts there.
+	StepJump
+	// StepEnd replays [Lo, Hi), then leaves through Exits[Exit] (the final
+	// fallthrough: the engine resumes per-instruction execution at the
+	// exit's Target). Always the last step.
+	StepEnd
+)
+
+// TraceStep is one segment of a trace: the straight-line instructions
+// [Lo, Hi) followed by the control event at Hi (or, for StepEnd, none —
+// Hi is where the walk stopped).
+type TraceStep struct {
+	Lo, Hi int
+	Kind   TraceStepKind
+	// Exit indexes Trace.Exits for StepCond (the taken side exit) and
+	// StepEnd (the final fallthrough exit).
+	Exit int
+	// Target is the jump destination for StepJump.
+	Target int
+}
+
+// TraceExit is one way control can leave a trace, carrying the exact
+// cumulative timing advance from the trace's entry slot s for the
+// instructions executed up to (and including) the exit point.
+type TraceExit struct {
+	// At is the pc of the taken conditional branch for a side exit, -1 for
+	// the final fallthrough exit.
+	At int
+	// Target is the pc the engine resumes at after this exit.
+	Target int
+	// Taken reports a taken control transfer: the engine bumps its block
+	// counters (exit[At], enter[Target]) and the exit's BarrierOff includes
+	// the branch's group-ending barrier.
+	Taken bool
+	// N is the number of instructions executed when leaving here.
+	N int64
+	// CycleAdv, InCycle and Groups describe the issue state at the exit:
+	// the engine's cycle becomes s+CycleAdv, its in-cycle count InCycle,
+	// and Groups issue groups were opened (including the entry group at s).
+	CycleAdv, InCycle, Groups int64
+	// WidthStalls, BranchStalls, DataStalls and WriteStalls are the stall
+	// minor cycles accrued internally (instructions after the first; the
+	// first instruction's entry stalls depend on dynamic state and are
+	// accounted by the engine).
+	WidthStalls, BranchStalls, DataStalls, WriteStalls int64
+	// MaxComplete is the largest completion offset among the executed
+	// instructions: lastComplete advances to max(lastComplete, s+MaxComplete).
+	MaxComplete int64
+	// BarrierOff is the issue barrier after the exit: the engine holds
+	// barrier = s+BarrierOff (still a taken-branch barrier). For a taken
+	// exit this includes the exiting branch's own barrier, so it always
+	// exceeds CycleAdv; for the fallthrough exit it is the internal barrier
+	// (0 when the trace crossed no jump seam).
+	BarrierOff int64
+	// Writes are the scoreboard times of every register written by the N
+	// executed instructions, as offsets from s, ascending by register.
+	Writes []RegWrite
+	// Jumps lists the in-trace unconditional jumps executed before this
+	// exit, in trace order: the engine bumps their block exit/enter
+	// counters when it applies the exit (their timing effect — the raised
+	// in-trace barrier — is already folded into the offsets above).
+	Jumps []TraceJump
+	// Stable marks a taken back-edge to the trace's own start whose writes
+	// are all ready by the new barrier (Off ≤ BarrierOff): the clean-entry
+	// precondition re-establishes itself, so re-entry needs no register
+	// check.
+	Stable bool
+}
+
+// TraceJump is one in-trace unconditional jump: the pc it leaves from and
+// the pc it lands on (block counter bookkeeping only).
+type TraceJump struct {
+	At, Target int
+}
+
+// Trace is a superblock: an exact multi-block clean-entry schedule rooted at
+// Start, valid on machines whose taken branches end their issue group. The
+// precondition mirrors Schedule's: the engine must arrive behind a fresh
+// taken-branch barrier s with every register in CheckRegs at scoreboard
+// time ≤ s.
+type Trace struct {
+	Start int
+	Steps []TraceStep
+	Exits []TraceExit
+	// CheckRegs lists every register any step reads or writes (r0 excluded,
+	// ascending). Registers touched only after an early exit are included
+	// too — checking them is conservative, never wrong.
+	CheckRegs []isa.Reg
+	// Blocks is the number of block segments the trace covers (one per
+	// step): >1 means a genuine superblock stitched across seams.
+	Blocks int
+}
+
+// Traces builds the superblock trace of every block leader: a slice indexed
+// by pc, nil at non-leaders. Machines whose taken branches do not end their
+// issue group return (nil, nil): the trace entry condition (a fresh taken-
+// branch barrier) exists only under that discipline.
+func Traces(p *isa.Program, cfg *machine.Config) ([]*Trace, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("statictime: no machine description")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("statictime: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("statictime: %w", err)
+	}
+	if !cfg.TakenBranchEndsGroup {
+		return nil, nil
+	}
+
+	unitOf, err := cfg.ClassUnits()
+	if err != nil {
+		return nil, fmt.Errorf("statictime: %w", err)
+	}
+	var binds [isa.NumClasses]bool
+	for cl, ui := range unitOf {
+		u := &cfg.Units[ui]
+		binds[cl] = u.Multiplicity < cfg.IssueWidth || u.IssueLatency != 1
+	}
+
+	// Leaders, exactly as Analyze derives them: the entry, every direct
+	// transfer target, every instruction after a transfer or halt, and the
+	// program's own block list. The engine attempts a trace replay only at
+	// taken-transfer targets, which this set covers.
+	n := len(p.Instrs)
+	leader := make([]bool, n)
+	leader[0], leader[p.Entry] = true, true
+	for _, b := range p.Blocks {
+		if b >= 0 && b < n {
+			leader[b] = true
+		}
+	}
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		info := in.Op.Info()
+		if info.Branch || in.Op == isa.OpHalt {
+			if i+1 < n {
+				leader[i+1] = true
+			}
+			if info.Branch && in.Op != isa.OpJr {
+				leader[in.Target] = true
+			}
+		}
+	}
+
+	out := make([]*Trace, n)
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			out[pc] = buildTrace(p, cfg, pc, &binds)
+		}
+	}
+	return out, nil
+}
+
+// isCondBranch reports whether op is a conditional branch.
+func isCondBranch(op isa.Opcode) bool {
+	switch op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBle, isa.OpBgt:
+		return true
+	}
+	return false
+}
+
+// buildTrace walks the straight-line continuation from start, simulating the
+// engine's issue discipline with all quantities relative to the entry slot
+// (the first instruction issues at offset 0 — exactly the barrier, by the
+// entry precondition). The walk stops at the first instruction that binds a
+// functional unit, transfers control unpredictably (jal, jr), halts, was
+// already traced (termination), or would exceed maxTraceLen.
+func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumClasses]bool) *Trace {
+	n := len(p.Instrs)
+	width := int64(cfg.IssueWidth)
+	redirect := int64(cfg.BranchRedirect)
+
+	tr := &Trace{Start: start}
+	var avail [isa.NumRegs]int64
+	var wrote, touched [isa.NumRegs]bool
+	var cycle, inCycle, groups int64
+	var widthS, branchS, dataS, writeS int64
+	var maxComplete, barrierOff int64
+	var count int64
+	var jumps []TraceJump
+	visited := make(map[int]bool)
+	pos, segLo := start, start
+	first := true
+
+	// snapshot records one exit with the cumulative state at this point.
+	snapshot := func(at, target int, taken bool, bOff int64) int {
+		ex := TraceExit{
+			At: at, Target: target, Taken: taken, N: count,
+			CycleAdv: cycle, InCycle: inCycle, Groups: groups,
+			WidthStalls: widthS, BranchStalls: branchS,
+			DataStalls: dataS, WriteStalls: writeS,
+			MaxComplete: maxComplete, BarrierOff: bOff,
+		}
+		if len(jumps) > 0 {
+			ex.Jumps = append([]TraceJump(nil), jumps...)
+		}
+		stable := taken && target == start
+		for r := 1; r < isa.NumRegs; r++ {
+			if wrote[r] {
+				ex.Writes = append(ex.Writes, RegWrite{Reg: isa.Reg(r), Off: avail[r]})
+				if avail[r] > bOff {
+					stable = false
+				}
+			}
+		}
+		ex.Stable = stable
+		tr.Exits = append(tr.Exits, ex)
+		return len(tr.Exits) - 1
+	}
+
+	for {
+		if pos < 0 || pos >= n || visited[pos] || count >= maxTraceLen {
+			break
+		}
+		in := &p.Instrs[pos]
+		op := in.Op
+		if binds[op.Class()] || op == isa.OpJal || op == isa.OpJr || op == isa.OpHalt {
+			break
+		}
+		visited[pos] = true
+
+		lat := int64(cfg.Latency[op.Class()])
+		s1, s2, dst := effRegs(in)
+		touched[s1], touched[s2] = true, true
+
+		var issue int64
+		if first {
+			// Entry slot: issue is exactly the barrier (offset 0) by the
+			// precondition; width/branch entry stalls are dynamic and
+			// charged by the engine.
+			inCycle, groups = 1, 1
+			first = false
+		} else {
+			var over int64
+			if inCycle >= width {
+				over = 1
+			}
+			slot := cycle + over
+			widthS += over
+			if barrierOff > slot {
+				// An in-trace jump barrier is always a taken-branch
+				// barrier, so the engine books the wait as a branch stall.
+				branchS += barrierOff - slot
+				slot = barrierOff
+			}
+			issue = max(slot, avail[s1], avail[s2])
+			dataS += issue - slot
+			if dst != isa.NoReg {
+				m := max(issue, avail[dst]-lat)
+				writeS += m - issue
+				issue = m
+			}
+			if issue > cycle {
+				cycle = issue
+				inCycle = 1
+				groups++
+			} else {
+				inCycle++
+			}
+		}
+		complete := issue + lat
+		if dst != isa.NoReg {
+			avail[dst] = complete
+			wrote[dst], touched[dst] = true, true
+		}
+		maxComplete = max(maxComplete, complete)
+		count++
+
+		switch {
+		case isCondBranch(op):
+			exit := snapshot(pos, in.Target, true, max(barrierOff, issue+lat+redirect))
+			tr.Steps = append(tr.Steps, TraceStep{Lo: segLo, Hi: pos, Kind: StepCond, Exit: exit})
+			segLo, pos = pos+1, pos+1
+		case op == isa.OpJ:
+			barrierOff = max(barrierOff, issue+lat+redirect)
+			jumps = append(jumps, TraceJump{At: pos, Target: in.Target})
+			tr.Steps = append(tr.Steps, TraceStep{Lo: segLo, Hi: pos, Kind: StepJump, Target: in.Target})
+			segLo, pos = in.Target, in.Target
+		default:
+			pos++
+		}
+	}
+
+	exit := snapshot(-1, pos, false, barrierOff)
+	tr.Steps = append(tr.Steps, TraceStep{Lo: segLo, Hi: pos, Kind: StepEnd, Exit: exit})
+	for r := 1; r < isa.NumRegs; r++ { // r0 is never scoreboarded
+		if touched[r] {
+			tr.CheckRegs = append(tr.CheckRegs, isa.Reg(r))
+		}
+	}
+	tr.Blocks = len(tr.Steps)
+	return tr
+}
