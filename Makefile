@@ -2,7 +2,7 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint cover bench bench-smoke bench-gate bench-quick
+.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint cover bench bench-smoke bench-gate bench-quick ilpd-smoke ilpd-loadtest
 
 check: fmt vet lint build race race-concurrency fuzz-smoke chaos bench-smoke
 
@@ -102,3 +102,16 @@ bench-smoke:
 bench-quick:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/sim/
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Daemon smoke: the full default sweep submitted to an in-process ilpd
+# over HTTP must render byte-identical to docs/ilpbench-output.txt — the
+# same golden file the CLI is held to, so the daemon can never drift from
+# ilpbench. (~10 s; skipped automatically under -short and -race.)
+ilpd-smoke:
+	$(GO) test -run 'TestIlpdSmoke' -count=1 -v ./cmd/ilpd/
+
+# Daemon load harness: concurrent clients against an in-process daemon,
+# reporting end-to-end sweeps/sec and how much of the offered load the
+# shared singleflight cache absorbed.
+ilpd-loadtest:
+	$(GO) run ./cmd/ilpd -loadtest -loadtest-clients 8 -loadtest-sweeps 4

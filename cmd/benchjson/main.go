@@ -137,6 +137,15 @@ func compare(w io.Writer, base, cur Snapshot, pct float64) bool {
 		want := base.Benchmarks[name].Metrics[throughputMetric]
 		got, ok := cur.Benchmarks[name]
 		gotV, hasMetric := got.Metrics[throughputMetric]
+		if !(want > 0) {
+			// A baseline that recorded zero (or negative, or NaN)
+			// Minstr/s cannot anchor a percentage delta — the division
+			// would print NaN/+Inf and the < comparison would silently
+			// never fail. Report it and move on; the fix is re-recording
+			// the snapshot, not failing every later run.
+			fmt.Fprintf(w, "%-34s %8.2f -> unusable baseline, not gated\n", name, want)
+			continue
+		}
 		if !ok || !hasMetric {
 			fmt.Fprintf(w, "%-34s %8.2f -> MISSING            FAIL\n", name, want)
 			pass = false

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -113,6 +114,47 @@ func TestCompareNewBenchmark(t *testing.T) {
 	if !strings.Contains(text, "BenchmarkSimulatorSuperblock") ||
 		!strings.Contains(text, "new benchmark, no baseline") {
 		t.Errorf("new benchmark not reported:\n%s", text)
+	}
+}
+
+// TestCompareUnusableBaseline: a baseline entry recording 0 (or NaN)
+// Minstr/s cannot anchor a percentage delta. The old code divided by it
+// and printed NaN/+Inf deltas that could never trip the threshold; now
+// the benchmark is reported as "unusable baseline" and the rest of the
+// gate still runs — including catching a real regression elsewhere.
+func TestCompareUnusableBaseline(t *testing.T) {
+	base := Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkZeroRecorded": {Metrics: map[string]float64{"Minstr/s": 0}},
+		"BenchmarkNaNRecorded":  {Metrics: map[string]float64{"Minstr/s": math.NaN()}},
+		"BenchmarkHealthy":      {Metrics: map[string]float64{"Minstr/s": 100}},
+	}}
+	cur := Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkZeroRecorded": {Metrics: map[string]float64{"Minstr/s": 90}},
+		"BenchmarkNaNRecorded":  {Metrics: map[string]float64{"Minstr/s": 90}},
+		"BenchmarkHealthy":      {Metrics: map[string]float64{"Minstr/s": 98}},
+	}}
+	var out strings.Builder
+	if !compare(&out, base, cur, 10) {
+		t.Fatalf("unusable baselines failed a healthy run:\n%s", out.String())
+	}
+	text := out.String()
+	// The recorded (unusable) value may print as NaN; the *delta* column
+	// (the %-suffixed number the gate compares) must never.
+	if strings.Contains(text, "NaN%") || strings.Contains(text, "Inf%") {
+		t.Fatalf("compare emitted NaN/Inf deltas:\n%s", text)
+	}
+	if strings.Count(text, "unusable baseline") != 2 {
+		t.Fatalf("unusable baselines not reported (want 2 mentions):\n%s", text)
+	}
+	if !strings.Contains(text, "BenchmarkHealthy") {
+		t.Fatalf("healthy benchmark dropped from the gate:\n%s", text)
+	}
+
+	// An unusable baseline must not mask a genuine regression elsewhere.
+	cur.Benchmarks["BenchmarkHealthy"] = Benchmark{Metrics: map[string]float64{"Minstr/s": 50}}
+	out.Reset()
+	if compare(&out, base, cur, 10) {
+		t.Fatalf("regression passed alongside unusable baselines:\n%s", out.String())
 	}
 }
 

@@ -159,6 +159,89 @@ func TestParseFaults(t *testing.T) {
 	}
 }
 
+// TestFlagValidation: out-of-range fault-tolerance flags are usage errors
+// (exit 1, message naming the flag) instead of being silently clamped to
+// the defaults — a negative -retries used to mean 0 and a negative
+// -max-backoff used to mean 250ms, so typos passed unnoticed.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		flag string
+		ok   bool
+	}{
+		{"negative retries", []string{"-retries", "-1"}, "-retries", false},
+		{"zero timeout explicit", []string{"-timeout", "0"}, "-timeout", false},
+		{"negative timeout", []string{"-timeout", "-5s"}, "-timeout", false},
+		{"negative max-backoff", []string{"-max-backoff", "-1ms"}, "-max-backoff", false},
+		{"zero retries ok", []string{"-retries", "0"}, "", true},
+		{"zero max-backoff ok", []string{"-max-backoff", "0"}, "", true},
+		{"positive timeout ok", []string{"-timeout", "30s"}, "", true},
+		{"timeout omitted ok", nil, "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, append(quickArgs(tc.args...), "fig2")...)
+			if tc.ok {
+				if code != 0 {
+					t.Fatalf("valid flags %v exited %d\nstderr: %s", tc.args, code, errOut)
+				}
+				return
+			}
+			if code != 1 {
+				t.Fatalf("bad flags %v exited %d, want 1\nstderr: %s", tc.args, code, errOut)
+			}
+			if !strings.Contains(errOut, tc.flag) {
+				t.Fatalf("usage error does not name %s:\n%s", tc.flag, errOut)
+			}
+			if !strings.Contains(errOut, "Usage") && !strings.Contains(errOut, "-degree") {
+				t.Fatalf("usage error did not print flag usage:\n%s", errOut)
+			}
+		})
+	}
+}
+
+// TestStatsPrintedOnFailedSweep: -stats reports the counters for work
+// actually done even when every experiment errors out (injected sim
+// faults with degradation off), matching the package doc's promise.
+func TestStatsPrintedOnFailedSweep(t *testing.T) {
+	code, out, errOut := runCLI(t, append(quickArgs(
+		"-faults", "seed=1,sim=1", "-retries", "0", "-degrade=false", "-stats"),
+		"tab2-1")...)
+	if code != 1 {
+		t.Fatalf("failed sweep exited %d, want 1\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "cells: ") {
+		t.Fatalf("failed sweep dropped the -stats cells line from stdout:\n%s", out)
+	}
+	for _, line := range []string{"cache stats:", "run stats:", "predecode stats:", "trace stats:"} {
+		if !strings.Contains(errOut, line) {
+			t.Fatalf("failed sweep dropped %q from -stats stderr:\n%s", line, errOut)
+		}
+	}
+}
+
+// TestStatsPrintedOnCancelledSweep: a sweep cut short by -timeout still
+// reports its counters — the work done before the deadline is real and
+// the operator debugging the hang needs to see it.
+func TestStatsPrintedOnCancelledSweep(t *testing.T) {
+	code, out, errOut := runCLI(t, append(quickArgs("-timeout", "1ns", "-stats"), "tab2-1", "fig4-1")...)
+	if code != 1 {
+		t.Fatalf("cancelled sweep exited %d, want 1\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "cancelled") {
+		t.Fatalf("cancellation not reported:\n%s", errOut)
+	}
+	if !strings.Contains(out, "cells: ") {
+		t.Fatalf("cancelled sweep dropped the -stats cells line from stdout:\n%s", out)
+	}
+	for _, line := range []string{"cache stats:", "run stats:", "predecode stats:", "trace stats:"} {
+		if !strings.Contains(errOut, line) {
+			t.Fatalf("cancelled sweep dropped %q from -stats stderr:\n%s", line, errOut)
+		}
+	}
+}
+
 // TestBadFlagExitsOne: flag errors are usage errors.
 func TestBadFlagExitsOne(t *testing.T) {
 	if code, _, _ := runCLI(t, "-no-such-flag"); code != 1 {

@@ -50,7 +50,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (exit int) {
 	fs := flag.NewFlagSet("ilpbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	degree := fs.Int("degree", 8, "maximum superscalar/superpipelining degree to sweep")
@@ -66,6 +66,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	degrade := fs.Bool("degrade", true, "render permanently failed cells as NaN rows instead of aborting the sweep")
 	faults := fs.String("faults", "", `deterministic fault injection spec, e.g. "seed=7,sim=0.3,panic=0.1,store=0.5,slow=0.2,slowdelay=1ms" (testing)`)
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if err := validateFlags(fs, *retries, *timeout, *maxBackoff); err != nil {
+		fmt.Fprintf(stderr, "ilpbench: %v\n", err)
+		fs.Usage()
 		return 1
 	}
 
@@ -122,7 +127,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	runner := experiments.NewRunner(cfg)
 
-	exit := 0
+	// The stats and degradation accounting run on *every* exit path from
+	// here on (deferred, not dangling after the sweep loop): an early
+	// return on error or cancellation still reports the counters for the
+	// work that did happen, as the doc comment above promises.
+	defer func() {
+		rep := runner.Report()
+		if *stats {
+			// The committed/degraded line is resume invariant (identical for a
+			// fresh run and an interrupted-then-resumed one); the cache and
+			// live/resumed breakdown is not, so it goes to stderr.
+			fmt.Fprintf(stdout, "cells: %d committed, %d degraded\n", rep.Cells, rep.Degraded)
+			st := runner.Stats()
+			fmt.Fprintf(stderr, "cache stats: %d compiles (%d hits), %d simulations (%d hits)\n",
+				st.Compiles, st.CompileHits, st.Sims, st.SimHits)
+			fmt.Fprintf(stderr, "run stats: %d live simulations, %d resumed from store, %d retry waits\n",
+				rep.Live, rep.Resumed, rep.Retried)
+			fmt.Fprintf(stderr, "predecode stats: %d artifacts built, %d simulations on shared predecode\n",
+				rep.Predecodes, rep.PredecodeShared)
+			fmt.Fprintf(stderr, "trace stats: %d superblock traces specialized, %d cells simulated in batches\n",
+				rep.Superblocks, rep.BatchedCells)
+		}
+		if exit == 0 && rep.Degraded > 0 {
+			fmt.Fprintf(stderr, "ilpbench: %d cell(s) permanently failed and were degraded to NaN rows\n", rep.Degraded)
+			exit = 2
+		}
+	}()
+
 	for _, id := range expandIDs(fs.Args()) {
 		start := time.Now()
 		res, err := runner.RunCtx(ctx, id)
@@ -141,27 +172,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ilpbench: %s done in %.1fs\n", res.ID, time.Since(start).Seconds())
 	}
 
-	rep := runner.Report()
-	if *stats {
-		// The committed/degraded line is resume invariant (identical for a
-		// fresh run and an interrupted-then-resumed one); the cache and
-		// live/resumed breakdown is not, so it goes to stderr.
-		fmt.Fprintf(stdout, "cells: %d committed, %d degraded\n", rep.Cells, rep.Degraded)
-		st := runner.Stats()
-		fmt.Fprintf(stderr, "cache stats: %d compiles (%d hits), %d simulations (%d hits)\n",
-			st.Compiles, st.CompileHits, st.Sims, st.SimHits)
-		fmt.Fprintf(stderr, "run stats: %d live simulations, %d resumed from store, %d retry waits\n",
-			rep.Live, rep.Resumed, rep.Retried)
-		fmt.Fprintf(stderr, "predecode stats: %d artifacts built, %d simulations on shared predecode\n",
-			rep.Predecodes, rep.PredecodeShared)
-		fmt.Fprintf(stderr, "trace stats: %d superblock traces specialized, %d cells simulated in batches\n",
-			rep.Superblocks, rep.BatchedCells)
-	}
-	if exit == 0 && rep.Degraded > 0 {
-		fmt.Fprintf(stderr, "ilpbench: %d cell(s) permanently failed and were degraded to NaN rows\n", rep.Degraded)
-		exit = 2
-	}
 	return exit
+}
+
+// validateFlags rejects flag values that earlier versions silently
+// papered over (a negative retry count clamped to zero, a negative
+// backoff clamped to the default, a non-positive timeout meaning "no
+// limit"): passing them is a usage error, not a request. -timeout 0 is
+// the documented "no limit" default, so it is only rejected when the user
+// explicitly spelled it.
+func validateFlags(fs *flag.FlagSet, retries int, timeout, maxBackoff time.Duration) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if retries < 0 {
+		return fmt.Errorf("-retries must be >= 0 (have %d)", retries)
+	}
+	if set["timeout"] && timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive (have %v); omit the flag for no limit", timeout)
+	}
+	if maxBackoff < 0 {
+		return fmt.Errorf("-max-backoff must be >= 0 (have %v)", maxBackoff)
+	}
+	return nil
 }
 
 // parseFaults builds the deterministic fault injector from the -faults

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadReport is what -loadtest prints: end-to-end sweep throughput of an
+// in-process daemon under concurrent clients, plus how much of the offered
+// load the shared cache absorbed.
+type loadReport struct {
+	Clients     int
+	Sweeps      int           // sweeps completed (== submitted on success)
+	Retries429  int           // submissions that hit the admission cap and retried
+	Elapsed     time.Duration //
+	Sims        int64         // live simulations performed by the runner
+	SimHits     int64         // measure requests served from / joined onto the cache
+	CachedCells int           // observer-counted cached cells across all sweeps
+	TotalCells  int           // observer-counted cells across all sweeps
+}
+
+func (r loadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadtest: %d clients x %d sweeps: %d sweeps in %.2fs = %.1f sweeps/sec\n",
+		r.Clients, r.Sweeps/max(r.Clients, 1), r.Sweeps, r.Elapsed.Seconds(),
+		float64(r.Sweeps)/r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "loadtest: %d live simulations, %d cache joins; %d/%d cells served cached\n",
+		r.Sims, r.SimHits, r.CachedCells, r.TotalCells)
+	fmt.Fprintf(&b, "loadtest: %d submissions deferred by admission control (429)\n", r.Retries429)
+	return b.String()
+}
+
+// ltRequest is the sweep every load-test client submits: one small real
+// experiment (tab2-1, one benchmark, degree 2), so the first client pays
+// for the simulations and everyone else exercises the coalescing path —
+// the daemon's intended steady state.
+var ltRequest = SweepRequest{
+	Experiments: []string{"tab2-1"},
+	Benchmarks:  []string{"whet"},
+	Degree:      2,
+}
+
+// runLoadTest boots an in-process server on an httptest listener and
+// hammers it with clients*sweepsEach submissions, polling each sweep to
+// completion. 429 responses back off and retry — admission control is part
+// of the protocol under test, not a failure.
+func runLoadTest(ctx context.Context, cfg Config, clients, sweepsEach int, stderr io.Writer) (loadReport, error) {
+	if clients <= 0 || sweepsEach <= 0 {
+		return loadReport{}, fmt.Errorf("clients and sweeps must be positive (have %d, %d)", clients, sweepsEach)
+	}
+	srv := NewServer(cfg, nil)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var (
+		mu     sync.Mutex
+		rep    loadReport
+		firstE error
+		wg     sync.WaitGroup
+	)
+	rep.Clients = clients
+	record := func(st sweepStatus, retried int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Retries429 += retried
+		if err != nil {
+			if firstE == nil {
+				firstE = err
+			}
+			return
+		}
+		rep.Sweeps++
+		rep.TotalCells += st.Cells
+		rep.CachedCells += st.CachedCells
+	}
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sweepsEach; i++ {
+				st, retried, err := runOneSweep(ctx, ts.URL, ltRequest)
+				record(st, retried, err)
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	if firstE != nil {
+		return rep, firstE
+	}
+	stats, err := fetchStats(ctx, ts.URL)
+	if err != nil {
+		return rep, err
+	}
+	rep.Sims = stats.Runner.Sims
+	rep.SimHits = stats.Runner.SimHits
+	return rep, nil
+}
+
+// runOneSweep submits one sweep and polls it to a terminal state,
+// retrying 429 with a short backoff. It returns the final status and how
+// many times admission deferred the submission.
+func runOneSweep(ctx context.Context, base string, req SweepRequest) (sweepStatus, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sweepStatus{}, 0, err
+	}
+	var id string
+	retried := 0
+	for {
+		resp, err := httpDo(ctx, http.MethodPost, base+"/v1/sweeps", body)
+		if err != nil {
+			return sweepStatus{}, retried, err
+		}
+		if resp.code == http.StatusTooManyRequests {
+			retried++
+			select {
+			case <-time.After(20 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return sweepStatus{}, retried, ctx.Err()
+			}
+		}
+		if resp.code != http.StatusAccepted {
+			return sweepStatus{}, retried, fmt.Errorf("POST /v1/sweeps: %d: %s", resp.code, resp.body)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(resp.body, &acc); err != nil {
+			return sweepStatus{}, retried, err
+		}
+		id = acc.ID
+		break
+	}
+	for {
+		resp, err := httpDo(ctx, http.MethodGet, base+"/v1/sweeps/"+id, nil)
+		if err != nil {
+			return sweepStatus{}, retried, err
+		}
+		if resp.code != http.StatusOK {
+			return sweepStatus{}, retried, fmt.Errorf("GET /v1/sweeps/%s: %d: %s", id, resp.code, resp.body)
+		}
+		var st sweepStatus
+		if err := json.Unmarshal(resp.body, &st); err != nil {
+			return sweepStatus{}, retried, err
+		}
+		if st.State != stateRunning {
+			if st.State != stateDone {
+				return st, retried, fmt.Errorf("sweep %s ended %s: %s", id, st.State, st.Error)
+			}
+			return st, retried, nil
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			return sweepStatus{}, retried, ctx.Err()
+		}
+	}
+}
+
+func fetchStats(ctx context.Context, base string) (statsResponse, error) {
+	resp, err := httpDo(ctx, http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		return statsResponse{}, err
+	}
+	if resp.code != http.StatusOK {
+		return statsResponse{}, fmt.Errorf("GET /v1/stats: %d: %s", resp.code, resp.body)
+	}
+	var st statsResponse
+	err = json.Unmarshal(resp.body, &st)
+	return st, err
+}
+
+type httpResult struct {
+	code int
+	body []byte
+}
+
+func httpDo(ctx context.Context, method, url string, body []byte) (httpResult, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return httpResult{}, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return httpResult{}, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return httpResult{}, err
+	}
+	return httpResult{code: resp.StatusCode, body: buf}, nil
+}

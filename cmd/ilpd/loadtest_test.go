@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestLoadTestHarness: the -loadtest harness completes every offered
+// sweep, reports a positive throughput, and demonstrates the coalescing
+// the daemon exists for — identical requests cost far fewer live
+// simulations than cells served.
+func TestLoadTestHarness(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSweeps = 2 // small cap so admission control (429 + retry) is exercised too
+	rep, err := runLoadTest(context.Background(), cfg, 4, 2, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sweeps != 8 {
+		t.Fatalf("completed %d sweeps, want 8", rep.Sweeps)
+	}
+	if rep.Sims == 0 || rep.TotalCells == 0 {
+		t.Fatalf("no work recorded: %+v", rep)
+	}
+	// Eight identical sweeps share one set of simulations: the live count
+	// must be what a single sweep costs, i.e. an eighth of the cells.
+	if int(rep.Sims)*8 != rep.TotalCells {
+		t.Errorf("coalescing failed: %d live sims for %d cells across 8 identical sweeps",
+			rep.Sims, rep.TotalCells)
+	}
+	text := rep.String()
+	for _, want := range []string{"sweeps/sec", "live simulations", "admission control"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLoadTestRejectsBadShape: non-positive client/sweep counts are usage
+// errors, not hangs.
+func TestLoadTestRejectsBadShape(t *testing.T) {
+	if _, err := runLoadTest(context.Background(), testConfig(), 0, 5, io.Discard); err == nil {
+		t.Error("0 clients accepted")
+	}
+	if _, err := runLoadTest(context.Background(), testConfig(), 2, -1, io.Discard); err == nil {
+		t.Error("negative sweeps accepted")
+	}
+}

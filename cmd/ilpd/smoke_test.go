@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenPath is the archived full-harness run backing EXPERIMENTS.md,
+// relative to this package directory.
+const goldenPath = "../../docs/ilpbench-output.txt"
+
+// TestIlpdSmoke is the daemon half of the golden acceptance check: an
+// empty POST /v1/sweeps (every experiment, the paper's defaults) rendered
+// through the HTTP API must be byte-identical to docs/ilpbench-output.txt
+// — the same file the ilpbench CLI is held to — so the daemon cannot
+// drift from the CLI by even a byte. This is `make ilpd-smoke`.
+//
+// Like TestGoldenFullSweep in cmd/ilpbench, the full sweep is the
+// expensive end of the suite (~10 s) and is skipped under -short and the
+// race detector.
+func TestIlpdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ilpd sweep skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full ilpd sweep skipped under the race detector")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.DefaultBudget = 0 // the golden sweep runs unmetered
+	_, ts := newTestServer(t, cfg)
+	id := submit(t, ts.URL, SweepRequest{})
+	st := waitDone(t, ts.URL, id)
+	if st.State != stateDone {
+		t.Fatalf("golden sweep ended %s: %s (failed: %v)", st.State, st.Error, st.Failed)
+	}
+	if st.Rendered == string(want) {
+		return
+	}
+	t.Errorf("daemon sweep drifted from %s\n%s", goldenPath, firstDiff(string(want), st.Rendered))
+}
+
+// firstDiff locates the first differing line for a readable failure
+// message (the full outputs are thousands of lines).
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := min(len(wl), len(gl))
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("outputs agree for %d lines, lengths differ (golden %d, got %d)", n, len(wl), len(gl))
+}

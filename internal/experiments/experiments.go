@@ -236,6 +236,19 @@ func ByID(id string) (Experiment, error) {
 type Runner struct {
 	Cfg Config
 
+	// core is the shared half of the runner: caches, worker pool, stats,
+	// and the batch scheduler. Views built with WithSweep alias the same
+	// core under a different sweep shape (degree, benchmark subset), so a
+	// long-running process — the ilpd daemon — serves every client from
+	// one fingerprint-keyed singleflight cache regardless of how each
+	// request slices the sweep.
+	*core
+}
+
+// core is the state every view of a runner shares. It is embedded in
+// Runner, so runner methods (and the package's tests) spell its fields
+// as r.mu, r.sims, r.measureHook, … unchanged.
+type core struct {
 	mu       sync.Mutex
 	compiles map[string]*compileEntry
 	sims     map[string]*simEntry
@@ -299,10 +312,12 @@ type RunnerStats struct {
 // without recompiling or re-simulating.
 func NewRunner(cfg Config) *Runner {
 	r := &Runner{
-		Cfg:      cfg,
-		compiles: map[string]*compileEntry{},
-		sims:     map[string]*simEntry{},
-		sem:      make(chan struct{}, cfg.workers()),
+		Cfg: cfg,
+		core: &core{
+			compiles: map[string]*compileEntry{},
+			sims:     map[string]*simEntry{},
+			sem:      make(chan struct{}, cfg.workers()),
+		},
 	}
 	if cfg.Store != nil {
 		for _, rec := range cfg.Store.Records() {
@@ -317,6 +332,24 @@ func NewRunner(cfg Config) *Runner {
 		}
 	}
 	return r
+}
+
+// WithSweep returns a view of r whose sweep shape — the swept degree and
+// the benchmark subset — is overridden while every shared half of the
+// runner (the singleflight compile/sim/predecode caches, the worker pool,
+// the stats counters, the store, the retry/degrade policy) stays aliased
+// to r. Concurrent sweeps through different views coalesce on identical
+// cells exactly as concurrent calls through one runner do. maxDegree <= 0
+// keeps r's degree; a nil benchmark list keeps r's subset.
+func (r *Runner) WithSweep(maxDegree int, benchmarks []string) *Runner {
+	cfg := r.Cfg
+	if maxDegree > 0 {
+		cfg.MaxDegree = maxDegree
+	}
+	if benchmarks != nil {
+		cfg.Benchmarks = benchmarks
+	}
+	return &Runner{Cfg: cfg, core: r.core}
 }
 
 // Stats returns a snapshot of the runner's cache counters.
@@ -509,8 +542,9 @@ func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Op
 	if ctx.Err() != nil {
 		return nil, cause(ctx)
 	}
+	fp := m.Fingerprint()
 	ckey := compileKey(bench, copts, m)
-	skey := ckey + "|" + m.Fingerprint()
+	skey := ckey + "|" + fp
 
 	r.mu.Lock()
 	if se, ok := r.sims[skey]; ok {
@@ -518,7 +552,9 @@ func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Op
 		r.mu.Unlock()
 		select {
 		case <-se.ready:
-			return r.finish(ctx, m, se.res, se.err)
+			res, err := r.finish(ctx, m, se.res, se.err)
+			notify(ctx, bench, m, fp, res, err, true)
+			return res, err
 		case <-ctx.Done():
 			return nil, cause(ctx)
 		}
@@ -550,7 +586,9 @@ func (r *Runner) MeasureCtx(ctx context.Context, bench string, copts compiler.Op
 		r.mu.Unlock()
 	}
 	close(se.ready)
-	return r.finish(ctx, m, se.res, se.err)
+	res, err := r.finish(ctx, m, se.res, se.err)
+	notify(ctx, bench, m, fp, res, err, false)
+	return res, err
 }
 
 // finish applies the degradation policy to a cell's outcome: with
@@ -869,12 +907,12 @@ type job struct {
 // worker is converted to a structured error instead of crashing the
 // process, and every *distinct* root cause that raced in before the
 // cancellation landed is reported via errors.Join.
-func (r *Runner) measureMany(ctx context.Context, jobs []job) ([]*sim.Result, error) {
+func (r *Runner) measureMany(pctx context.Context, jobs []job) ([]*sim.Result, error) {
 	if r.batchable() && r.batchMu.TryLock() {
 		defer r.batchMu.Unlock()
-		return r.measureManyBatched(ctx, jobs)
+		return r.measureManyBatched(pctx, jobs)
 	}
-	ctx, cancel := context.WithCancelCause(ctx)
+	ctx, cancel := context.WithCancelCause(pctx)
 	defer cancel(context.Canceled)
 
 	results := make([]*sim.Result, len(jobs))
@@ -902,6 +940,13 @@ func (r *Runner) measureMany(ctx context.Context, jobs []job) ([]*sim.Result, er
 	wg.Wait()
 	if err := joinDistinct(context.Cause(ctx), errs); err != nil {
 		return nil, err
+	}
+	// A request cancelled after its last cell resolved (a deadline or an
+	// instruction-budget trip landing in the final notify) must still fail
+	// the sweep: the caller's context is dead, so the caller gets its
+	// cause, not a table it no longer has the budget to claim.
+	if pctx.Err() != nil {
+		return nil, cause(pctx)
 	}
 	return results, nil
 }
@@ -957,24 +1002,25 @@ func (r *Runner) measureManyBatched(ctx context.Context, jobs []job) ([]*sim.Res
 	errs := make([]error, len(jobs))
 
 	type cell struct {
-		idx        int
-		ckey, skey string
-		se         *simEntry
+		idx            int
+		ckey, skey, fp string
+		se             *simEntry
 	}
 	var owned, joined []cell
 	r.mu.Lock()
 	for i, j := range jobs {
+		fp := j.m.Fingerprint()
 		ckey := compileKey(j.bench, j.copts, j.m)
-		skey := ckey + "|" + j.m.Fingerprint()
+		skey := ckey + "|" + fp
 		if se, ok := r.sims[skey]; ok {
 			r.stats.SimHits++
-			joined = append(joined, cell{i, ckey, skey, se})
+			joined = append(joined, cell{i, ckey, skey, fp, se})
 			continue
 		}
 		se := &simEntry{ready: make(chan struct{})}
 		r.sims[skey] = se
 		r.stats.Sims++
-		owned = append(owned, cell{i, ckey, skey, se})
+		owned = append(owned, cell{i, ckey, skey, fp, se})
 	}
 	r.mu.Unlock()
 
@@ -1001,6 +1047,7 @@ func (r *Runner) measureManyBatched(ctx context.Context, jobs []job) ([]*sim.Res
 		if err != nil {
 			r.publish(ctx, c.skey, c.se, nil, err)
 			results[c.idx], errs[c.idx] = r.finish(ctx, j.m, nil, err)
+			notify(ctx, j.bench, j.m, c.fp, results[c.idx], errs[c.idx], false)
 			continue
 		}
 		runs = append(runs, sim.BatchRun{Prog: prog, Opts: sim.Options{Machine: j.m, Code: code}})
@@ -1024,6 +1071,7 @@ func (r *Runner) measureManyBatched(ctx context.Context, jobs []job) ([]*sim.Res
 			}
 			r.publish(ctx, c.skey, c.se, res, err)
 			results[c.idx], errs[c.idx] = r.finish(ctx, j.m, res, err)
+			notify(ctx, j.bench, j.m, c.fp, results[c.idx], errs[c.idx], false)
 		}
 		r.mu.Lock()
 		r.stats.PredecodeShared += shared
@@ -1039,12 +1087,20 @@ func (r *Runner) measureManyBatched(ctx context.Context, jobs []job) ([]*sim.Res
 		select {
 		case <-c.se.ready:
 			results[c.idx], errs[c.idx] = r.finish(ctx, j.m, c.se.res, c.se.err)
+			notify(ctx, j.bench, j.m, c.fp, results[c.idx], errs[c.idx], true)
 		case <-ctx.Done():
 			results[c.idx], errs[c.idx] = nil, cause(ctx)
 		}
 	}
 	if err := joinDistinct(context.Cause(ctx), errs); err != nil {
 		return nil, err
+	}
+	// Same tail rule as the fan-out path: a cancellation that landed while
+	// (or after) the batch ran — in particular an instruction-budget trip
+	// fired by the publish loop's own notify — fails the sweep even though
+	// every cell published cleanly.
+	if ctx.Err() != nil {
+		return nil, cause(ctx)
 	}
 	return results, nil
 }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"ilp/internal/machine"
+	"ilp/internal/sim"
+)
+
+// CellEvent describes the resolution of one measurement cell from the
+// point of view of one request: the cell's coordinate, whether this
+// request's call performed the simulation or was served from the
+// fingerprint-keyed cache (a singleflight join, a previous sweep's entry,
+// or a store-preloaded record all count as Cached), and what came out.
+// Events fire after the degradation policy, so a permanently failed cell
+// under Config.Degrade reports Degraded with a nil Err.
+type CellEvent struct {
+	// Experiment is the id of the experiment whose sweep resolved the
+	// cell (empty for direct Measure calls outside an experiment).
+	Experiment string
+	// Benchmark and Machine name the measured coordinate; Fingerprint is
+	// the machine's canonical fingerprint (the sim-cache key suffix).
+	Benchmark   string
+	Machine     string
+	Fingerprint string
+	// Cached is true when the cell was served without a live simulation
+	// by this call: a cache hit, a join onto another request's leader, or
+	// a record resumed from the store.
+	Cached bool
+	// Degraded marks a placeholder row published by the degrade policy.
+	Degraded bool
+	// Instructions is the dynamic instruction count of the result (zero
+	// for degraded placeholders and failed cells).
+	Instructions int64
+	// Err is the cell's error as returned to the caller (nil when the
+	// degrade policy swallowed the failure).
+	Err error
+}
+
+// Observer receives one CellEvent per cell resolved by calls made under
+// its context. Observers run synchronously on the measuring goroutine and
+// must be safe for concurrent use — a sweep fans cells out over workers.
+type Observer func(CellEvent)
+
+const observerKey ctxKey = iota + 1 // experimentIDKey is iota 0
+
+// WithObserver returns a context under which every resolved measurement
+// cell is reported to obs. Observers chain: an observer already installed
+// on ctx keeps firing, before obs. This is the streaming hook of the ilpd
+// daemon — the runner is shared by every client, so progress is
+// attributed per request through its context rather than per runner.
+func WithObserver(ctx context.Context, obs Observer) context.Context {
+	if prev := observerFrom(ctx); prev != nil {
+		next := obs
+		obs = func(ev CellEvent) {
+			prev(ev)
+			next(ev)
+		}
+	}
+	return context.WithValue(ctx, observerKey, obs)
+}
+
+func observerFrom(ctx context.Context) Observer {
+	obs, _ := ctx.Value(observerKey).(Observer)
+	return obs
+}
+
+// notify reports a resolved cell to the context's observer, if any.
+func notify(ctx context.Context, bench string, m *machine.Config, fp string, res *sim.Result, err error, cached bool) {
+	obs := observerFrom(ctx)
+	if obs == nil {
+		return
+	}
+	ev := CellEvent{
+		Experiment: experimentID(ctx), Benchmark: bench,
+		Machine: m.Name, Fingerprint: fp,
+		Cached: cached, Err: err,
+	}
+	if res != nil {
+		ev.Degraded = res.Degraded
+		ev.Instructions = res.Instructions
+	}
+	obs(ev)
+}
+
+// ErrBudgetExceeded marks sweeps stopped by WithInstructionBudget: the
+// request simulated more live instructions than its admission budget
+// allowed. It is a cancellation cause, so the runner's caches are not
+// poisoned — cells already committed stay committed, the rest are evicted
+// for the next (better-funded) request to redo.
+var ErrBudgetExceeded = errors.New("experiments: instruction budget exceeded")
+
+// WithInstructionBudget returns a context cancelled once the live
+// simulated instructions observed under it exceed max. Cached cells are
+// free — the budget bounds the work a request imposes on the process, not
+// the size of the answer it reads. The returned stop function releases
+// the context's resources (call it when the sweep ends); after a budget
+// trip, context.Cause(ctx) wraps ErrBudgetExceeded.
+func WithInstructionBudget(ctx context.Context, max int64) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	var spent atomic.Int64
+	octx := WithObserver(ctx, func(ev CellEvent) {
+		if ev.Cached || ev.Err != nil {
+			return
+		}
+		if n := spent.Add(ev.Instructions); n > max {
+			cancel(fmt.Errorf("%w: %d instructions simulated, budget %d", ErrBudgetExceeded, n, max))
+		}
+	})
+	return octx, func() { cancel(context.Canceled) }
+}

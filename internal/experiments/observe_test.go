@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// collect installs a synchronized observer and returns the slice pointer
+// plus the derived context.
+func collect(ctx context.Context) (context.Context, func() []CellEvent) {
+	var (
+		mu  sync.Mutex
+		evs []CellEvent
+	)
+	octx := WithObserver(ctx, func(ev CellEvent) {
+		mu.Lock()
+		evs = append(evs, ev)
+		mu.Unlock()
+	})
+	return octx, func() []CellEvent {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]CellEvent(nil), evs...)
+	}
+}
+
+// TestObserverSeesEveryCell: a sweep under an observer reports one event
+// per resolved cell, live events match the runner's Sims counter, and a
+// second identical sweep reports the same cells as cached.
+func TestObserverSeesEveryCell(t *testing.T) {
+	r := NewRunner(Config{MaxDegree: 2, Workers: 2, Benchmarks: []string{"whet"}})
+
+	ctx, events := collect(context.Background())
+	if _, err := r.RunCtx(ctx, "tab2-1"); err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	first := events()
+	if len(first) == 0 {
+		t.Fatalf("observer saw no events")
+	}
+	var live int
+	for _, ev := range first {
+		if ev.Err != nil || ev.Degraded {
+			t.Fatalf("clean sweep emitted failure event: %+v", ev)
+		}
+		if ev.Experiment != "tab2-1" {
+			t.Fatalf("event not attributed to its experiment: %+v", ev)
+		}
+		if ev.Benchmark == "" || ev.Machine == "" || ev.Fingerprint == "" {
+			t.Fatalf("event missing coordinates: %+v", ev)
+		}
+		if !ev.Cached {
+			live++
+			if ev.Instructions <= 0 {
+				t.Fatalf("live event with no instructions: %+v", ev)
+			}
+		}
+	}
+	if got := r.Stats().Sims; int64(live) != got {
+		t.Fatalf("observer saw %d live cells, runner performed %d sims", live, got)
+	}
+
+	ctx2, events2 := collect(context.Background())
+	if _, err := r.RunCtx(ctx2, "tab2-1"); err != nil {
+		t.Fatalf("second sweep failed: %v", err)
+	}
+	second := events2()
+	if len(second) != len(first) {
+		t.Fatalf("second sweep saw %d events, first saw %d", len(second), len(first))
+	}
+	for _, ev := range second {
+		if !ev.Cached {
+			t.Fatalf("repeat sweep performed a live simulation: %+v", ev)
+		}
+	}
+}
+
+// TestObserverChains: WithObserver on an already-observed context fires
+// both observers, existing one first.
+func TestObserverChains(t *testing.T) {
+	var order []string
+	ctx := WithObserver(context.Background(), func(CellEvent) { order = append(order, "outer") })
+	ctx = WithObserver(ctx, func(CellEvent) { order = append(order, "inner") })
+	notifyTest(ctx)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("chained observers fired as %v, want [outer inner]", order)
+	}
+}
+
+func notifyTest(ctx context.Context) {
+	obs := observerFrom(ctx)
+	obs(CellEvent{})
+}
+
+// TestInstructionBudgetCancelsSweep: a budget far below the sweep's cost
+// stops it with a cause wrapping ErrBudgetExceeded, and work done up to
+// the trip stays cached for the next request.
+func TestInstructionBudgetCancelsSweep(t *testing.T) {
+	r := NewRunner(Config{MaxDegree: 4, Workers: 2})
+	ctx, stop := WithInstructionBudget(context.Background(), 1)
+	defer stop()
+	_, err := r.RunCtx(ctx, "fig4-1")
+	if err == nil {
+		t.Fatalf("over-budget sweep succeeded")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget sweep failed with %v, want ErrBudgetExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "budget 1") {
+		t.Fatalf("budget error does not name the budget: %v", err)
+	}
+
+	// The budget trip is a cancellation: committed cells survive, and a
+	// fresh, unbudgeted run completes from there.
+	if _, err := r.RunCtx(context.Background(), "fig4-1"); err != nil {
+		t.Fatalf("rerun after budget trip failed: %v", err)
+	}
+}
+
+// TestInstructionBudgetAllowsCached: cached cells are free, so a sweep
+// that was already fully simulated replays under a tiny budget.
+func TestInstructionBudgetAllowsCached(t *testing.T) {
+	r := NewRunner(Config{MaxDegree: 2, Workers: 2, Benchmarks: []string{"whet"}})
+	if _, err := r.Run("tab2-1"); err != nil {
+		t.Fatalf("priming sweep failed: %v", err)
+	}
+	ctx, stop := WithInstructionBudget(context.Background(), 1)
+	defer stop()
+	if _, err := r.RunCtx(ctx, "tab2-1"); err != nil {
+		t.Fatalf("cached sweep tripped the budget: %v", err)
+	}
+}
+
+// TestWithSweepSharesCaches: two views of one runner with different sweep
+// shapes share the fingerprint-keyed caches — the narrow view's cells are
+// a subset of the wide view's, so rerunning them performs zero new sims.
+func TestWithSweepSharesCaches(t *testing.T) {
+	base := NewRunner(Config{Workers: 2})
+	wide := base.WithSweep(4, []string{"whet", "stanford"})
+	if _, err := wide.Run("tab2-1"); err != nil {
+		t.Fatalf("wide sweep failed: %v", err)
+	}
+	simsAfterWide := base.Stats().Sims
+
+	narrow := base.WithSweep(2, []string{"whet"})
+	if narrow.Cfg.MaxDegree != 2 || len(narrow.Cfg.Benchmarks) != 1 {
+		t.Fatalf("view config not overridden: %+v", narrow.Cfg)
+	}
+	res, err := narrow.Run("tab2-1")
+	if err != nil {
+		t.Fatalf("narrow sweep failed: %v", err)
+	}
+	if res == nil || res.Text == "" {
+		t.Fatalf("narrow sweep rendered nothing")
+	}
+	if got := base.Stats().Sims; got != simsAfterWide {
+		t.Fatalf("narrow view re-simulated: %d sims after wide, %d after narrow", simsAfterWide, got)
+	}
+
+	// The base runner's own config is untouched by its views.
+	if base.Cfg.MaxDegree != 0 || base.Cfg.Benchmarks != nil {
+		t.Fatalf("view mutated the base config: %+v", base.Cfg)
+	}
+}

@@ -27,6 +27,89 @@ func chaosSchedules(t *testing.T, def int) int {
 	return def
 }
 
+// TestCompactDurabilityOrder pins the rename+fsync sequence of Compact:
+// the temp file is fsync'd before the atomic rename, and the parent
+// directory is fsync'd after it — the order that guarantees a power loss
+// leaves either the old file or the complete new one, and that the
+// directory entry naming the new one survives.
+func TestCompactDurabilityOrder(t *testing.T) {
+	var ops []string
+	testHookFSOp = func(op string) error {
+		ops = append(ops, op)
+		return nil
+	}
+	defer func() { testHookFSOp = nil }()
+
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 3; i++ {
+		if err := st.Append(testRec("dup", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	want := []string{"sync-tmp", "rename", "sync-dir"}
+	if len(ops) != len(want) {
+		t.Fatalf("compact durability steps %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("compact durability steps %v, want %v (step %d out of order)", ops, want, i)
+		}
+	}
+}
+
+// TestCompactDirSyncFailure: a failed parent-directory fsync must surface
+// as a *ilperr.StoreError — the compaction's durability is unproven — but
+// the store must keep tracking the renamed file, so later appends land in
+// the file the directory now names rather than the unlinked old inode.
+func TestCompactDirSyncFailure(t *testing.T) {
+	injected := errors.New("injected dir-fsync failure")
+	testHookFSOp = func(op string) error {
+		if op == "sync-dir" {
+			return injected
+		}
+		return nil
+	}
+	defer func() { testHookFSOp = nil }()
+
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; i < 3; i++ {
+		if err := st.Append(testRec("dup", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cerr := st.Compact()
+	var serr *ilperr.StoreError
+	if !errors.As(cerr, &serr) || !errors.Is(cerr, injected) {
+		t.Fatalf("dir-fsync failure reported as %T (%v), want StoreError wrapping the injected error", cerr, cerr)
+	}
+	// The handle still tracks the compacted file: an append after the
+	// failed fsync must be visible to an independent reader of the path.
+	testHookFSOp = nil
+	if err := st.Append(testRec("post", 9)); err != nil {
+		t.Fatalf("append after failed dir fsync: %v", err)
+	}
+	recs, _, err := Load(path)
+	if err != nil {
+		t.Fatalf("load after compact+append: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Key != "dup" || recs[1].Key != "post" {
+		t.Fatalf("compacted file lost the post-compaction append: %+v", recs)
+	}
+}
+
 // TestChaosDamageSchedules subjects the store to randomized damage — byte
 // flips, truncations at arbitrary offsets, inserted garbage lines, deleted
 // newlines — and asserts the durability contract on every schedule:

@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
 
 	"ilp/internal/ilperr"
 )
@@ -339,11 +340,21 @@ func (s *Store) Compact() error {
 		os.Remove(tmpPath)
 		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
 	}
+	fsOp("sync-tmp")
 	if err := os.Rename(tmpPath, s.path); err != nil {
 		os.Remove(tmpPath)
 		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: err}
 	}
-	syncDir(s.path)
+	fsOp("rename")
+	// The rename is only durable once the parent directory's entry is on
+	// disk: without this fsync a power loss can roll the directory back to
+	// the unlinked pre-compaction file, losing every record. The error is
+	// noted but the handle swap below still runs, so the in-memory store
+	// keeps tracking the file the directory now names.
+	syncErr := syncDir(s.path)
+	if herr := fsOp("sync-dir"); herr != nil && syncErr == nil {
+		syncErr = herr
+	}
 
 	// Swap the handle to the new file and continue appending at its end.
 	nf, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
@@ -362,6 +373,9 @@ func (s *Store) Compact() error {
 	for i, rec := range deduped {
 		s.byKey[rec.Key] = i
 	}
+	if syncErr != nil {
+		return &ilperr.StoreError{Path: s.path, Op: "compact", Err: syncErr}
+	}
 	return nil
 }
 
@@ -378,13 +392,36 @@ func flushAndClose(w *bufio.Writer, f *os.File) error {
 	return f.Close()
 }
 
-// syncDir fsyncs the directory containing path so a rename survives a
-// crash; best effort (some filesystems refuse directory fsync).
-func syncDir(path string) {
-	if d, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = d.Sync()
-		d.Close()
+// testHookFSOp, when non-nil, observes the durability-ordering steps of
+// Compact in sequence ("sync-tmp", "rename", "sync-dir") and may inject a
+// directory-fsync failure by returning an error for "sync-dir". Test seam
+// only; nil in production.
+var testHookFSOp func(op string) error
+
+// fsOp reports one durability step to the test hook and returns its
+// injected error, if any.
+func fsOp(op string) error {
+	if testHookFSOp != nil {
+		return testHookFSOp(op)
 	}
+	return nil
+}
+
+// syncDir fsyncs the directory containing path so a rename survives a
+// power loss. Filesystems that do not support directory fsync (EINVAL /
+// ENOTSUP) are tolerated — on those, the rename is as durable as the
+// platform allows — but a genuine I/O failure is reported so the caller
+// does not acknowledge a compaction the disk may not hold.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // Close releases the file handle. Further appends fail.

@@ -291,6 +291,56 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 }
 
+// TestConcurrentAppendCompactGet is the daemon's shared-store shape: many
+// clients appending and reading while a maintenance goroutine compacts.
+// Every acknowledged append must survive every interleaved compaction
+// (run under -race in make check / make chaos).
+func TestConcurrentAppendCompactGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jsonl")
+	st := openT(t, path)
+	var wg sync.WaitGroup
+	const writers, per, compactions = 4, 20, 10
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := st.Append(testRec(key, i)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if _, ok := st.Get(key); !ok {
+					t.Errorf("acknowledged append %q not readable", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < compactions; i++ {
+			if err := st.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := st.Compact(); err != nil {
+		t.Fatalf("final compact: %v", err)
+	}
+	st.Close()
+	recs, info, err := Load(path)
+	if err != nil || info.TruncatedTail {
+		t.Fatalf("interleaved compactions corrupted the file: err %v info %+v", err, info)
+	}
+	if len(recs) != writers*per {
+		t.Fatalf("got %d records after compactions, want %d", len(recs), writers*per)
+	}
+}
+
 // TestAppendAfterClose: fails with a structured error instead of a panic.
 func TestAppendAfterClose(t *testing.T) {
 	st := openT(t, filepath.Join(t.TempDir(), "r.jsonl"))
