@@ -2,7 +2,7 @@
 # commit. CI-equivalent for this repo; see README "Verification".
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint cover bench bench-smoke bench-gate bench-quick ilpd-smoke ilpd-loadtest
+.PHONY: check fmt vet build test race race-concurrency fuzz-smoke chaos lint cover bench bench-smoke bench-gate bench-quick ilpd-smoke ilpd-loadtest fabric-smoke
 
 check: fmt vet lint build race race-concurrency fuzz-smoke chaos bench-smoke
 
@@ -47,6 +47,8 @@ chaos:
 		./internal/experiments/
 	ILP_STORE_CHAOS_SCHEDULES=720 $(GO) test -race -count=1 \
 		-run 'TestChaos|TestConcurrentAppends' ./internal/store/
+	ILP_FABRIC_SCHEDULES=100 $(GO) test -race -count=1 -timeout 30m \
+		-run 'TestFabricChaosSchedules' ./internal/fabric/
 
 # Run the static verifier over the whole suite at every level and print
 # every diagnostic, warnings included.
@@ -109,6 +111,13 @@ bench-quick:
 # ilpbench. (~10 s; skipped automatically under -short and -race.)
 ilpd-smoke:
 	$(GO) test -run 'TestIlpdSmoke' -count=1 -v ./cmd/ilpd/
+
+# Fabric smoke: the full default sweep through cmd/ilpfab's sharded
+# worker processes — with SIGKILLs injected at commit points — must
+# render byte-identical to docs/ilpbench-output.txt, the same golden file
+# ilpbench and ilpd are held to. (~30 s; skipped under -short and -race.)
+fabric-smoke:
+	$(GO) test -run 'TestFabricGolden' -count=1 -v ./cmd/ilpfab/
 
 # Daemon load harness: concurrent clients against an in-process daemon,
 # reporting end-to-end sweeps/sec and how much of the offered load the

@@ -37,16 +37,22 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"time"
 
 	"ilp/internal/experiments"
+	"ilp/internal/fabric"
 	"ilp/internal/faultinject"
 	"ilp/internal/store"
 )
 
 func main() {
+	// `ilpbench fabric-worker` is the re-exec entry the -shards fabric
+	// coordinator spawns; it speaks the fabric's stdin/stdout protocol
+	// and never parses ilpbench flags.
+	if len(os.Args) > 1 && os.Args[1] == "fabric-worker" {
+		os.Exit(fabric.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -65,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) (exit int) {
 	maxBackoff := fs.Duration("max-backoff", 250*time.Millisecond, "cap on the exponential retry backoff")
 	degrade := fs.Bool("degrade", true, "render permanently failed cells as NaN rows instead of aborting the sweep")
 	faults := fs.String("faults", "", `deterministic fault injection spec, e.g. "seed=7,sim=0.3,panic=0.1,store=0.5,slow=0.2,slowdelay=1ms" (testing)`)
+	shards := fs.Int("shards", 0, "run the sweep as a crash-tolerant fabric of N supervised worker processes (requires -store; shard stores live beside it)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -89,6 +96,32 @@ func run(args []string, stdout, stderr io.Writer) (exit int) {
 	if *resume && *storePath == "" {
 		fmt.Fprintln(stderr, "ilpbench: -resume requires -store")
 		return 1
+	}
+
+	if *shards > 0 {
+		// The fabric path: shard stores (not the merged store) carry the
+		// crash-resume state, so -resume has no meaning here, and the
+		// merged store is rebuilt from the shards — refuse to clobber
+		// prior results exactly as the single-process path does.
+		switch {
+		case *storePath == "":
+			fmt.Fprintln(stderr, "ilpbench: -shards requires -store")
+			return 1
+		case *resume:
+			fmt.Fprintln(stderr, "ilpbench: -shards resumes from its shard stores; drop -resume")
+			return 1
+		}
+		if recs, _, err := store.Load(*storePath); err == nil && len(recs) > 0 {
+			fmt.Fprintf(stderr, "ilpbench: store %s already holds %d results; remove the file to re-run sharded\n",
+				*storePath, len(recs))
+			return 1
+		}
+		return runSharded(fs.Args(), shardedConfig{
+			shards: *shards, storePath: *storePath, degree: *degree,
+			benches: *benches, workers: *workers, retries: *retries,
+			maxBackoff: *maxBackoff, degrade: *degrade, faults: *faults,
+			timeout: *timeout, stats: *stats,
+		}, stdout, stderr)
 	}
 
 	var st *store.Store
@@ -197,43 +230,78 @@ func validateFlags(fs *flag.FlagSet, retries int, timeout, maxBackoff time.Durat
 }
 
 // parseFaults builds the deterministic fault injector from the -faults
-// spec: comma-separated key=value pairs where the keys are "seed" (int64),
-// "slowdelay" (duration), and the site names compile/sim/panic/store/slow
-// (injection rates in [0,1]).
+// spec. The grammar lives in faultinject.Parse so ilpbench and ilpfab
+// accept identical schedules.
 func parseFaults(spec string) (*faultinject.Injector, error) {
-	if spec == "" {
-		return nil, nil
+	return faultinject.Parse(spec)
+}
+
+// shardedConfig carries the -shards flag bundle to runSharded.
+type shardedConfig struct {
+	shards, degree, workers, retries int
+	storePath, benches, faults       string
+	maxBackoff, timeout              time.Duration
+	degrade, stats                   bool
+}
+
+// runSharded is the -shards N path: delegate the sweep to the fabric
+// coordinator, with this same binary (re-exec'd as `ilpbench
+// fabric-worker`) as the worker. Exit codes match the single-process
+// contract: 0 clean, 1 failed, 2 completed but degraded.
+func runSharded(ids []string, sc shardedConfig, stdout, stderr io.Writer) int {
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
 	}
-	cfg := faultinject.Config{Rates: map[faultinject.Site]float64{}}
-	for _, kv := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(kv, "=")
-		if !ok {
-			return nil, fmt.Errorf("%q is not key=value", kv)
-		}
-		switch k {
-		case "seed":
-			seed, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("seed %q: %v", v, err)
-			}
-			cfg.Seed = seed
-		case "slowdelay":
-			d, err := time.ParseDuration(v)
-			if err != nil {
-				return nil, fmt.Errorf("slowdelay %q: %v", v, err)
-			}
-			cfg.SlowDelay = d
-		case "compile", "sim", "panic", "store", "slow":
-			rate, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return nil, fmt.Errorf("rate %q for %s: %v", v, k, err)
-			}
-			cfg.Rates[faultinject.Site(k)] = rate
-		default:
-			return nil, fmt.Errorf("unknown key %q (want seed, slowdelay, compile, sim, panic, store, or slow)", k)
-		}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
 	}
-	return faultinject.New(cfg)
+	cfg := fabric.Config{
+		Shards:      sc.shards,
+		StorePath:   sc.storePath,
+		MaxDegree:   sc.degree,
+		Experiments: ids,
+		Workers:     sc.workers,
+		Retries:     sc.retries,
+		MaxBackoff:  sc.maxBackoff,
+		Degrade:     sc.degrade,
+		Faults:      sc.faults,
+		WorkerArgv:  []string{self, "fabric-worker"},
+		Log:         stderr,
+	}
+	if sc.benches != "" {
+		cfg.Benchmarks = strings.Split(sc.benches, ",")
+	}
+	coord, err := fabric.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilpbench: %v\n", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	if sc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sc.timeout)
+		defer cancel()
+	}
+
+	sum, err := coord.Run(ctx, stdout)
+	if sc.stats {
+		fmt.Fprintf(stdout, "cells: %d committed, %d degraded\n", sum.Report.Cells, sum.Report.Degraded)
+		fmt.Fprintf(stderr, "fabric stats: %d shards, %d restarts, %d cells merged, %d torn tails repaired\n",
+			len(sum.Shards), sum.Restarts, sum.Merge.Records, sum.Merge.TornTails)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "ilpbench: %v\n", err)
+		return 1
+	}
+	if sum.Report.Degraded > 0 {
+		fmt.Fprintf(stderr, "ilpbench: %d cell(s) permanently failed and were degraded to NaN rows\n", sum.Report.Degraded)
+		return 2
+	}
+	return 0
 }
 
 // expandIDs resolves the experiment arguments: no arguments (or the single

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ilp/internal/fabric"
+)
+
+// TestMain mirrors main's fabric-worker dispatch: the -shards coordinator
+// spawns os.Executable(), which under test is this binary, so
+// `<testbinary> fabric-worker` must land in WorkerMain.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "fabric-worker" {
+		os.Exit(fabric.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestShardedSweepMatchesSingleProcess: `ilpbench -shards 2` renders the
+// same bytes as the plain run of the same sweep, and leaves a merged
+// store behind.
+func TestShardedSweepMatchesSingleProcess(t *testing.T) {
+	wantCode, want, _ := runCLI(t, append(quickArgs("-benchmarks", "whet,linpack"), "fig4-1")...)
+	if wantCode != 0 {
+		t.Fatalf("reference run exited %d", wantCode)
+	}
+	storePath := filepath.Join(t.TempDir(), "r.jsonl")
+	code, got, errOut := runCLI(t, append(quickArgs(
+		"-benchmarks", "whet,linpack", "-shards", "2", "-store", storePath, "-stats"), "fig4-1")...)
+	if code != 0 {
+		t.Fatalf("sharded run exited %d\nstderr: %s", code, errOut)
+	}
+	// The -stats cells line rides after the tables; the tables themselves
+	// must be byte-identical.
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("sharded output differs from single-process run:\nsharded %d bytes, reference %d bytes",
+			len(got), len(want))
+	}
+	if !strings.Contains(got, "cells: ") {
+		t.Fatalf("-stats did not print the cells line:\n%s", got)
+	}
+	if _, err := os.Stat(storePath); err != nil {
+		t.Fatalf("merged store missing: %v", err)
+	}
+	if _, err := os.Stat(storePath + ".shard0"); err != nil {
+		t.Fatalf("shard store missing: %v", err)
+	}
+}
+
+// TestShardedFlagValidation: the -shards flag composes with the store
+// flags the same way the single-process path validates them.
+func TestShardedFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	// Seed a non-empty store the sharded run must refuse to clobber.
+	if code, _, errOut := runCLI(t, append(quickArgs("-store", full), "tab2-1")...); code != 0 {
+		t.Fatalf("seeding store failed: %s", errOut)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"shards without store", append(quickArgs("-shards", "2"), "tab2-1"), "-shards requires -store"},
+		{"shards with resume", append(quickArgs("-shards", "2", "-store", filepath.Join(dir, "x.jsonl"), "-resume"), "tab2-1"), "drop -resume"},
+		{"non-empty store", append(quickArgs("-shards", "2", "-store", full), "tab2-1"), "already holds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, tc.args...)
+			if code != 1 {
+				t.Fatalf("exited %d, want 1", code)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("stderr does not mention %q:\n%s", tc.want, errOut)
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// probe GETs a health endpoint and returns the status code and decoded
+// body (either {"status": ...} or {"error": ...}).
+func probe(t *testing.T, base, path string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestHealthEndpoints walks the daemon through its lifecycle — booted,
+// ready, draining — and checks both probes at each stage. Liveness must
+// hold through all of it; readiness is true only in the middle.
+func TestHealthEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+
+	stages := []struct {
+		name        string
+		enter       func()
+		wantHealthz int
+		wantReadyz  int
+		wantReason  string // substring of the readyz error body when 503
+	}{
+		{
+			name:        "booted but not ready",
+			enter:       func() {},
+			wantHealthz: http.StatusOK,
+			wantReadyz:  http.StatusServiceUnavailable,
+			wantReason:  "starting",
+		},
+		{
+			name:        "ready",
+			enter:       func() { srv.SetReady(true) },
+			wantHealthz: http.StatusOK,
+			wantReadyz:  http.StatusOK,
+		},
+		{
+			name: "draining",
+			enter: func() {
+				if err := srv.Drain(context.Background()); err != nil {
+					t.Fatalf("drain: %v", err)
+				}
+			},
+			wantHealthz: http.StatusOK,
+			wantReadyz:  http.StatusServiceUnavailable,
+			wantReason:  "draining",
+		},
+	}
+	for _, st := range stages {
+		t.Run(st.name, func(t *testing.T) {
+			st.enter()
+			if code, _ := probe(t, ts.URL, "/healthz"); code != st.wantHealthz {
+				t.Errorf("healthz = %d, want %d", code, st.wantHealthz)
+			}
+			code, body := probe(t, ts.URL, "/readyz")
+			if code != st.wantReadyz {
+				t.Errorf("readyz = %d, want %d", code, st.wantReadyz)
+			}
+			if st.wantReason != "" && !strings.Contains(body["error"], st.wantReason) {
+				t.Errorf("readyz body %v does not mention %q", body, st.wantReason)
+			}
+		})
+	}
+}
+
+// TestReadyzDrainBeatsReady: readiness cannot be turned back on during a
+// drain — draining wins over the ready flag, so a stray SetReady(true)
+// from a late startup path can't re-admit traffic to a dying daemon.
+func TestReadyzDrainBeatsReady(t *testing.T) {
+	srv, ts := newTestServer(t, testConfig())
+	srv.SetReady(true)
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	srv.SetReady(true)
+	code, body := probe(t, ts.URL, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body["error"], "draining") {
+		t.Fatalf("readyz after drain = %d %v, want 503 draining", code, body)
+	}
+}

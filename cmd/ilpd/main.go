@@ -291,6 +291,7 @@ func serve(cfg Config, stdout, stderr io.Writer) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+	srv.SetReady(true)
 	fmt.Fprintf(stdout, "ilpd: listening on %s\n", ln.Addr())
 
 	select {

@@ -276,6 +276,7 @@ type Server struct {
 	order    []string
 	nextID   int
 	draining bool
+	ready    bool
 	stats    serverStats
 	wg       sync.WaitGroup
 }
@@ -307,6 +308,8 @@ func NewServer(cfg Config, st *store.Store) *Server {
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -317,6 +320,40 @@ func NewServer(cfg Config, st *store.Store) *Server {
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetReady flips the readiness gate. main calls it once the listener is
+// accepting; orchestration probes see /readyz go true only then, so no
+// traffic is routed to a daemon still opening its store.
+func (s *Server) SetReady(ready bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ready = ready
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It is
+// deliberately unconditional — a draining daemon is still alive, and a
+// liveness probe that fails during drain would get the process killed
+// mid-flight, which is exactly what draining exists to avoid.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: true only between SetReady(true) and the
+// start of the drain. Load balancers use it to stop routing new sweeps
+// to a daemon that would only answer them with 503s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ready, draining := s.ready, s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case !ready:
+		httpError(w, http.StatusServiceUnavailable, "starting")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
 
 // httpError writes a JSON error body.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

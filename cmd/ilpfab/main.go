@@ -1,0 +1,128 @@
+// Command ilpfab runs the paper's experiment sweep as a crash-tolerant
+// sharded fabric: a coordinator partitions the benchmark suite into
+// shards, runs each shard in a supervised worker process ("ilpfab
+// worker", a re-exec of this binary), and merges the shards' durable
+// stores into one canonical result store whose rendition is
+// byte-identical to a single-process `ilpbench all`.
+//
+// Workers hold heartbeat leases. A worker that crashes, hangs past its
+// lease, or exits nonzero is killed and restarted with capped backoff,
+// resuming from its shard store — committed cells are never recomputed.
+//
+//	ilpfab -store results.jsonl -shards 4            # full sweep, 4 ways
+//	ilpfab -store r.jsonl -shards 2 fig4-1 tab2-1    # a subset
+//	ilpfab -store r.jsonl -faults 'seed=1,workerkill=0.3'  # chaos drill
+//
+// Exit status: 0 on a clean sweep, 1 when a shard or the merge failed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"ilp/internal/fabric"
+)
+
+func main() {
+	// The worker half: `ilpfab worker` re-enters this binary and speaks
+	// the stdin/stdout protocol with the coordinator that spawned it.
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		os.Exit(fabric.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ilpfab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		storePath   = fs.String("store", "", "merged result store path (required); shard stores live beside it")
+		shards      = fs.Int("shards", 2, "number of worker shards")
+		concurrency = fs.Int("concurrency", 0, "max simultaneous worker processes (0 = all shards)")
+		degree      = fs.Int("degree", 0, "max superscalar/superpipelined degree (0 = paper's 8)")
+		benches     = fs.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		workers     = fs.Int("workers", 0, "sim goroutines per worker process (0 = GOMAXPROCS)")
+		retries     = fs.Int("retries", 2, "per-cell retries inside each worker")
+		degrade     = fs.Bool("degrade", false, "render permanently failed cells as NaN rows")
+		faults      = fs.String("faults", "", "fault-injection spec (see ilpbench -faults; adds workerkill/workerhang/workertear)")
+		maxRestarts = fs.Int("max-restarts", 0, "max restarts per shard (0 = default 8)")
+		lease       = fs.Duration("lease", 5*time.Second, "heartbeat lease TTL: silent workers are killed after this")
+		timeout     = fs.Duration("timeout", 0, "overall deadline (0 = none)")
+		quiet       = fs.Bool("quiet", false, "suppress supervision narration on stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ilpfab [flags] [experiment ids...]\n       ilpfab worker\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *storePath == "" {
+		fmt.Fprintln(stderr, "ilpfab: -store is required")
+		return 1
+	}
+	if *shards < 1 {
+		fmt.Fprintln(stderr, "ilpfab: -shards must be at least 1")
+		return 1
+	}
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+
+	ids := fs.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil // parity with `ilpbench all`: every experiment
+	}
+	cfg := fabric.Config{
+		Shards:      *shards,
+		Concurrency: *concurrency,
+		StorePath:   *storePath,
+		MaxDegree:   *degree,
+		Experiments: ids,
+		Workers:     *workers,
+		Retries:     *retries,
+		Degrade:     *degrade,
+		Faults:      *faults,
+		WorkerArgv:  []string{self, "worker"},
+		MaxRestarts: *maxRestarts,
+		Lease:       *lease,
+	}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+	if !*quiet {
+		cfg.Log = stderr
+	}
+
+	coord, err := fabric.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilpfab: %v\n", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	sum, err := coord.Run(ctx, stdout)
+	if err != nil {
+		fmt.Fprintf(stderr, "ilpfab: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "ilpfab: %d shards, %d restarts, %d cells merged (%d torn tails repaired) in %.1fs\n",
+		len(sum.Shards), sum.Restarts, sum.Merge.Records, sum.Merge.TornTails, time.Since(start).Seconds())
+	return 0
+}

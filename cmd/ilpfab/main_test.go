@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ilp/internal/experiments"
+	"ilp/internal/fabric"
+)
+
+// goldenPath is the archived full-harness run backing EXPERIMENTS.md,
+// relative to this package directory.
+const goldenPath = "../../docs/ilpbench-output.txt"
+
+// TestMain mirrors main's worker dispatch: the coordinator under test
+// spawns this test binary with os.Executable(), so `<testbinary> worker`
+// must land in WorkerMain exactly as `ilpfab worker` does.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		os.Exit(fabric.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestIlpfabSmallSweep: the CLI end to end on a tiny sweep — exit 0,
+// tables byte-identical to the same sweep run in process.
+func TestIlpfabSmallSweep(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "r.jsonl")
+	code, out, errOut := runCLI(t,
+		"-store", storePath, "-shards", "2", "-degree", "2",
+		"-benchmarks", "whet,linpack", "-workers", "1", "-quiet",
+		"fig4-1")
+	if code != 0 {
+		t.Fatalf("ilpfab exited %d\nstderr: %s", code, errOut)
+	}
+
+	r := experiments.NewRunner(experiments.Config{MaxDegree: 2, Benchmarks: []string{"whet", "linpack"}, Workers: 1})
+	res, err := r.RunCtx(context.Background(), "fig4-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("==== %s: %s ====\n\n%s\n", res.ID, res.Title, res.Text)
+	if out != want {
+		t.Fatalf("ilpfab output differs from in-process run:\ngot %d bytes, want %d", len(out), len(want))
+	}
+	if !strings.Contains(errOut, "cells merged") {
+		t.Fatalf("missing summary line on stderr: %s", errOut)
+	}
+	if _, err := os.Stat(storePath); err != nil {
+		t.Fatalf("merged store missing: %v", err)
+	}
+}
+
+// TestIlpfabFlagValidation: usage errors exit 1 with a message naming the
+// problem, before any worker spawns.
+func TestIlpfabFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing store", []string{"-shards", "2"}, "-store is required"},
+		{"zero shards", []string{"-store", "x.jsonl", "-shards", "0"}, "-shards"},
+		{"bad flag", []string{"-no-such-flag"}, "flag provided"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errOut := runCLI(t, tc.args...)
+			if code != 1 {
+				t.Fatalf("exited %d, want 1", code)
+			}
+			if !strings.Contains(errOut, tc.want) {
+				t.Fatalf("stderr does not mention %q:\n%s", tc.want, errOut)
+			}
+		})
+	}
+}
+
+// TestIlpfabBadFaultsSpec: an unparsable -faults spec is a permanent
+// worker failure — the run fails without restarts burning time.
+func TestIlpfabBadFaultsSpec(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "r.jsonl")
+	code, _, errOut := runCLI(t,
+		"-store", storePath, "-shards", "1", "-degree", "2",
+		"-benchmarks", "whet", "-quiet", "-faults", "bogus=1",
+		"fig4-5")
+	if code != 1 {
+		t.Fatalf("bad faults spec exited %d, want 1\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "permanent") {
+		t.Fatalf("bad spec not reported permanent:\n%s", errOut)
+	}
+}
+
+// TestFabricGolden is the fabric's acceptance check: the full paper sweep,
+// sharded four ways with SIGKILLs injected at commit points, must merge
+// and render byte-identical to docs/ilpbench-output.txt — the same golden
+// ilpbench and ilpd are held to. This is `make fabric-smoke`.
+//
+// Like its siblings, the full sweep is expensive (~15 s) and skipped
+// under -short and the race detector.
+func TestFabricGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fabric sweep skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full fabric sweep skipped under the race detector")
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+
+	storePath := filepath.Join(t.TempDir(), "r.jsonl")
+	code, out, errOut := runCLI(t,
+		"-store", storePath, "-shards", "4", "-max-restarts", "32",
+		"-faults", "seed=11,workerkill=0.004",
+		"all")
+	if code != 0 {
+		t.Fatalf("ilpfab all exited %d\nstderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "restart") || strings.Contains(errOut, " 0 restarts") {
+		t.Fatalf("kill injection caused no restarts — raise the rate or change the seed\nstderr tail: %s",
+			tail(errOut))
+	}
+	if out == string(want) {
+		return
+	}
+	t.Errorf("fabric sweep drifted from %s\n%s", goldenPath, firstDiff(string(want), out))
+}
+
+func tail(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > 5 {
+		lines = lines[len(lines)-5:]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// firstDiff locates the first differing line for a readable failure
+// message (the full outputs are thousands of lines).
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := min(len(wl), len(gl))
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first difference at line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("outputs agree for %d lines, lengths differ (golden %d, got %d)", n, len(wl), len(gl))
+}

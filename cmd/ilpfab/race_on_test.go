@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; the full
+// golden sweep is skipped under it (≈10× slower, no extra coverage over
+// the plain-build run).
+const raceEnabled = true

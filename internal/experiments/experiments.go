@@ -655,10 +655,8 @@ func (r *Runner) measureAttempt(ctx context.Context, bench string, copts compile
 		return nil, err
 	}
 	inj := r.Cfg.Faults
-	if d := inj.SlowDelay(skey, attempt); d > 0 {
-		if werr := sleepCtx(ctx, d); werr != nil {
-			return nil, werr
-		}
+	if werr := inj.Slow(ctx, skey, attempt); werr != nil {
+		return nil, werr
 	}
 	if inj.ShouldPanic(skey, attempt) {
 		panic(fmt.Sprintf("injected fault: worker panic at %s (attempt %d)", skey, attempt))

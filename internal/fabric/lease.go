@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// LeaseTable tracks the heartbeat lease of every running shard attempt.
+// A lease is granted when the worker spawns, renewed by every event the
+// worker emits, and revoked — firing the attempt's revoke hook, which
+// kills the process — when it lapses past its TTL. The table is the one
+// piece of supervision state shared between the per-shard supervisors
+// (who grant and renew) and the coordinator's watchdog (who sweeps), so
+// all transitions happen under one lock and a revoked lease can never be
+// renewed back to life: the supervisor learns of the revocation from
+// Renew's return and treats the attempt as crashed.
+//
+// The clock is injected so expiry logic is unit-testable without sleeping.
+type LeaseTable struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	now    func() time.Time
+	leases map[string]*lease
+}
+
+type lease struct {
+	expires time.Time
+	revoked bool
+	revoke  func()
+}
+
+// NewLeaseTable builds a table with the given TTL. now is the clock;
+// nil means time.Now.
+func NewLeaseTable(ttl time.Duration, now func() time.Time) *LeaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &LeaseTable{ttl: ttl, now: now, leases: map[string]*lease{}}
+}
+
+// Grant opens a lease for shard, replacing any previous one. revoke is
+// called (under no lock held by the caller's renew path, but under the
+// table lock) when the lease expires; it must be idempotent and
+// non-blocking — killing an already-dead process is fine.
+func (t *LeaseTable) Grant(shard string, revoke func()) {
+	t.GrantFor(shard, t.ttl, revoke)
+}
+
+// GrantFor is Grant with a one-off TTL for the initial period. The first
+// Renew snaps the lease back to the table TTL. The coordinator uses this
+// to give a freshly spawned worker a startup grace longer than the
+// steady-state lease: process spawn, runtime init, and the shard store
+// open happen before the worker can emit its first event, and their
+// latency (seconds under load or the race detector) has nothing to do
+// with the heartbeat cadence a live worker must sustain.
+func (t *LeaseTable) GrantFor(shard string, ttl time.Duration, revoke func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.leases[shard] = &lease{expires: t.now().Add(ttl), revoke: revoke}
+}
+
+// Renew extends shard's lease by the TTL. It returns false if the lease
+// is absent or already revoked — the worker this event came from is
+// being killed, and its supervisor should stop trusting its stream.
+func (t *LeaseTable) Renew(shard string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[shard]
+	if !ok || l.revoked {
+		return false
+	}
+	l.expires = t.now().Add(t.ttl)
+	return true
+}
+
+// Revoked reports whether shard's lease has been revoked.
+func (t *LeaseTable) Revoked(shard string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.leases[shard]
+	return ok && l.revoked
+}
+
+// Drop removes shard's lease without revoking: the attempt ended on its
+// own (exit observed), so there is no process left to kill.
+func (t *LeaseTable) Drop(shard string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.leases, shard)
+}
+
+// Sweep revokes every lease that has expired as of the injected clock,
+// firing each one's revoke hook, and returns the revoked shard ids. The
+// coordinator's watchdog calls this on a short ticker.
+func (t *LeaseTable) Sweep() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var revoked []string
+	now := t.now()
+	for shard, l := range t.leases {
+		if l.revoked || l.expires.After(now) {
+			continue
+		}
+		l.revoked = true
+		if l.revoke != nil {
+			l.revoke()
+		}
+		revoked = append(revoked, shard)
+	}
+	return revoked
+}

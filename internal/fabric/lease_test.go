@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked clock for lease expiry tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func newTestTable(ttl time.Duration) (*LeaseTable, *fakeClock) {
+	c := newFakeClock()
+	return NewLeaseTable(ttl, c.now), c
+}
+
+// TestLeaseRenewKeepsAlive: a renewing worker is never revoked, however
+// much total time passes.
+func TestLeaseRenewKeepsAlive(t *testing.T) {
+	tab, clock := newTestTable(100 * time.Millisecond)
+	killed := false
+	tab.Grant("shard0", func() { killed = true })
+	for i := 0; i < 20; i++ {
+		clock.advance(50 * time.Millisecond)
+		if !tab.Renew("shard0") {
+			t.Fatalf("renew %d failed on a live lease", i)
+		}
+		if got := tab.Sweep(); len(got) != 0 {
+			t.Fatalf("sweep revoked a renewing lease: %v", got)
+		}
+	}
+	if killed {
+		t.Fatal("revoke hook fired on a renewing lease")
+	}
+}
+
+// TestLeaseExpiresAndRevokes: silence past the TTL revokes exactly the
+// silent shard and fires its kill hook once.
+func TestLeaseExpiresAndRevokes(t *testing.T) {
+	tab, clock := newTestTable(100 * time.Millisecond)
+	kills := 0
+	tab.Grant("shard0", func() { kills++ })
+	tab.Grant("shard1", nil)
+
+	clock.advance(90 * time.Millisecond)
+	tab.Renew("shard1")
+	clock.advance(20 * time.Millisecond) // shard0 at 110ms, shard1 at 20ms
+	revoked := tab.Sweep()
+	if len(revoked) != 1 || revoked[0] != "shard0" {
+		t.Fatalf("sweep revoked %v, want [shard0]", revoked)
+	}
+	if kills != 1 {
+		t.Fatalf("kill hook fired %d times, want 1", kills)
+	}
+	// Revocation is final: no renewal resurrects it, no double kill.
+	if tab.Renew("shard0") {
+		t.Fatal("renew succeeded on a revoked lease")
+	}
+	if !tab.Revoked("shard0") {
+		t.Fatal("Revoked does not report the revocation")
+	}
+	if got := tab.Sweep(); len(got) != 0 || kills != 1 {
+		t.Fatalf("second sweep re-revoked: %v (kills %d)", got, kills)
+	}
+}
+
+// TestLeaseDropForgets: a dropped lease neither expires nor renews — the
+// attempt ended and its process is already reaped.
+func TestLeaseDropForgets(t *testing.T) {
+	tab, clock := newTestTable(50 * time.Millisecond)
+	killed := false
+	tab.Grant("shard0", func() { killed = true })
+	tab.Drop("shard0")
+	clock.advance(time.Hour)
+	if got := tab.Sweep(); len(got) != 0 || killed {
+		t.Fatalf("dropped lease still live: revoked %v, killed %v", got, killed)
+	}
+	if tab.Renew("shard0") {
+		t.Fatal("renew succeeded on a dropped lease")
+	}
+}
+
+// TestLeaseRegrantReplacesRevoked: a restart grants a fresh lease for the
+// same shard; the predecessor's revocation does not taint it.
+func TestLeaseRegrantReplacesRevoked(t *testing.T) {
+	tab, clock := newTestTable(50 * time.Millisecond)
+	tab.Grant("shard0", nil)
+	clock.advance(60 * time.Millisecond)
+	if got := tab.Sweep(); len(got) != 1 {
+		t.Fatalf("setup: lease should have expired, got %v", got)
+	}
+	tab.Grant("shard0", nil)
+	if !tab.Renew("shard0") {
+		t.Fatal("fresh lease after regrant does not renew")
+	}
+	if tab.Revoked("shard0") {
+		t.Fatal("regranted lease still reports revoked")
+	}
+}
+
+// TestLeaseGrantForStartupGrace: the initial grant survives its longer
+// grace TTL, and the first renew snaps the lease to the steady-state TTL.
+func TestLeaseGrantForStartupGrace(t *testing.T) {
+	tab, clock := newTestTable(100 * time.Millisecond)
+	killed := false
+	tab.GrantFor("shard0", time.Second, func() { killed = true })
+
+	// Silent through 900ms of startup: within grace, not revoked.
+	clock.advance(900 * time.Millisecond)
+	if got := tab.Sweep(); len(got) != 0 {
+		t.Fatalf("swept %v during startup grace", got)
+	}
+
+	// First event renews — from here the steady TTL governs.
+	if !tab.Renew("shard0") {
+		t.Fatal("renew failed within the grace period")
+	}
+	clock.advance(150 * time.Millisecond)
+	if got := tab.Sweep(); len(got) != 1 || got[0] != "shard0" {
+		t.Fatalf("steady-state expiry not enforced after first renew: swept %v", got)
+	}
+	if !killed {
+		t.Fatal("revoke hook did not fire")
+	}
+}

@@ -13,9 +13,12 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -35,11 +38,27 @@ const (
 	SiteStore Site = "store"
 	// SiteSlow delays a job by the injector's SlowDelay before it runs.
 	SiteSlow Site = "slow"
+
+	// The process-level sites of the sweep fabric's chaos harness. The
+	// injector only decides (via Fires); the shard worker performs the
+	// action, because only it can SIGKILL itself or tear its own store.
+
+	// SiteWorkerKill SIGKILLs the worker process right after a cell
+	// commits — the crash-anywhere probe of the fabric chaos suite.
+	SiteWorkerKill Site = "workerkill"
+	// SiteWorkerHang makes the worker stop heartbeating and hang, so the
+	// coordinator's lease expiry (not process death) must recover it.
+	SiteWorkerHang Site = "workerhang"
+	// SiteWorkerTear appends a torn partial line to the worker's shard
+	// store and then SIGKILLs it, exercising the CRC tail repair on the
+	// next open.
+	SiteWorkerTear Site = "workertear"
 )
 
 // Sites lists every injectable site.
 func Sites() []Site {
-	return []Site{SiteCompile, SiteSim, SitePanic, SiteStore, SiteSlow}
+	return []Site{SiteCompile, SiteSim, SitePanic, SiteStore, SiteSlow,
+		SiteWorkerKill, SiteWorkerHang, SiteWorkerTear}
 }
 
 // ErrInjected marks errors produced by the injector, so tests can tell an
@@ -93,9 +112,7 @@ func New(cfg Config) (*Injector, error) {
 		if rate < 0 || rate > 1 {
 			return nil, fmt.Errorf("faultinject: rate %v for site %q outside [0,1]", rate, site)
 		}
-		switch site {
-		case SiteCompile, SiteSim, SitePanic, SiteStore, SiteSlow:
-		default:
+		if !knownSite(site) {
 			return nil, fmt.Errorf("faultinject: unknown site %q", site)
 		}
 	}
@@ -169,4 +186,105 @@ func (in *Injector) SlowDelay(key string, attempt int) time.Duration {
 		return 0
 	}
 	return in.cfg.SlowDelay
+}
+
+// Slow applies the SiteSlow stall for (key, attempt), honoring context
+// cancellation: an injected hang ends the moment ctx does — it can never
+// outlive a revoked lease or a cancelled sweep — and the cancellation
+// cause (not a bare context error) is returned so sibling-failure
+// attribution upstream keeps working.
+func (in *Injector) Slow(ctx context.Context, key string, attempt int) error {
+	d := in.SlowDelay(key, attempt)
+	if d <= 0 {
+		if ctx.Err() != nil {
+			return ctxCause(ctx)
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctxCause(ctx)
+	}
+}
+
+// ctxCause mirrors the experiment pipeline's cancellation spelling: the
+// recorded cause when one exists, the plain context error otherwise.
+func ctxCause(ctx context.Context) error {
+	if c := context.Cause(ctx); c != nil {
+		return c
+	}
+	return ctx.Err()
+}
+
+// Fires reports whether the named site fires for (key, attempt). It is
+// the generic probe for sites whose action lives in the caller — the
+// fabric worker's kill/hang/tear sites — and is deterministic in
+// (seed, site, key, attempt) like every other decision.
+func (in *Injector) Fires(site Site, key string, attempt int) bool {
+	return in.should(site, key, attempt)
+}
+
+// knownSite reports whether site is one of Sites().
+func knownSite(site Site) bool {
+	for _, s := range Sites() {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse builds an Injector from a textual spec: comma-separated key=value
+// pairs where the keys are "seed" (int64), "slowdelay" (a duration), and
+// any site name (its injection rate in [0,1]). The empty spec is the
+// production configuration: a nil injector that injects nothing. This is
+// the one parser behind ilpbench -faults, ilpfab -faults, and the fabric
+// worker spec, so every surface spells fault schedules identically.
+func Parse(spec string) (*Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := Config{Rates: map[Site]float64{}}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not key=value", kv)
+		}
+		switch {
+		case k == "seed":
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("seed %q: %v", v, err)
+			}
+			cfg.Seed = seed
+		case k == "slowdelay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("slowdelay %q: %v", v, err)
+			}
+			cfg.SlowDelay = d
+		case knownSite(Site(k)):
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("rate %q for %s: %v", v, k, err)
+			}
+			cfg.Rates[Site(k)] = rate
+		default:
+			return nil, fmt.Errorf("unknown key %q (want seed, slowdelay, or a site: %s)", k, siteList())
+		}
+	}
+	return New(cfg)
+}
+
+// siteList renders the site names for error messages.
+func siteList() string {
+	var names []string
+	for _, s := range Sites() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
 }

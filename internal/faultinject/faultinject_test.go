@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -186,5 +187,90 @@ func TestConfigIsolation(t *testing.T) {
 	rates[SiteSim] = 0
 	if in.Fail(SiteSim, "k", 0) == nil {
 		t.Fatal("injector shares the caller's Rates map")
+	}
+}
+
+// TestSlowHonorsCancellation: an injected stall must end the moment its
+// context does, returning the recorded cause — an injected hang can never
+// pin a worker past a revoked lease.
+func TestSlowHonorsCancellation(t *testing.T) {
+	in := mustNew(t, Config{Seed: 9, Rates: map[Site]float64{SiteSlow: 1}, SlowDelay: time.Hour})
+	cause := errors.New("lease revoked")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel(cause)
+	}()
+	start := time.Now()
+	err := in.Slow(ctx, "k", 0)
+	if !errors.Is(err, cause) {
+		t.Fatalf("Slow under cancellation returned %v, want the cause", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("Slow ignored cancellation for %v", waited)
+	}
+
+	// Already-cancelled context: prompt return even when no stall fires.
+	ctx2, cancel2 := context.WithCancelCause(context.Background())
+	cancel2(cause)
+	var nilInj *Injector
+	if err := nilInj.Slow(ctx2, "k", 0); !errors.Is(err, cause) {
+		t.Fatalf("nil injector on dead ctx: %v, want the cause", err)
+	}
+}
+
+// TestSlowCompletesWithoutCancellation: the stall actually happens and
+// returns nil on a live context.
+func TestSlowCompletesWithoutCancellation(t *testing.T) {
+	in := mustNew(t, Config{Seed: 9, Rates: map[Site]float64{SiteSlow: 1}, SlowDelay: 2 * time.Millisecond})
+	start := time.Now()
+	if err := in.Slow(context.Background(), "k", 0); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("Slow returned before the injected delay elapsed")
+	}
+}
+
+// TestFires: the exported probe matches the private decision and stays
+// deterministic; nil injectors never fire; rate-1 worker sites always do.
+func TestFires(t *testing.T) {
+	in := mustNew(t, Config{Seed: 3, Rates: map[Site]float64{SiteWorkerKill: 1, SiteWorkerHang: 0}})
+	if !in.Fires(SiteWorkerKill, "shard0/2", 1) {
+		t.Fatal("rate-1 site did not fire")
+	}
+	if in.Fires(SiteWorkerHang, "shard0/2", 1) {
+		t.Fatal("rate-0 site fired")
+	}
+	var nilInj *Injector
+	if nilInj.Fires(SiteWorkerKill, "k", 0) {
+		t.Fatal("nil injector fired")
+	}
+	for i := 0; i < 4; i++ {
+		if in.Fires(SiteWorkerKill, "shard1/5", 2) != in.Fires(SiteWorkerKill, "shard1/5", 2) {
+			t.Fatal("Fires is not deterministic")
+		}
+	}
+}
+
+// TestParse: the spec grammar covers seed, slowdelay, and every site —
+// including the fabric's worker sites — and rejects nonsense.
+func TestParse(t *testing.T) {
+	if inj, err := Parse(""); err != nil || inj != nil {
+		t.Fatalf("empty spec: %v %v", inj, err)
+	}
+	inj, err := Parse("seed=7,sim=0.5,workerkill=1,workerhang=0.5,workertear=0.25,slowdelay=2ms,slow=1")
+	if err != nil || inj == nil {
+		t.Fatalf("full spec rejected: %v", err)
+	}
+	if !inj.Fires(SiteWorkerKill, "shard0/0", 0) {
+		t.Fatal("parsed rate-1 workerkill does not fire")
+	}
+	for _, bad := range []string{
+		"sim", "sim=abc", "seed=x", "bogus=0.5", "sim=1.5", "slowdelay=fast", "workerkill=2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
 	}
 }

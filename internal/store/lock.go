@@ -1,0 +1,121 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+
+	"ilp/internal/ilperr"
+)
+
+// ErrStoreLocked reports that a store is already open for writing by a
+// live process. It is wrapped in a *ilperr.StoreError, which classifies
+// transient — the holder may release the lock, so a retry policy (the
+// sweep fabric's shard reassignment, for one) is allowed to try again.
+var ErrStoreLocked = errors.New("store locked for writing by a live process")
+
+// lockNonce distinguishes lock handles within one process, so a handle
+// whose lock was (legitimately) broken by a same-process reopen cannot
+// remove the successor's lock file on Close.
+var lockNonce atomic.Int64
+
+// writerLock is the advisory writer lock beside a store file: a lock file
+// at <path>.lock holding "<pid> <nonce>\n". Two *processes* can therefore
+// never append to the same store — the second Open fails with
+// ErrStoreLocked — while a lock whose owner died (the fabric's SIGKILLed
+// shard workers) is detected by the PID liveness probe and broken.
+type writerLock struct {
+	path  string
+	nonce int64
+}
+
+// lockPath is the lock file guarding the store at path.
+func lockPath(path string) string { return path + ".lock" }
+
+// acquireLock takes the advisory writer lock for the store at path.
+// A held lock is broken when its owner is dead (crashed worker) or is
+// this very process (a crash-simulating reopen; in-process exclusion is
+// the Store mutex's job, cross-process exclusion is this lock's).
+func acquireLock(path string) (*writerLock, error) {
+	lp := lockPath(path)
+	nonce := lockNonce.Add(1)
+	// Two tries: one against a possibly stale lock, one after breaking it.
+	// Losing the O_EXCL race twice means live contenders; report locked.
+	for try := 0; try < 2; try++ {
+		f, err := os.OpenFile(lp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d %d\n", os.Getpid(), nonce)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(lp)
+				return nil, &ilperr.StoreError{Path: path, Op: "lock", Err: werr}
+			}
+			return &writerLock{path: lp, nonce: nonce}, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, &ilperr.StoreError{Path: path, Op: "lock", Err: err}
+		}
+		pid, _, perr := readLock(lp)
+		if perr == nil && pid != os.Getpid() && pidAlive(pid) {
+			return nil, &ilperr.StoreError{
+				Path: path, Op: "lock",
+				Err: fmt.Errorf("%w: held by pid %d (%s)", ErrStoreLocked, pid, lp),
+			}
+		}
+		// Stale (dead owner, unreadable content, or our own pid from an
+		// abandoned handle): break it and race for the replacement.
+		os.Remove(lp)
+	}
+	return nil, &ilperr.StoreError{
+		Path: path, Op: "lock",
+		Err: fmt.Errorf("%w: lost the acquisition race twice (%s)", ErrStoreLocked, lp),
+	}
+}
+
+// release removes the lock file, but only while this handle still owns it
+// — a successor that legitimately broke the lock must not lose its own.
+func (l *writerLock) release() {
+	if l == nil {
+		return
+	}
+	pid, nonce, err := readLock(l.path)
+	if err != nil || pid != os.Getpid() || nonce != l.nonce {
+		return
+	}
+	os.Remove(l.path)
+}
+
+// readLock parses a lock file's "<pid> <nonce>" content.
+func readLock(lp string) (pid int, nonce int64, err error) {
+	buf, err := os.ReadFile(lp)
+	if err != nil {
+		return 0, 0, err
+	}
+	fields := strings.Fields(string(buf))
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("malformed lock file %s: %q", lp, buf)
+	}
+	pid, err = strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	nonce, err = strconv.ParseInt(fields[1], 10, 64)
+	return pid, nonce, err
+}
+
+// pidAlive reports whether pid names a live process. Signal 0 probes
+// without delivering; EPERM means "alive but not ours", which still
+// counts as a live owner.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,149 @@
+// Multi-store merge: the crash-safe join of the sweep fabric's per-shard
+// stores into one canonical result store.
+//
+// Idempotence and determinism contract:
+//
+//   - The merged file is a pure function of the union of the sources'
+//     records: re-running Merge over the same sources — or over sources
+//     that partition the same cell set differently — produces the same
+//     bytes. Records are sorted by key, and duplicate keys are resolved
+//     deterministically by payload fingerprint (CRC32, then the raw
+//     bytes), never by source order or mtime.
+//   - The output is written through a temp file, fsync'd, renamed into
+//     place atomically, and the parent directory is fsync'd — a crash
+//     mid-merge leaves either the previous file or the complete new one,
+//     never a mixture, so the merge can simply be re-run.
+//   - A torn final line in a source (the signature of a SIGKILLed worker
+//     mid-append) is tolerated and dropped, exactly as Open would; the
+//     cell was never acknowledged. Mid-file corruption is real damage and
+//     fails the merge.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"ilp/internal/ilperr"
+)
+
+// MergeInfo reports what a Merge did.
+type MergeInfo struct {
+	// Sources is how many source stores were read (missing files count as
+	// empty sources — a shard whose worker never committed a cell).
+	Sources int
+	// Records is the number of records in the merged output.
+	Records int
+	// Duplicates counts input records dropped because another record had
+	// the same key.
+	Duplicates int
+	// Conflicts counts duplicate keys whose payloads differed — expected
+	// to be zero when the cells come from a deterministic simulator, but
+	// resolved (by smallest payload fingerprint) rather than fatal, so a
+	// merge never wedges on a disagreement it can report.
+	Conflicts int
+	// TornTails counts sources whose torn final line was dropped.
+	TornTails int
+}
+
+// Merge joins the records of the source stores into a single store file
+// at dst, deduplicated by key and sorted, written atomically. dst must
+// not be open in this or any other live process: Merge takes (and
+// releases) the advisory writer lock beside dst.
+func Merge(dst string, srcs ...string) (MergeInfo, error) {
+	lock, err := acquireLock(dst)
+	if err != nil {
+		return MergeInfo{}, err
+	}
+	defer lock.release()
+
+	var info MergeInfo
+	best := map[string]Record{} // key -> winning record
+	for _, src := range srcs {
+		recs, finfo, err := Load(src)
+		if err != nil {
+			return info, fmt.Errorf("merging %s: %w", src, err)
+		}
+		info.Sources++
+		if finfo.TruncatedTail {
+			info.TornTails++
+		}
+		for _, rec := range recs {
+			prev, dup := best[rec.Key]
+			if !dup {
+				best[rec.Key] = rec
+				continue
+			}
+			info.Duplicates++
+			switch cmp := comparePayloads(rec, prev); {
+			case cmp == 0:
+				// Identical duplicate (the common case: two shards measured
+				// the same cell of a deterministic simulator). Keep prev.
+			case cmp < 0:
+				info.Conflicts++
+				best[rec.Key] = rec
+			default:
+				info.Conflicts++
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	info.Records = len(keys)
+
+	tmpPath := dst + ".merge.tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return info, &ilperr.StoreError{Path: dst, Op: "merge", Err: err}
+	}
+	w := bufio.NewWriter(tmp)
+	for _, k := range keys {
+		line, err := encodeLine(best[k])
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return info, &ilperr.StoreError{Path: dst, Op: "merge", Err: err}
+		}
+		if _, err := w.Write(line); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return info, &ilperr.StoreError{Path: dst, Op: "merge", Err: err}
+		}
+	}
+	if err := flushAndClose(w, tmp); err != nil {
+		os.Remove(tmpPath)
+		return info, &ilperr.StoreError{Path: dst, Op: "merge", Err: err}
+	}
+	if err := os.Rename(tmpPath, dst); err != nil {
+		os.Remove(tmpPath)
+		return info, &ilperr.StoreError{Path: dst, Op: "merge", Err: err}
+	}
+	// Same durability rule as Compact: the rename is only on disk once the
+	// directory entry is.
+	if err := syncDir(dst); err != nil {
+		return info, &ilperr.StoreError{Path: dst, Op: "merge", Err: err}
+	}
+	return info, nil
+}
+
+// comparePayloads orders two records for deterministic duplicate
+// resolution: by payload CRC32 fingerprint first (cheap), then by the raw
+// payload bytes (total). Returns <0, 0, >0 like bytes.Compare; 0 means
+// the payloads are identical.
+func comparePayloads(a, b Record) int {
+	ca, cb := crc32.ChecksumIEEE(a.Payload), crc32.ChecksumIEEE(b.Payload)
+	switch {
+	case ca < cb:
+		return -1
+	case ca > cb:
+		return 1
+	}
+	return bytes.Compare(a.Payload, b.Payload)
+}

@@ -1,0 +1,207 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeShard builds a shard store holding the given records.
+func writeShard(t *testing.T, path string, recs ...Record) {
+	t.Helper()
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, rec := range recs {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func readBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestMergeBasic: records of disjoint shards all land in the merged store,
+// sorted by key, readable through the normal loader.
+func TestMergeBasic(t *testing.T) {
+	dir := t.TempDir()
+	s1, s2 := filepath.Join(dir, "s1.jsonl"), filepath.Join(dir, "s2.jsonl")
+	writeShard(t, s1, testRec("b", 2), testRec("d", 4))
+	writeShard(t, s2, testRec("c", 3), testRec("a", 1))
+
+	dst := filepath.Join(dir, "merged.jsonl")
+	info, err := Merge(dst, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Sources != 2 || info.Records != 4 || info.Duplicates != 0 || info.Conflicts != 0 {
+		t.Fatalf("unexpected merge info: %+v", info)
+	}
+	recs, _, err := Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if recs[i].Key != want {
+			t.Fatalf("merged record %d has key %q, want %q (sorted)", i, recs[i].Key, want)
+		}
+	}
+}
+
+// TestMergeIdempotentAndOrderInvariant: merging the same cell set again —
+// in any source order, with any partitioning, or re-merging over a
+// previous output — produces byte-identical files.
+func TestMergeIdempotentAndOrderInvariant(t *testing.T) {
+	dir := t.TempDir()
+	var all []Record
+	for i := 0; i < 12; i++ {
+		all = append(all, testRec(fmt.Sprintf("k%02d", i), i))
+	}
+	// Partitioning A: even/odd. Partitioning B: halves, reversed order.
+	a1, a2 := filepath.Join(dir, "a1.jsonl"), filepath.Join(dir, "a2.jsonl")
+	b1, b2 := filepath.Join(dir, "b1.jsonl"), filepath.Join(dir, "b2.jsonl")
+	for i, rec := range all {
+		switch {
+		case i%2 == 0:
+			writeShard(t, a1, rec)
+		default:
+			writeShard(t, a2, rec)
+		}
+	}
+	writeShard(t, b1, all[6:]...)
+	writeShard(t, b2, all[:6]...)
+
+	da, db := filepath.Join(dir, "da.jsonl"), filepath.Join(dir, "db.jsonl")
+	if _, err := Merge(da, a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(db, b2, b1); err != nil {
+		t.Fatal(err)
+	}
+	ba, bb := readBytes(t, da), readBytes(t, db)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("merges of the same cell set under different partitionings differ")
+	}
+	// Re-merge over the previous output: idempotent.
+	if _, err := Merge(da, da); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readBytes(t, da), ba) {
+		t.Fatal("re-merging a merged store changed its bytes")
+	}
+}
+
+// TestMergeDuplicatesResolveDeterministically: equal keys collapse; when
+// payloads genuinely differ the winner is chosen by payload fingerprint,
+// not source order, and the conflict is counted.
+func TestMergeDuplicatesResolveDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	recA := testRec("dup", 1)
+	recB := testRec("dup", 2) // same key, different payload
+	s1, s2 := filepath.Join(dir, "s1.jsonl"), filepath.Join(dir, "s2.jsonl")
+	s3, s4 := filepath.Join(dir, "s3.jsonl"), filepath.Join(dir, "s4.jsonl")
+	writeShard(t, s1, recA)
+	writeShard(t, s2, recB)
+	writeShard(t, s3, recB)
+	writeShard(t, s4, recA)
+
+	d1, d2 := filepath.Join(dir, "d1.jsonl"), filepath.Join(dir, "d2.jsonl")
+	i1, err := Merge(d1, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := Merge(d2, s3, s4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Duplicates != 1 || i1.Conflicts != 1 || i2.Conflicts != 1 {
+		t.Fatalf("conflict accounting wrong: %+v / %+v", i1, i2)
+	}
+	if !bytes.Equal(readBytes(t, d1), readBytes(t, d2)) {
+		t.Fatal("conflicting duplicate resolved differently under swapped source order")
+	}
+
+	// Identical duplicates are counted but are not conflicts.
+	s5 := filepath.Join(dir, "s5.jsonl")
+	writeShard(t, s5, recA)
+	d3 := filepath.Join(dir, "d3.jsonl")
+	i3, err := Merge(d3, s1, s5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i3.Duplicates != 1 || i3.Conflicts != 0 {
+		t.Fatalf("identical duplicate accounting wrong: %+v", i3)
+	}
+}
+
+// TestMergeToleratesTornTailAndMissingSource: a SIGKILLed worker's torn
+// final append is dropped (it was never acknowledged) and a shard that
+// never committed anything (no file) reads as empty.
+func TestMergeToleratesTornTailAndMissingSource(t *testing.T) {
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "s1.jsonl")
+	writeShard(t, s1, testRec("a", 1), testRec("b", 2))
+	// Tear the tail: append a partial line with no newline.
+	f, err := os.OpenFile(s1, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":123,"rec":{"key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dst := filepath.Join(dir, "m.jsonl")
+	info, err := Merge(dst, s1, filepath.Join(dir, "never-written.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TornTails != 1 || info.Sources != 2 || info.Records != 2 {
+		t.Fatalf("unexpected info for torn+missing sources: %+v", info)
+	}
+	recs, _, err := Load(dst)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("merged store unreadable or wrong size: %d recs, %v", len(recs), err)
+	}
+}
+
+// TestMergeOutputOpensAndResumes: the merged file round-trips through
+// Open/Records with payloads intact — it is a first-class store.
+func TestMergeOutputOpensAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	s1 := filepath.Join(dir, "s1.jsonl")
+	writeShard(t, s1, testRec("x", 42))
+	dst := filepath.Join(dir, "m.jsonl")
+	if _, err := Merge(dst, s1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec, ok := st.Get("x")
+	if !ok {
+		t.Fatal("merged record missing through Open")
+	}
+	var p map[string]int
+	if err := json.Unmarshal(rec.Payload, &p); err != nil || p["cycles"] != 42 {
+		t.Fatalf("payload mangled through merge: %s (%v)", rec.Payload, err)
+	}
+	// A merged store keeps accepting appends (the resume render path).
+	if err := st.Append(testRec("y", 7)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -179,6 +179,7 @@ type Store struct {
 	mu      sync.Mutex
 	path    string
 	f       *os.File
+	lock    *writerLock
 	good    int64    // offset just past the last fsync'd record
 	records []Record // every record on disk, append order
 	byKey   map[string]int
@@ -186,29 +187,41 @@ type Store struct {
 }
 
 // Open opens (creating if necessary) the store at path, verifying its
-// contents. A torn final line from a crashed append is truncated away;
-// mid-file corruption fails the open with a *ilperr.StoreError so no data
-// is silently discarded (repair by hand or with a fresh path).
+// contents. The advisory writer lock beside the file is acquired first —
+// a store held open by another live process fails with a *ilperr.StoreError
+// wrapping ErrStoreLocked, while a dead owner's lock (a crashed worker) is
+// broken by the PID liveness check. A torn final line from a crashed
+// append is truncated away; mid-file corruption fails the open with a
+// *ilperr.StoreError so no data is silently discarded (repair by hand or
+// with a fresh path).
 func Open(path string) (*Store, error) {
+	lock, err := acquireLock(path)
+	if err != nil {
+		return nil, err
+	}
 	recs, info, err := Load(path)
 	if err != nil {
+		lock.release()
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
+		lock.release()
 		return nil, &ilperr.StoreError{Path: path, Op: "open", Err: err}
 	}
-	st := &Store{path: path, f: f, good: info.ValidBytes, records: recs, byKey: map[string]int{}}
+	st := &Store{path: path, f: f, lock: lock, good: info.ValidBytes, records: recs, byKey: map[string]int{}}
 	for i, rec := range recs {
 		st.byKey[rec.Key] = i
 	}
 	if info.TruncatedTail {
 		if err := st.rewind(); err != nil {
 			f.Close()
+			lock.release()
 			return nil, err
 		}
 	} else if _, err := f.Seek(st.good, io.SeekStart); err != nil {
 		f.Close()
+		lock.release()
 		return nil, &ilperr.StoreError{Path: path, Op: "open", Err: err}
 	}
 	return st, nil
@@ -424,7 +437,8 @@ func syncDir(path string) error {
 	return nil
 }
 
-// Close releases the file handle. Further appends fail.
+// Close releases the file handle and the writer lock. Further appends
+// fail.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -432,5 +446,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	return s.f.Close()
+	err := s.f.Close()
+	s.lock.release()
+	return err
 }
