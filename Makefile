@@ -24,9 +24,12 @@ race:
 
 # The concurrency-heavy packages — the runner's singleflight/cancellation
 # fan-out and the simulator's polled timing loops — always re-run under the
-# race detector, bypassing the test cache.
+# race detector, bypassing the test cache. The directed sharded-batch and
+# cond-trace side-exit tests additionally run at -cpu 4 so the shard
+# goroutines are genuinely concurrent even on a single-core host.
 race-concurrency:
 	$(GO) test -race -count=1 ./internal/experiments/ ./internal/sim/
+	$(GO) test -race -count=1 -cpu 4 -run 'TestBatchParallel|TestCondTrace' ./internal/sim/
 
 # A quick pass of the randomized differential harness (with the static
 # verifier enabled in-pipeline) as a smoke test, plus a short burst of the
@@ -69,9 +72,14 @@ cover:
 # (an unstolen window measures peak, a stolen one measures the thief), so
 # best-of-N never converges; 3 s averages the steal and the best sample
 # becomes reproducible across invocations.
+# Simulator benchmarks are pinned at -cpu 1: the serial engine's number must
+# not drift with the host's core count (GOMAXPROCS only changes the name
+# suffix, which benchjson strips, but the pin keeps scheduler noise out).
+# The sweep benchmarks run at the host's default shape; benchjson records
+# GOMAXPROCS in the snapshot so runs are compared like-for-like.
 bench:
-	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_sim.txt
-	$(GO) test -run '^$$' -bench 'RunAllQuick|RunAllBatched|ExperimentCacheSharing' -benchmem -count 1 . | tee /tmp/ilp_bench_exp.txt
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 -cpu 1 ./internal/sim/ | tee /tmp/ilp_bench_sim.txt
+	$(GO) test -run '^$$' -bench 'RunAllQuick|RunAllBatched|RunAllParallel|ExperimentCacheSharing' -benchmem -count 1 . | tee /tmp/ilp_bench_exp.txt
 	$(GO) run ./cmd/benchjson -out BENCH_sim.json /tmp/ilp_bench_sim.txt /tmp/ilp_bench_exp.txt
 	@echo "wrote BENCH_sim.json"
 
@@ -84,16 +92,16 @@ bench:
 # shifts on minute timescales, so one invocation's samples are correlated —
 # two spaced invocations (of 3 s samples, see `bench`) de-flake the gate.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate.txt
-	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 ./internal/sim/ | tee /tmp/ilp_bench_gate2.txt
-	$(GO) test -run '^$$' -bench 'RunAllBatched' -benchmem -count 2 . | tee /tmp/ilp_bench_gate3.txt
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 -cpu 1 ./internal/sim/ | tee /tmp/ilp_bench_gate.txt
+	$(GO) test -run '^$$' -bench 'Simulator' -benchmem -benchtime 3s -count 3 -cpu 1 ./internal/sim/ | tee /tmp/ilp_bench_gate2.txt
+	$(GO) test -run '^$$' -bench 'RunAllBatched|RunAllParallel' -benchmem -count 2 . | tee /tmp/ilp_bench_gate3.txt
 	$(GO) run ./cmd/benchjson -baseline BENCH_sim.json /tmp/ilp_bench_gate.txt /tmp/ilp_bench_gate2.txt /tmp/ilp_bench_gate3.txt
 
 # One-iteration smoke of the same benchmarks (no thresholds, no JSON): the
 # tier-1 gate just proves they still run.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'Simulator' -benchtime 1x ./internal/sim/
-	$(GO) test -run '^$$' -bench 'RunAllQuick|RunAllBatched|ExperimentCacheSharing' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Simulator' -benchtime 1x -cpu 1 ./internal/sim/
+	$(GO) test -run '^$$' -bench 'RunAllQuick|RunAllBatched|RunAllParallel|ExperimentCacheSharing' -benchtime 1x .
 
 # One-iteration pass over *every* benchmark in the repo (the per-experiment
 # testing.B entry points included, which neither bench nor bench-smoke

@@ -192,6 +192,29 @@ func BenchmarkRunAllBatched(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
+// BenchmarkRunAllParallel is BenchmarkRunAllBatched with the batch sharded
+// across four workers regardless of the host shape (sharding never changes
+// results, only concurrency): the headline number of the multi-core batch
+// scheduler. On a single-core host the shards time-slice and throughput
+// matches the batched number; on a 4-core runner it approaches 4×.
+func BenchmarkRunAllParallel(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Workers = 4
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(cfg)
+		if _, err := r.RunAll(context.Background(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		st := r.Stats()
+		if st.BatchedCells == 0 || st.ParallelShards == 0 {
+			b.Fatalf("sweep did not run sharded batches: %+v", st)
+		}
+		instrs += st.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkExperimentCacheSharing runs the three cache-geometry experiments
 // on one runner and reports how much work the two-level cache eliminated:
 // cache-only machine variants share compilations (compile-hits) and repeated

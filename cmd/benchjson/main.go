@@ -26,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,7 +43,11 @@ type Benchmark struct {
 
 // Snapshot is one recorded run of the benchmark set.
 type Snapshot struct {
-	Note       string               `json:"note,omitempty"`
+	Note string `json:"note,omitempty"`
+	// GoMaxProcs is the GOMAXPROCS of the recording host: sweep-level
+	// benchmarks scale with cores, so a snapshot is only comparable to runs
+	// on a similar machine shape.
+	GoMaxProcs int                  `json:"gomaxprocs,omitempty"`
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
 }
 
@@ -62,7 +68,7 @@ func main() {
 	threshold := flag.Float64("threshold", 10, "Minstr/s regression tolerance for -baseline, in percent")
 	flag.Parse()
 
-	cur := Snapshot{Note: *note, Benchmarks: map[string]Benchmark{}}
+	cur := Snapshot{Note: *note, GoMaxProcs: runtime.GOMAXPROCS(0), Benchmarks: map[string]Benchmark{}}
 	if flag.NArg() == 0 {
 		parse(os.Stdin, cur.Benchmarks)
 	}
@@ -159,6 +165,26 @@ func compare(w io.Writer, base, cur Snapshot, pct float64) bool {
 		}
 		fmt.Fprintf(w, "%-34s %8.2f -> %8.2f %s  %+6.1f%%  %s\n",
 			name, want, gotV, throughputMetric, delta, verdict)
+	}
+	// Geometric-mean summary over the benchmarks gated above that have a
+	// usable value on both sides: the one-line trajectory of the whole set,
+	// insensitive to which benchmark dominates in absolute Minstr/s.
+	var logBase, logCur float64
+	var gm int
+	for _, name := range names {
+		want := base.Benchmarks[name].Metrics[throughputMetric]
+		gotV, hasMetric := cur.Benchmarks[name].Metrics[throughputMetric]
+		if want > 0 && hasMetric && gotV > 0 {
+			logBase += math.Log(want)
+			logCur += math.Log(gotV)
+			gm++
+		}
+	}
+	if gm > 0 {
+		gb := math.Exp(logBase / float64(gm))
+		gc := math.Exp(logCur / float64(gm))
+		fmt.Fprintf(w, "%-34s %8.2f -> %8.2f %s  %+6.1f%%  over %d benchmarks\n",
+			"geomean", gb, gc, throughputMetric, (gc-gb)/gb*100, gm)
 	}
 	var fresh []string
 	for name, b := range cur.Benchmarks {

@@ -158,6 +158,42 @@ func TestCompareUnusableBaseline(t *testing.T) {
 	}
 }
 
+// TestCompareGeomeanSummary: compare mode prints a geometric-mean Minstr/s
+// line over the gated benchmarks usable on both sides — here 100 and 50 vs
+// 200 and 100, so geomeans sqrt(100*50)≈70.71 -> sqrt(200*100)≈141.42, a
+// +100% trajectory.
+func TestCompareGeomeanSummary(t *testing.T) {
+	cur := Snapshot{Benchmarks: map[string]Benchmark{
+		"BenchmarkSimulatorThroughput":  {Metrics: map[string]float64{"Minstr/s": 200}},
+		"BenchmarkSimulatorWideMachine": {Metrics: map[string]float64{"Minstr/s": 100}},
+	}}
+	var out strings.Builder
+	if !compare(&out, gateBase(), cur, 10) {
+		t.Fatalf("compare failed a uniformly faster run:\n%s", out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "geomean") {
+		t.Fatalf("no geomean summary line:\n%s", text)
+	}
+	if !strings.Contains(text, "70.71 ->   141.42") || !strings.Contains(text, "+100.0%") {
+		t.Errorf("geomean values wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "over 2 benchmarks") {
+		t.Errorf("geomean population missing:\n%s", text)
+	}
+
+	// A benchmark missing from the run drops out of the geomean population
+	// (and fails the gate) without poisoning the summary line.
+	delete(cur.Benchmarks, "BenchmarkSimulatorWideMachine")
+	out.Reset()
+	if compare(&out, gateBase(), cur, 10) {
+		t.Fatalf("missing benchmark passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "over 1 benchmarks") {
+		t.Errorf("geomean population not reduced:\n%s", out.String())
+	}
+}
+
 func TestCompareEmptyBaseline(t *testing.T) {
 	var out strings.Builder
 	empty := Snapshot{Benchmarks: map[string]Benchmark{}}

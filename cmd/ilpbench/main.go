@@ -180,6 +180,8 @@ func run(args []string, stdout, stderr io.Writer) (exit int) {
 				rep.Predecodes, rep.PredecodeShared)
 			fmt.Fprintf(stderr, "trace stats: %d superblock traces specialized, %d cells simulated in batches\n",
 				rep.Superblocks, rep.BatchedCells)
+			fmt.Fprintf(stderr, "parallel stats: %d batch shards, %d profiled cond traces, %d mispath exits\n",
+				rep.ParallelShards, rep.CondTraces, rep.MispathExits)
 		}
 		if exit == 0 && rep.Degraded > 0 {
 			fmt.Fprintf(stderr, "ilpbench: %d cell(s) permanently failed and were degraded to NaN rows\n", rep.Degraded)

@@ -34,15 +34,16 @@ type linear struct {
 	c     int64
 }
 
-func (l linear) key() string {
-	buf := make([]byte, 0, 8*len(l.terms)+12)
+// appendKey appends l's canonical key to buf and returns it; keys are map
+// lookups on the hot path, so they are built append-style into a reused
+// buffer instead of allocating a string per call.
+func (l linear) appendKey(buf []byte) []byte {
 	for _, t := range l.terms {
 		buf = strconv.AppendInt(buf, int64(t), 10)
 		buf = append(buf, ',')
 	}
 	buf = append(buf, ':')
-	buf = strconv.AppendInt(buf, l.c, 10)
-	return string(buf)
+	return strconv.AppendInt(buf, l.c, 10)
 }
 
 // sameBase reports whether two linear forms share exactly the same term
@@ -66,15 +67,30 @@ const maxTerms = 6
 // addresses can be compared.
 type addrAnalysis struct {
 	vals     map[isa.Reg]linear
-	memo     map[string]int32 // expression key -> opaque term
+	memo     map[string]int32  // expression key -> opaque term
+	terms1   map[int32][]int32 // single-term slice cache (terms are immutable)
+	kbuf     []byte            // scratch for building expression keys
 	nextTerm int32
 }
 
 func newAddrAnalysis() *addrAnalysis {
 	return &addrAnalysis{
-		vals: map[isa.Reg]linear{},
-		memo: map[string]int32{},
+		vals:   map[isa.Reg]linear{},
+		memo:   map[string]int32{},
+		terms1: map[int32][]int32{},
 	}
+}
+
+// termLinear returns the canonical single-term linear for t. Term slices are
+// never mutated downstream (mergeTerms copies), so one shared slice per term
+// is safe and saves an allocation per opaque value.
+func (a *addrAnalysis) termLinear(t int32) linear {
+	s, ok := a.terms1[t]
+	if !ok {
+		s = []int32{t}
+		a.terms1[t] = s
+	}
+	return linear{terms: s}
 }
 
 // valueOf returns the symbolic value of a register (registers not yet
@@ -86,20 +102,21 @@ func (a *addrAnalysis) valueOf(r isa.Reg) linear {
 	if v, ok := a.vals[r]; ok {
 		return v
 	}
-	v := linear{terms: []int32{-int32(r) - 1}}
+	v := a.termLinear(-int32(r) - 1)
 	a.vals[r] = v
 	return v
 }
 
-// opaque returns a canonical fresh term for the expression key.
-func (a *addrAnalysis) opaque(key string) linear {
-	t, ok := a.memo[key]
+// opaque returns a canonical fresh term for the expression key (a scratch
+// byte slice; the string copy happens only when a new term is interned).
+func (a *addrAnalysis) opaque(key []byte) linear {
+	t, ok := a.memo[string(key)]
 	if !ok {
 		a.nextTerm++
 		t = a.nextTerm
-		a.memo[key] = t
+		a.memo[string(key)] = t
 	}
-	return linear{terms: []int32{t}}
+	return a.termLinear(t)
 }
 
 func mergeTerms(x, y []int32) []int32 {
@@ -138,41 +155,62 @@ func (a *addrAnalysis) step(in *isa.Instr) (addr linear, isMem bool) {
 		if len(s1.terms)+len(s2.terms) <= maxTerms {
 			v = linear{terms: mergeTerms(s1.terms, s2.terms), c: s1.c + s2.c}
 		} else {
-			v = a.opaque("add:" + s1.key() + "+" + s2.key())
+			buf := append(a.kbuf[:0], "add:"...)
+			buf = s1.appendKey(buf)
+			buf = append(buf, '+')
+			buf = s2.appendKey(buf)
+			a.kbuf = buf
+			v = a.opaque(buf)
 		}
 	case isa.OpSub:
 		s1, s2 := a.valueOf(in.Src1), a.valueOf(in.Src2)
 		if len(s2.terms) == 0 {
 			v = linear{terms: s1.terms, c: s1.c - s2.c}
 		} else {
-			v = a.opaque("sub:" + s1.key() + "-" + s2.key())
+			buf := append(a.kbuf[:0], "sub:"...)
+			buf = s1.appendKey(buf)
+			buf = append(buf, '-')
+			buf = s2.appendKey(buf)
+			a.kbuf = buf
+			v = a.opaque(buf)
 		}
 	case isa.OpSlli, isa.OpMul, isa.OpSll:
 		// Memoized opaque: identical shift/multiply expressions get the
 		// same term, so scaled indices still compare equal.
 		s1 := a.valueOf(in.Src1)
-		var s2key string
+		buf := append(a.kbuf[:0], in.Op.String()...)
+		buf = append(buf, ':')
+		buf = s1.appendKey(buf)
+		buf = append(buf, ':')
 		if in.Op == isa.OpSlli {
-			s2key = "#" + strconv.FormatInt(in.Imm, 10)
+			buf = append(buf, '#')
+			buf = strconv.AppendInt(buf, in.Imm, 10)
 		} else {
-			s2key = a.valueOf(in.Src2).key()
+			buf = a.valueOf(in.Src2).appendKey(buf)
 		}
-		v = a.opaque(in.Op.String() + ":" + s1.key() + ":" + s2key)
+		a.kbuf = buf
+		v = a.opaque(buf)
 	default:
 		// Any other producer: a fresh opaque value per destination
 		// definition site is unnecessary — memoizing on operands keeps
 		// equal expressions equal, which is strictly more precise and
 		// still sound within a straight-line region. The float immediate
 		// keys on its bit pattern (injective, unlike decimal formatting).
-		key := in.Op.String() + ":" + strconv.FormatInt(in.Imm, 10) +
-			":" + strconv.FormatUint(math.Float64bits(in.FImm), 16)
+		buf := append(a.kbuf[:0], in.Op.String()...)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, in.Imm, 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, math.Float64bits(in.FImm), 16)
 		if info.NSrc >= 1 {
-			key += ":" + a.valueOf(in.Src1).key()
+			buf = append(buf, ':')
+			buf = a.valueOf(in.Src1).appendKey(buf)
 		}
 		if info.NSrc >= 2 {
-			key += ":" + a.valueOf(in.Src2).key()
+			buf = append(buf, ':')
+			buf = a.valueOf(in.Src2).appendKey(buf)
 		}
-		v = a.opaque(key)
+		a.kbuf = buf
+		v = a.opaque(buf)
 	}
 	a.vals[in.Dst] = v
 	return addr, isMem

@@ -17,10 +17,66 @@ type Options struct {
 // never crosses block leaders, branches, calls, or returns, so all branch
 // targets remain valid. The mem annotation array is permuted alongside.
 func Schedule(p *isa.Program, mem []ir.MemRef, blockStarts []int, cfg *machine.Config, opts Options) {
+	sc := newSchedScratch(cfg)
 	for _, r := range Regions(p.Instrs, blockStarts) {
 		start, end := r[0], r[1]
 		if end-start > 1 {
-			scheduleRegion(p.Instrs[start:end], mem[start:end], cfg, opts)
+			scheduleRegion(p.Instrs[start:end], mem[start:end], cfg, opts, sc)
+		}
+	}
+}
+
+// schedScratch holds the machine-derived tables and per-region work arrays
+// scheduleRegion needs, built once per Schedule call and reused across
+// regions (the tables depend only on the machine; the arrays are resized to
+// each region). Purely an allocation saver — scheduling is unchanged.
+type schedScratch struct {
+	classUnit [isa.NumClasses]int
+	unitFree  [][]int
+	height    []int
+	earliest  []int
+	scheduled []bool
+	order     []int
+	newInstrs []isa.Instr
+	newMem    []ir.MemRef
+}
+
+func newSchedScratch(cfg *machine.Config) *schedScratch {
+	sc := &schedScratch{unitFree: make([][]int, len(cfg.Units))}
+	for ui, u := range cfg.Units {
+		for _, cl := range u.Classes {
+			sc.classUnit[cl] = ui
+		}
+		sc.unitFree[ui] = make([]int, u.Multiplicity)
+	}
+	return sc
+}
+
+// grow resizes the per-region arrays to n instructions, zeroing what a
+// fresh allocation would have zeroed.
+func (sc *schedScratch) grow(n int) {
+	if cap(sc.height) < n {
+		sc.height = make([]int, n)
+		sc.earliest = make([]int, n)
+		sc.scheduled = make([]bool, n)
+		sc.order = make([]int, 0, n)
+		sc.newInstrs = make([]isa.Instr, n)
+		sc.newMem = make([]ir.MemRef, n)
+	} else {
+		sc.height = sc.height[:n]
+		sc.earliest = sc.earliest[:n]
+		sc.scheduled = sc.scheduled[:n]
+		sc.order = sc.order[:0]
+		sc.newInstrs = sc.newInstrs[:n]
+		sc.newMem = sc.newMem[:n]
+		for i := 0; i < n; i++ {
+			sc.earliest[i] = 0
+			sc.scheduled[i] = false
+		}
+	}
+	for _, copies := range sc.unitFree {
+		for k := range copies {
+			copies[k] = 0
 		}
 	}
 }
@@ -172,12 +228,13 @@ func Dependences(instrs []isa.Instr, mem []ir.MemRef, careful bool) [][2]int {
 }
 
 // scheduleRegion list-schedules one straight-line region.
-func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, opts Options) {
+func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, opts Options, sc *schedScratch) {
 	n := len(instrs)
 	succ, npred := buildDeps(instrs, mem, opts.Careful, func(cl isa.Class) int { return cfg.Latency[cl] })
+	sc.grow(n)
 
 	// Priorities: critical-path height.
-	height := make([]int, n)
+	height := sc.height
 	for i := n - 1; i >= 0; i-- {
 		h := cfg.Latency[instrs[i].Op.Class()]
 		for _, e := range succ[i] {
@@ -191,20 +248,11 @@ func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, op
 	// List scheduling with a virtual machine clock: issue width and
 	// functional-unit issue latencies are modeled so the order matches
 	// what the target machine can actually sustain.
-	classUnit := map[isa.Class]int{}
-	for ui, u := range cfg.Units {
-		for _, cl := range u.Classes {
-			classUnit[cl] = ui
-		}
-	}
-	unitFree := make([][]int, len(cfg.Units))
-	for i, u := range cfg.Units {
-		unitFree[i] = make([]int, u.Multiplicity)
-	}
+	unitFree := sc.unitFree
 
-	earliest := make([]int, n)
-	scheduled := make([]bool, n)
-	order := make([]int, 0, n)
+	earliest := sc.earliest
+	scheduled := sc.scheduled
+	order := sc.order
 	var cycle, inCycle int
 
 	remaining := n
@@ -230,7 +278,7 @@ func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, op
 		if t == cycle && inCycle >= cfg.IssueWidth {
 			t = cycle + 1
 		}
-		ui := classUnit[instrs[best].Op.Class()]
+		ui := sc.classUnit[instrs[best].Op.Class()]
 		copies := unitFree[ui]
 		bc := 0
 		for k := 1; k < len(copies); k++ {
@@ -261,8 +309,8 @@ func scheduleRegion(instrs []isa.Instr, mem []ir.MemRef, cfg *machine.Config, op
 	}
 
 	// Apply the permutation.
-	newInstrs := make([]isa.Instr, n)
-	newMem := make([]ir.MemRef, n)
+	newInstrs := sc.newInstrs
+	newMem := sc.newMem
 	for pos, i := range order {
 		newInstrs[pos] = instrs[i]
 		newMem[pos] = mem[i]

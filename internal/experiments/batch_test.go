@@ -55,6 +55,15 @@ func TestBatchedSweepBitIdentical(t *testing.T) {
 	if bs.Superblocks == 0 || ps.Superblocks == 0 {
 		t.Errorf("no superblock traces counted: batch=%d plain=%d", bs.Superblocks, ps.Superblocks)
 	}
+	if bs.CondTraces == 0 || ps.CondTraces == 0 {
+		t.Errorf("no profiled cond traces counted: batch=%d plain=%d", bs.CondTraces, ps.CondTraces)
+	}
+	if bs.ParallelShards == 0 {
+		t.Errorf("batched sweep recorded no shards: %+v", bs)
+	}
+	if ps.ParallelShards != 0 {
+		t.Errorf("hooked sweep recorded batch shards: %+v", ps)
+	}
 	if bs.Sims != ps.Sims || bs.SimHits != ps.SimHits {
 		t.Errorf("cache traffic diverged: batched %+v vs goroutine %+v", bs, ps)
 	}

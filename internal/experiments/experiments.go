@@ -302,7 +302,10 @@ type RunnerStats struct {
 	Retries         int64 // transient-failure retry waits performed
 	Degraded        int64 // cells whose permanent failure degraded to a placeholder
 	Superblocks     int64 // superblock traces specialized across built predecodes
+	CondTraces      int64 // profile-specialized traces (past likely-taken branches)
 	BatchedCells    int64 // measurement cells simulated through a shared batch
+	ParallelShards  int64 // worker shards used by batched measurement runs
+	MispathExits    int64 // specialized-trace guard exits across batched cells
 	Instructions    int64 // dynamic instructions simulated by live leader sims
 }
 
@@ -421,7 +424,10 @@ type SweepReport struct {
 	Predecodes      int64    // predecode artifacts built (once per compile key)
 	PredecodeShared int64    // live simulations that reused a shared predecode
 	Superblocks     int64    // superblock traces specialized across built predecodes
+	CondTraces      int64    // profile-specialized traces (past likely-taken branches)
 	BatchedCells    int64    // measurement cells simulated through a shared batch
+	ParallelShards  int64    // worker shards used by batched measurement runs
+	MispathExits    int64    // specialized-trace guard exits across batched cells
 }
 
 // Report snapshots the runner's sweep accounting.
@@ -436,7 +442,10 @@ func (r *Runner) Report() SweepReport {
 		Predecodes:      r.stats.Predecodes,
 		PredecodeShared: r.stats.PredecodeShared,
 		Superblocks:     r.stats.Superblocks,
+		CondTraces:      r.stats.CondTraces,
 		BatchedCells:    r.stats.BatchedCells,
+		ParallelShards:  r.stats.ParallelShards,
+		MispathExits:    r.stats.MispathExits,
 	}
 	for _, se := range r.sims {
 		select {
@@ -874,9 +883,25 @@ func (r *Runner) compileAttempt(ctx context.Context, bench string, copts compile
 	if err != nil {
 		return nil, nil, r.compileFailure(ctx, bench, m, err)
 	}
+	// Profile-guided trace specialization: a short budgeted pre-run folds
+	// the engine's block counters into a branch profile, and traces are
+	// rebuilt to continue past likely-taken conditionals behind mispath
+	// guards. Strictly best-effort — a pre-run that errors (a program that
+	// faults, a cancelled ctx) or a profile that specializes nothing keeps
+	// the plain predecode; either way timing is bit-identical by
+	// construction, so the cache key needs no profile component.
+	cond := 0
+	if prof, perr := sim.ProfileRun(ctx, code, 0, 0); perr == nil {
+		if spec := code.Specialize(prof); spec.CondTraces() > 0 {
+			code, cond = spec, spec.CondTraces()
+		}
+	} else if isCancellation(ctx, perr) {
+		return nil, nil, perr
+	}
 	r.mu.Lock()
 	r.stats.Predecodes++
 	r.stats.Superblocks += int64(code.Superblocks())
+	r.stats.CondTraces += int64(cond)
 	r.mu.Unlock()
 	return c.Prog, code, nil
 }
@@ -1054,7 +1079,11 @@ func (r *Runner) measureManyBatched(ctx context.Context, jobs []job) ([]*sim.Res
 
 	if len(runs) > 0 {
 		if r.batch == nil {
-			r.batch = sim.NewBatch()
+			// The batch shards its cell slab across the runner's configured
+			// worker count (GOMAXPROCS by default): the whole sweep holds one
+			// pool slot — the batched path is opportunistic and singular
+			// (batchMu) — but saturates the cores the pool was sized for.
+			r.batch = sim.NewBatchWorkers(r.Cfg.workers())
 		}
 		bres, berrs := r.batch.Run(ctx, runs)
 		var shared, instrs int64
@@ -1074,6 +1103,8 @@ func (r *Runner) measureManyBatched(ctx context.Context, jobs []job) ([]*sim.Res
 		r.mu.Lock()
 		r.stats.PredecodeShared += shared
 		r.stats.BatchedCells += int64(len(runs))
+		r.stats.ParallelShards += int64(r.batch.Shards())
+		r.stats.MispathExits += r.batch.Mispaths()
 		r.stats.Instructions += instrs
 		r.mu.Unlock()
 	}

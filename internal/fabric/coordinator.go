@@ -206,7 +206,28 @@ func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.WorkerArgv) == 0 {
 		return nil, errors.New("fabric: Config.WorkerArgv is required")
 	}
+	if cfg.Log != nil {
+		// The narration writer is shared by the coordinator's own logf
+		// and every concurrent worker's passed-through stderr (os/exec
+		// spawns one copying goroutine per process when the writer is
+		// not an *os.File), so all writes must be serialized here —
+		// callers hand in plain bytes.Buffers.
+		cfg.Log = &syncWriter{w: cfg.Log}
+	}
 	return &Coordinator{cfg: cfg, leases: NewLeaseTable(cfg.lease(), nil)}, nil
+}
+
+// syncWriter serializes Write calls from the coordinator and its worker
+// stderr pipes onto one underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }
 
 // ShardStorePath is where shard i's store lives, beside the merged store.
@@ -463,13 +484,23 @@ func (c *Coordinator) runAttempt(ctx context.Context, sh Shard, idx, attempt int
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 			continue // a torn final line from a dying worker
 		}
-		if !c.leases.Renew(sh.ID) {
+		// A lapsed renewal only condemns a worker that still owes events:
+		// after its done event the lease is retired (below), and the
+		// stray-event case falls through harmlessly.
+		if !c.leases.Renew(sh.ID) && done == nil {
 			revoked = true
 		}
 		switch ev.Type {
 		case EventDone:
 			e := ev
 			done = &e
+			// The shard is complete and durable; the worker owes nothing
+			// further, so silence from here on is legal. Retiring the
+			// lease now keeps the watchdog from revoking a finished
+			// worker whose process teardown (slow under the race
+			// detector on a loaded host) outlives the steady-state TTL —
+			// EOF, Wait, and the verdict below can take their time.
+			c.leases.Drop(sh.ID)
 		case EventError:
 			e := ev
 			workerErr = &e

@@ -197,9 +197,10 @@ func TestFabricTearRepairedOnResume(t *testing.T) {
 // own — and the sweep must still complete correctly.
 func TestFabricRevokesHungWorker(t *testing.T) {
 	cfg := testConfig(t, t.TempDir())
-	// Hang only the first shard's workers, and only on their first two
-	// attempts, by keeping the rate below 1: seed chosen so the schedule
-	// hangs at least once (asserted below).
+	// At rate 1 every attempt that performs a live commit hangs right
+	// after it; the batched runner commits the whole slab before the
+	// observer fires, so attempt 0 lands every cell and attempt 1
+	// resumes them all from the store and finishes without a hang.
 	cfg.Benchmarks = []string{"whet"}
 	cfg.Shards = 1
 	cfg.Experiments = []string{"fig4-5"} // 2 cells: few, cheap attempts

@@ -399,6 +399,7 @@ func (f *Func) Validate() error {
 	for _, b := range f.Blocks {
 		known[b] = true
 	}
+	var buf []Reg
 	for _, b := range f.Blocks {
 		if len(b.Instrs) == 0 {
 			return fmt.Errorf("ir: %s: block b%d empty", f.Name, b.ID)
@@ -413,8 +414,8 @@ func (f *Func) Validate() error {
 					return fmt.Errorf("ir: %s: block b%d: branch to foreign block", f.Name, b.ID)
 				}
 			}
-			var buf []Reg
-			for _, u := range in.Uses(buf) {
+			buf = in.Uses(buf[:0])
+			for _, u := range buf {
 				if int(u) >= f.NumRegs() {
 					return fmt.Errorf("ir: %s: block b%d: use of unallocated v%d", f.Name, b.ID, u)
 				}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"context"
+	"runtime"
+	"sync"
 
 	"ilp/internal/isa"
 )
@@ -20,25 +22,54 @@ type BatchRun struct {
 	Opts Options
 }
 
-// Batch advances N independent simulation cells through one interleaved
-// loop on a single goroutine. The per-cell engines live in one dense slab
-// (a value slice — hot scalar state inline, no per-cell goroutine, no
-// per-cycle interface calls); each turn a cell runs a batchQuantum slice of
-// its fast path, so N cache-resident cells share the core without context
-// switches, and a finished cell drops out while the rest keep going.
+// Batch advances N independent simulation cells through interleaved loops
+// over a dense engine slab (a value slice — hot scalar state inline, no
+// per-cell goroutine, no per-cycle interface calls). The slab is sharded
+// across min(workers, N) goroutines, one contiguous sub-slab each: within a
+// shard, each turn a cell runs a batchQuantum slice of its fast path, so
+// cache-resident cells share the core without context switches, and a
+// finished cell drops out while the rest keep going.
 //
-// Timing is bit-identical to running each cell alone: runFast's stopAt
-// mechanism writes all state back at a slice boundary and resumes exactly
-// where it stopped, and cells share nothing but immutable predecoded Code.
+// Timing is bit-identical to running each cell alone, whatever the worker
+// count: runFast's stopAt mechanism writes all state back at a slice
+// boundary and resumes exactly where it stopped, cells share nothing but
+// immutable predecoded Code, and every worker owns disjoint elements of the
+// runs/engines/results/errors slices — no shared mutable state, and result
+// order is the input order by construction. Per-cell error isolation and
+// budget/cancellation semantics are those of the serial loop, applied
+// per shard.
 //
-// A Batch is not safe for concurrent use; use one per goroutine. Engines
-// (and their memory arenas) are reused across Run calls.
+// A Batch is not safe for concurrent use; use one per caller at a time.
+// Engines (and their memory arenas) are reused across Run calls.
 type Batch struct {
 	engines []Engine
+	// workers caps the shard goroutines Run spawns; 0 means GOMAXPROCS.
+	workers int
+	// Diagnostics of the last Run (see Shards, Mispaths, Replays).
+	shards   int
+	mispaths int64
+	replays  int64
 }
 
-// NewBatch returns an empty batch; engine slabs grow on first Run.
+// NewBatch returns an empty batch sharding across GOMAXPROCS workers;
+// engine slabs grow on first Run.
 func NewBatch() *Batch { return &Batch{} }
+
+// NewBatchWorkers returns an empty batch sharding across at most workers
+// goroutines per Run; workers ≤ 0 means GOMAXPROCS at Run time. Sharding
+// never changes results — only how many cells advance concurrently.
+func NewBatchWorkers(workers int) *Batch { return &Batch{workers: workers} }
+
+// Shards returns the number of worker shards the last Run used.
+func (b *Batch) Shards() int { return b.shards }
+
+// Mispaths returns the specialized-trace guard exits taken across the last
+// Run's completed cells (see Engine.mispaths).
+func (b *Batch) Mispaths() int64 { return b.mispaths }
+
+// Replays returns the superblock trace replays across the last Run's
+// completed cells.
+func (b *Batch) Replays() int64 { return b.replays }
 
 // Run simulates every cell to completion and returns per-cell results and
 // errors (res[i] is nil exactly when errs[i] is non-nil). Cells needing the
@@ -57,10 +88,49 @@ func (b *Batch) Run(ctx context.Context, runs []BatchRun) ([]*Result, []error) {
 		b.engines = append(b.engines, Engine{})
 	}
 
+	w := b.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	b.shards = w
+	if w <= 1 {
+		b.runShard(ctx, runs, results, errs, 0, n)
+	} else {
+		// One contiguous sub-slab per worker, sizes within one cell of
+		// each other. The slab was grown above, so no worker can move it.
+		var wg sync.WaitGroup
+		for s := 0; s < w; s++ {
+			lo, hi := n*s/w, n*(s+1)/w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.runShard(ctx, runs, results, errs, lo, hi)
+			}()
+		}
+		wg.Wait()
+	}
+
+	b.mispaths, b.replays = 0, 0
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			b.mispaths += b.engines[i].mispaths
+			b.replays += b.engines[i].replays
+		}
+	}
+	return results, errs
+}
+
+// runShard runs cells [lo, hi) to completion, writing only those elements
+// of results and errs. It is the whole serial batch loop, applied to one
+// worker's sub-slab.
+func (b *Batch) runShard(ctx context.Context, runs []BatchRun, results []*Result, errs []error, lo, hi int) {
 	// Reset every cell, completing the unsliceable ones immediately.
-	active := make([]int, 0, n)
-	maxI := make([]int64, n)
-	for i := range runs {
+	active := make([]int, 0, hi-lo)
+	maxI := make([]int64, hi)
+	for i := lo; i < hi; i++ {
 		r := &runs[i]
 		if err := ctx.Err(); err != nil {
 			errs[i] = ctxErr(ctx)
@@ -89,9 +159,17 @@ func (b *Batch) Run(ctx context.Context, runs []BatchRun) ([]*Result, []error) {
 	}
 
 	// Interleave: round-robin one quantum per live cell until all halt.
+	// The ctx poll lives here, not in runFast: a sliced run's quantum
+	// boundary (stopAt) coincides with runFast's internal poll point and
+	// yields before the select, so the interleave loop polls once per cell
+	// turn — the same once-per-cancelCheckInterval cadence a whole run has.
 	for len(active) > 0 {
 		live := active[:0]
 		for _, i := range active {
+			if ctx.Err() != nil {
+				errs[i] = ctxErr(ctx)
+				continue
+			}
 			e := &b.engines[i]
 			if err := e.runFast(ctx, maxI[i], e.instrs+batchQuantum); err != nil {
 				errs[i] = err
@@ -106,5 +184,4 @@ func (b *Batch) Run(ctx context.Context, runs []BatchRun) ([]*Result, []error) {
 		}
 		active = live
 	}
-	return results, errs
 }

@@ -95,8 +95,14 @@ type Engine struct {
 	groups int64
 	// replays counts schedule replays taken this run (testing/diagnostics).
 	replays int64
-	output  []isa.Value
-	stalls  StallBreakdown
+	// mispaths counts specialized-trace guard exits taken this run: a
+	// profiled likely-taken branch went untaken mid-replay and the engine
+	// fell back to the block interpreter at its fallthrough. Diagnostics
+	// only — like replays, deliberately not part of Result, which must stay
+	// bit-identical across engine paths.
+	mispaths int64
+	output   []isa.Value
+	stalls   StallBreakdown
 }
 
 // NewEngine returns an empty engine. Buffers are grown on first Reset.
@@ -213,7 +219,7 @@ func (e *Engine) Reset(p *isa.Program, opts Options) error {
 	e.pc = p.Entry
 	e.halted = false
 	e.instrs, e.groups = 0, 0
-	e.replays = 0
+	e.replays, e.mispaths = 0, 0
 	e.output = e.output[:0]
 	e.stalls = StallBreakdown{}
 	// The program entry opens the first contiguous execution run. Counted
@@ -980,8 +986,10 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs, stopAt int64) error {
 						ready[w.Reg] = sLast + w.Off
 					}
 					lastComplete = max(lastComplete, sLast+sEx.maxComplete)
-					exit[sEx.at] += k
-					enter[pc] += k
+					if sEx.taken {
+						exit[sEx.at] += k
+						enter[pc] += k
+					}
 					for _, j := range sEx.jumps {
 						exit[j.at] += k
 						enter[j.target] += k
@@ -1054,10 +1062,18 @@ func (e *Engine) runFast(ctx context.Context, maxInstrs, stopAt int64) error {
 			if ex.taken {
 				exit[ex.at]++
 				enter[pc]++
-				if ex.stable {
-					skipCheck = true
-					stableIdx = exitIdx
-				}
+			} else if ex.at >= 0 {
+				// A specialization guard fired: the profiled likely-taken
+				// branch went untaken, and the engine resumes per-instruction
+				// at its fallthrough. Untaken branches bump no block counter.
+				e.mispaths++
+			}
+			if ex.stable {
+				// A self-renewing back-edge — the taken side exit of a
+				// do-while body, or the stitched-seam fallthrough of a
+				// while-shaped loop: re-entry needs no register check.
+				skipCheck = true
+				stableIdx = exitIdx
 			}
 			if instrs >= checkAt {
 				if instrs >= maxInstrs {

@@ -5,6 +5,7 @@ import (
 
 	"ilp/internal/isa"
 	"ilp/internal/machine"
+	"ilp/internal/statictime"
 )
 
 // dflags are per-instruction facts the inner loop would otherwise re-derive
@@ -117,6 +118,38 @@ func (c *Code) Superblocks() int {
 		}
 	}
 	return n
+}
+
+// CondTraces returns the number of specialized traces attached to the Code:
+// traces that continue past a profiled likely-taken conditional branch
+// behind a mispath guard (see Specialize).
+func (c *Code) CondTraces() int {
+	n := 0
+	for _, t := range c.scheds {
+		if t == nil {
+			continue
+		}
+		for _, st := range t.steps {
+			if st.kind == stepCondTaken {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Specialize returns a Code sharing this one's predecoded instructions but
+// with trace schedules rebuilt under prof: conditional branches the profile
+// marks likely-taken continue their traces along the taken edge, guarded by
+// a mispath side exit that falls back to the block interpreter. Timing is
+// bit-identical by construction — the profile only chooses which traces
+// exist. The receiver is not modified; like any Code, the result is
+// immutable and shareable.
+func (c *Code) Specialize(prof *statictime.Profile) *Code {
+	out := *c
+	out.scheds = buildSchedsProf(c.prog, c.cfg, c.dec, prof)
+	return &out
 }
 
 // Predecode translates a validated program against a machine description

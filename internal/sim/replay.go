@@ -16,9 +16,10 @@ const replayMinLen = 3
 
 // Step kinds of a traceSched, mirroring statictime.TraceStepKind.
 const (
-	stepCond = uint8(statictime.StepCond)
-	stepJump = uint8(statictime.StepJump)
-	stepEnd  = uint8(statictime.StepEnd)
+	stepCond      = uint8(statictime.StepCond)
+	stepJump      = uint8(statictime.StepJump)
+	stepEnd       = uint8(statictime.StepEnd)
+	stepCondTaken = uint8(statictime.StepCondTaken)
 )
 
 // uopEnd terminates a trace's micro-op stream: leave through exit aux (the
@@ -119,7 +120,16 @@ type traceSched struct {
 // barrier) exists only under that discipline — statictime.Traces returns nil
 // for the rest.
 func buildScheds(p *isa.Program, cfg *machine.Config, dec []decoded) []*traceSched {
-	traces, err := statictime.Traces(p, cfg)
+	return buildSchedsProf(p, cfg, dec, nil)
+}
+
+// buildSchedsProf is buildScheds under an optional execution profile:
+// conditional branches the profile marks likely-taken continue their traces
+// along the taken edge, guarded by an inverted-condition micro-op whose
+// firing (a mispath) falls back to the block interpreter at the branch's
+// fallthrough. A nil profile builds exactly the unspecialized schedules.
+func buildSchedsProf(p *isa.Program, cfg *machine.Config, dec []decoded, prof *statictime.Profile) []*traceSched {
+	traces, err := statictime.ProfiledTraces(p, cfg, prof)
 	if err != nil || traces == nil {
 		return nil // p and cfg are pre-validated; analysis cannot fail
 	}
@@ -165,6 +175,9 @@ func buildScheds(p *isa.Program, cfg *machine.Config, dec []decoded) []*traceSch
 				maxComplete: ex.MaxComplete, barrierOff: ex.BarrierOff,
 				writes: ex.Writes,
 			}
+			if len(ex.Jumps) > 0 {
+				te.jumps = make([]traceJump, 0, len(ex.Jumps))
+			}
 			for _, j := range ex.Jumps {
 				te.jumps = append(te.jumps, traceJump{at: int32(j.At), target: int32(j.Target)})
 			}
@@ -202,6 +215,15 @@ func traceMatchesCode(t *statictime.Trace, p *isa.Program, dec []decoded) bool {
 			if ex.At != st.Hi || ex.Target != int(dec[st.Hi].target) {
 				return false
 			}
+		case statictime.StepCondTaken:
+			if st.Hi >= n || !condBranch(dec[st.Hi].op) || dec[st.Hi].flags&fUnit != 0 ||
+				st.Target != int(dec[st.Hi].target) {
+				return false
+			}
+			ex := &t.Exits[st.Exit]
+			if ex.At != st.Hi || ex.Target != st.Hi+1 || ex.Taken {
+				return false
+			}
 		case statictime.StepJump:
 			if st.Hi >= n || dec[st.Hi].op != isa.OpJ || dec[st.Hi].flags&fUnit != 0 ||
 				st.Target != int(dec[st.Hi].target) {
@@ -224,7 +246,16 @@ func traceMatchesCode(t *statictime.Trace, p *isa.Program, dec []decoded) bool {
 // jumps elided entirely, and a terminal uopEnd for the final fallthrough.
 // Returns nil if any instruction falls outside the executor's switch.
 func buildUops(t *statictime.Trace, dec []decoded) []uop {
-	var out []uop
+	// Exact-size bound: every segment instruction plus one control micro-op
+	// per non-jump step (dropped nops only leave slack capacity).
+	n := 0
+	for _, st := range t.Steps {
+		n += st.Hi - st.Lo
+		if st.Kind != statictime.StepJump {
+			n++
+		}
+	}
+	out := make([]uop, 0, n)
 	for _, st := range t.Steps {
 		for j := st.Lo; j < st.Hi; j++ {
 			d := &dec[j]
@@ -261,6 +292,13 @@ func buildUops(t *statictime.Trace, dec []decoded) []uop {
 		case statictime.StepCond:
 			d := &dec[st.Hi]
 			out = append(out, uop{op: d.op, s1: d.src1, s2: d.src2, aux: int32(st.Exit)})
+		case statictime.StepCondTaken:
+			// Specialized guard: the trace continues on the taken edge, so
+			// the micro-op tests the inverted condition — firing exactly when
+			// the architectural branch is untaken — and leaves through the
+			// untaken side exit. traceExecU needs no new cases.
+			d := &dec[st.Hi]
+			out = append(out, uop{op: invertBranch(d.op), s1: d.src1, s2: d.src2, aux: int32(st.Exit)})
 		case statictime.StepEnd:
 			out = append(out, uop{op: uopEnd, aux: int32(st.Exit)})
 		}
@@ -269,6 +307,26 @@ func buildUops(t *statictime.Trace, dec []decoded) []uop {
 		return nil
 	}
 	return out
+}
+
+// invertBranch returns the conditional branch opcode testing the negated
+// condition (beq↔bne, blt↔bge, ble↔bgt). Non-branches return unchanged.
+func invertBranch(op isa.Opcode) isa.Opcode {
+	switch op {
+	case isa.OpBeq:
+		return isa.OpBne
+	case isa.OpBne:
+		return isa.OpBeq
+	case isa.OpBlt:
+		return isa.OpBge
+	case isa.OpBge:
+		return isa.OpBlt
+	case isa.OpBle:
+		return isa.OpBgt
+	case isa.OpBgt:
+		return isa.OpBle
+	}
+	return op
 }
 
 // traceExecU runs a trace's micro-op stream against live register and memory

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"ilp/internal/cache"
@@ -162,6 +163,39 @@ func BenchmarkSimulatorSuperblock(b *testing.B) {
 	var instrs int64
 	for i := 0; i < b.N; i++ {
 		r, err := Run(p, Options{Machine: cfg, Code: code})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkSimulatorCondTrace replays a profile-specialized superblock: the
+// hot arm of the loop's conditional branch is stitched through behind an
+// inverted-condition guard, so whole iterations spin inside one trace where
+// the unspecialized engine splits each at the branch and re-enters per
+// block. The profile comes from the same budgeted pre-run the experiments
+// runner performs at compile time.
+func BenchmarkSimulatorCondTrace(b *testing.B) {
+	p := condTraceLoop(85_000) // ~600k dynamic instructions
+	cfg := machine.IdealSuperscalar(4)
+	code, err := Predecode(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := ProfileRun(context.Background(), code, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := code.Specialize(prof)
+	if spec.CondTraces() == 0 {
+		b.Fatal("no conditional-branch traces specialized")
+	}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(p, Options{Machine: cfg, Code: spec})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,11 +21,23 @@ package statictime
 // holds after leaving — the engine applies whichever exit the run's data
 // selects (see sim's trace replay).
 //
-// A trace whose taken side exit targets its own start is a proven loop
-// back-edge; when additionally every register written before that exit is
-// ready by the exit's barrier (Off ≤ BarrierOff), the re-entry precondition
-// re-establishes itself and the exit is marked Stable: the engine may skip
-// the per-register entry check on the next iteration entirely.
+// An exit that targets the trace's own start is a proven loop back-edge;
+// when additionally the exit's barrier is still ahead of its cycle
+// (BarrierOff > CycleAdv, automatic for taken exits) and every register
+// written before the exit is ready by that barrier (Off ≤ BarrierOff), the
+// re-entry precondition re-establishes itself and the exit is marked
+// Stable: the engine may skip the per-register entry check on the next
+// iteration entirely. This covers both the taken-side-exit back-edge of a
+// do-while loop and the final fallthrough of a while-shaped trace whose
+// stitched seam jumped back to the start.
+//
+// With an execution profile (ProfiledTraces), the walk also continues past
+// conditional branches the profile marks likely-taken: the untaken
+// direction becomes a guarded side exit and the taken edge is stitched
+// like an unconditional jump's seam. The profile only selects which traces
+// exist — a wrong or stale profile costs speed (mispath exits), never
+// timing accuracy, because every exit's cumulative state is proven the
+// same way.
 
 import (
 	"fmt"
@@ -55,6 +67,12 @@ const (
 	// fallthrough: the engine resumes per-instruction execution at the
 	// exit's Target). Always the last step.
 	StepEnd
+	// StepCondTaken replays [Lo, Hi), then evaluates the conditional branch
+	// at Hi, which the profile marked likely-taken: taken continues the
+	// trace at Target (the branch's own target, stitched like a jump seam),
+	// untaken leaves through Exits[Exit] — the specialized mirror image of
+	// StepCond.
+	StepCondTaken
 )
 
 // TraceStep is one segment of a trace: the straight-line instructions
@@ -63,10 +81,12 @@ const (
 type TraceStep struct {
 	Lo, Hi int
 	Kind   TraceStepKind
-	// Exit indexes Trace.Exits for StepCond (the taken side exit) and
-	// StepEnd (the final fallthrough exit).
+	// Exit indexes Trace.Exits for StepCond (the taken side exit),
+	// StepCondTaken (the untaken side exit) and StepEnd (the final
+	// fallthrough exit).
 	Exit int
-	// Target is the jump destination for StepJump.
+	// Target is the jump destination for StepJump and the taken branch
+	// target the trace continues at for StepCondTaken.
 	Target int
 }
 
@@ -111,10 +131,10 @@ type TraceExit struct {
 	// counters when it applies the exit (their timing effect — the raised
 	// in-trace barrier — is already folded into the offsets above).
 	Jumps []TraceJump
-	// Stable marks a taken back-edge to the trace's own start whose writes
-	// are all ready by the new barrier (Off ≤ BarrierOff): the clean-entry
-	// precondition re-establishes itself, so re-entry needs no register
-	// check.
+	// Stable marks a back-edge to the trace's own start that re-establishes
+	// the clean-entry precondition by itself: the exit's barrier is still
+	// ahead of its cycle (BarrierOff > CycleAdv) and every write is ready
+	// by it (Off ≤ BarrierOff), so re-entry needs no register check.
 	Stable bool
 }
 
@@ -142,11 +162,47 @@ type Trace struct {
 	Blocks int
 }
 
+// Profile is an execution profile of a program: per-pc dynamic execution
+// and taken-transfer counts, typically folded from a short instruction-
+// budgeted pre-run's block counters (sim.ProfileRun). The counts are
+// architectural, so one profile is valid for every machine description —
+// the execution path does not depend on timing.
+type Profile struct {
+	// Count[pc] is how many times the instruction at pc executed.
+	Count []int64
+	// Taken[pc] is how many times the control transfer at pc was taken.
+	Taken []int64
+}
+
+// profileMinCount is the execution count below which a branch's profile is
+// treated as noise: specializing a trace needs evidence.
+const profileMinCount = 16
+
+// LikelyTaken reports whether the conditional branch at pc was observed
+// taken strongly enough — at least 3/4 of at least profileMinCount
+// executions — to specialize a trace along its taken edge. Nil-safe: a nil
+// profile marks nothing likely.
+func (pr *Profile) LikelyTaken(pc int) bool {
+	if pr == nil || pc >= len(pr.Count) || pc >= len(pr.Taken) {
+		return false
+	}
+	c := pr.Count[pc]
+	return c >= profileMinCount && pr.Taken[pc]*4 >= c*3
+}
+
 // Traces builds the superblock trace of every block leader: a slice indexed
 // by pc, nil at non-leaders. Machines whose taken branches do not end their
 // issue group return (nil, nil): the trace entry condition (a fresh taken-
 // branch barrier) exists only under that discipline.
 func Traces(p *isa.Program, cfg *machine.Config) ([]*Trace, error) {
+	return ProfiledTraces(p, cfg, nil)
+}
+
+// ProfiledTraces is Traces guided by an optional execution profile:
+// conditional branches the profile marks likely-taken continue the trace
+// along their taken edge (StepCondTaken) instead of falling through. A nil
+// profile builds exactly the unspecialized traces.
+func ProfiledTraces(p *isa.Program, cfg *machine.Config, prof *Profile) ([]*Trace, error) {
 	if cfg == nil {
 		return nil, fmt.Errorf("statictime: no machine description")
 	}
@@ -196,9 +252,10 @@ func Traces(p *isa.Program, cfg *machine.Config) ([]*Trace, error) {
 	}
 
 	out := make([]*Trace, n)
+	seen := make([]int32, n) // shared visited stamps: one allocation for all leaders
 	for pc := 0; pc < n; pc++ {
 		if leader[pc] {
-			out[pc] = buildTrace(p, cfg, pc, &binds)
+			out[pc] = buildTrace(p, cfg, pc, &binds, prof, seen, int32(pc)+1)
 		}
 	}
 	return out, nil
@@ -218,8 +275,10 @@ func isCondBranch(op isa.Opcode) bool {
 // (the first instruction issues at offset 0 — exactly the barrier, by the
 // entry precondition). The walk stops at the first instruction that binds a
 // functional unit, transfers control unpredictably (jal, jr), halts, was
-// already traced (termination), or would exceed maxTraceLen.
-func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumClasses]bool) *Trace {
+// already traced (termination), or would exceed maxTraceLen. seen is the
+// caller's shared visited buffer: seen[pc] == stamp marks pc as on this
+// trace (stamps are unique per leader, so no clearing between builds).
+func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumClasses]bool, prof *Profile, seen []int32, stamp int32) *Trace {
 	n := len(p.Instrs)
 	width := int64(cfg.IssueWidth)
 	redirect := int64(cfg.BranchRedirect)
@@ -231,8 +290,8 @@ func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumC
 	var widthS, branchS, dataS, writeS int64
 	var maxComplete, barrierOff int64
 	var count int64
+	var nWrote int
 	var jumps []TraceJump
-	visited := make(map[int]bool)
 	pos, segLo := start, start
 	first := true
 
@@ -248,7 +307,16 @@ func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumC
 		if len(jumps) > 0 {
 			ex.Jumps = append([]TraceJump(nil), jumps...)
 		}
-		stable := taken && target == start
+		// A back-edge is stable when re-entry lands behind a still-fresh
+		// taken-branch barrier (bOff > cycle; every in-trace barrier comes
+		// from a taken transfer) with every write ready by it. Taken side
+		// exits always satisfy bOff > cycle (the branch's own barrier is
+		// issue+lat+redirect, past its issue cycle); a fallthrough exit
+		// satisfies it only if a stitched seam barrier is still ahead.
+		stable := target == start && bOff > cycle
+		if nWrote > 0 {
+			ex.Writes = make([]RegWrite, 0, nWrote)
+		}
 		for r := 1; r < isa.NumRegs; r++ {
 			if wrote[r] {
 				ex.Writes = append(ex.Writes, RegWrite{Reg: isa.Reg(r), Off: avail[r]})
@@ -263,7 +331,7 @@ func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumC
 	}
 
 	for {
-		if pos < 0 || pos >= n || visited[pos] || count >= maxTraceLen {
+		if pos < 0 || pos >= n || seen[pos] == stamp || count >= maxTraceLen {
 			break
 		}
 		in := &p.Instrs[pos]
@@ -271,7 +339,7 @@ func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumC
 		if binds[op.Class()] || op == isa.OpJal || op == isa.OpJr || op == isa.OpHalt {
 			break
 		}
-		visited[pos] = true
+		seen[pos] = stamp
 
 		lat := int64(cfg.Latency[op.Class()])
 		s1, s2, dst := effRegs(in)
@@ -315,6 +383,9 @@ func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumC
 		complete := issue + lat
 		if dst != isa.NoReg {
 			avail[dst] = complete
+			if !wrote[dst] {
+				nWrote++
+			}
 			wrote[dst], touched[dst] = true, true
 		}
 		maxComplete = max(maxComplete, complete)
@@ -322,6 +393,20 @@ func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumC
 
 		switch {
 		case isCondBranch(op):
+			if prof.LikelyTaken(pos) {
+				// Specialized: the profile says this branch is almost always
+				// taken, so the trace follows the taken edge. Untaken becomes
+				// the guarded side exit — snapshotted before the seam barrier
+				// and the jump bookkeeping, because an untaken branch neither
+				// ends its issue group nor bumps block counters — and the
+				// taken edge is stitched exactly like a jump seam.
+				exit := snapshot(pos, pos+1, false, barrierOff)
+				barrierOff = max(barrierOff, issue+lat+redirect)
+				jumps = append(jumps, TraceJump{At: pos, Target: in.Target})
+				tr.Steps = append(tr.Steps, TraceStep{Lo: segLo, Hi: pos, Kind: StepCondTaken, Exit: exit, Target: in.Target})
+				segLo, pos = in.Target, in.Target
+				continue
+			}
 			exit := snapshot(pos, in.Target, true, max(barrierOff, issue+lat+redirect))
 			tr.Steps = append(tr.Steps, TraceStep{Lo: segLo, Hi: pos, Kind: StepCond, Exit: exit})
 			segLo, pos = pos+1, pos+1
@@ -337,9 +422,18 @@ func buildTrace(p *isa.Program, cfg *machine.Config, start int, binds *[isa.NumC
 
 	exit := snapshot(-1, pos, false, barrierOff)
 	tr.Steps = append(tr.Steps, TraceStep{Lo: segLo, Hi: pos, Kind: StepEnd, Exit: exit})
+	nTouched := 0
 	for r := 1; r < isa.NumRegs; r++ { // r0 is never scoreboarded
 		if touched[r] {
-			tr.CheckRegs = append(tr.CheckRegs, isa.Reg(r))
+			nTouched++
+		}
+	}
+	if nTouched > 0 {
+		tr.CheckRegs = make([]isa.Reg, 0, nTouched)
+		for r := 1; r < isa.NumRegs; r++ {
+			if touched[r] {
+				tr.CheckRegs = append(tr.CheckRegs, isa.Reg(r))
+			}
 		}
 	}
 	tr.Blocks = len(tr.Steps)
